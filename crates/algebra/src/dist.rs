@@ -1,0 +1,168 @@
+//! Non-negative distances with infinity: the carrier `R≥0 ∪ {∞}` of the
+//! min-plus semiring (Section 1.2 of the paper).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::Add;
+
+/// A non-negative distance, possibly infinite.
+///
+/// `Dist` wraps an `f64` that is guaranteed to be `>= 0` and never NaN,
+/// which makes the ordering total ([`Ord`] is implemented). `∞` is the
+/// additive identity of the min-plus semiring ([`crate::MinPlus`]) and the
+/// "no information" value of distance maps.
+#[derive(Clone, Copy, PartialEq)]
+pub struct Dist(f64);
+
+impl Dist {
+    /// Zero distance: the multiplicative identity of min-plus.
+    pub const ZERO: Dist = Dist(0.0);
+    /// Infinite distance: the additive identity of min-plus.
+    pub const INF: Dist = Dist(f64::INFINITY);
+
+    /// Creates a distance. Panics on NaN or negative input, the two values
+    /// that would break the total order and the semiring laws.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        assert!(v >= 0.0, "Dist must be non-negative and not NaN, got {v}");
+        Dist(v)
+    }
+
+    /// Raw value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// `true` iff the distance is not `∞`.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Minimum of two distances (`⊕` of min-plus).
+    #[inline]
+    pub fn min(self, other: Dist) -> Dist {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two distances.
+    #[inline]
+    pub fn max(self, other: Dist) -> Dist {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Multiplies by a non-negative scalar, preserving `∞`.
+    #[inline]
+    pub fn scaled(self, factor: f64) -> Dist {
+        debug_assert!(factor >= 0.0 && !factor.is_nan());
+        if self.0.is_infinite() {
+            Dist::INF
+        } else {
+            Dist::new(self.0 * factor)
+        }
+    }
+}
+
+impl Eq for Dist {}
+
+impl PartialOrd for Dist {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Dist {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Safe: no NaN can be constructed.
+        self.0.partial_cmp(&other.0).expect("Dist is never NaN")
+    }
+}
+
+impl Add for Dist {
+    type Output = Dist;
+
+    /// `⊙` of min-plus: ordinary addition with `∞` absorbing.
+    #[inline]
+    fn add(self, rhs: Dist) -> Dist {
+        Dist(self.0 + rhs.0)
+    }
+}
+
+impl From<f64> for Dist {
+    #[inline]
+    fn from(v: f64) -> Self {
+        Dist::new(v)
+    }
+}
+
+impl fmt::Debug for Dist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_infinite() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Dist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_inf_is_largest() {
+        assert!(Dist::ZERO < Dist::new(1.0));
+        assert!(Dist::new(1.0) < Dist::INF);
+        assert_eq!(Dist::INF.cmp(&Dist::INF), Ordering::Equal);
+    }
+
+    #[test]
+    fn addition_saturates_at_infinity() {
+        assert_eq!(Dist::INF + Dist::new(3.0), Dist::INF);
+        assert_eq!(Dist::new(2.0) + Dist::new(3.0), Dist::new(5.0));
+    }
+
+    #[test]
+    fn min_max_behave() {
+        let a = Dist::new(2.0);
+        let b = Dist::new(5.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(Dist::INF), a);
+    }
+
+    #[test]
+    fn scaling_preserves_infinity() {
+        assert_eq!(Dist::INF.scaled(0.5), Dist::INF);
+        assert_eq!(Dist::new(4.0).scaled(1.5), Dist::new(6.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_rejected() {
+        let _ = Dist::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_rejected() {
+        let _ = Dist::new(f64::NAN);
+    }
+}

@@ -1,0 +1,300 @@
+//! The distance-map semimodule `D = ((R≥0 ∪ {∞})^V, ⊕, ⊙)` over the
+//! min-plus semiring (Definition 2.1 of the paper).
+//!
+//! A distance map conceptually assigns a distance to *every* node of `V`;
+//! the sparse representation stores only the non-`∞` entries (the paper's
+//! `|x|`), sorted by node id, which makes aggregation a linear merge —
+//! the parallel-sort argument of Lemma 2.3 collapses to merging here.
+
+use crate::dist::Dist;
+use crate::minplus::MinPlus;
+use crate::semimodule::Semimodule;
+use crate::NodeId;
+
+/// A sparse distance map: the non-`∞` coordinates of a vector in
+/// `(R≥0 ∪ {∞})^V`, sorted by node id.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct DistanceMap {
+    entries: Vec<(NodeId, Dist)>,
+}
+
+impl DistanceMap {
+    /// The empty map `⊥ = (∞, …, ∞)`.
+    #[inline]
+    pub fn new() -> Self {
+        DistanceMap { entries: Vec::new() }
+    }
+
+    /// Map with a single entry, typically `{v ↦ 0}` for initialization
+    /// (Equation (3.1)).
+    #[inline]
+    pub fn singleton(v: NodeId, d: Dist) -> Self {
+        if d.is_finite() {
+            DistanceMap { entries: vec![(v, d)] }
+        } else {
+            DistanceMap::new()
+        }
+    }
+
+    /// Builds a map from arbitrary entries; later duplicates are resolved
+    /// by minimum, `∞` entries are dropped.
+    pub fn from_entries(mut entries: Vec<(NodeId, Dist)>) -> Self {
+        entries.retain(|(_, d)| d.is_finite());
+        entries.sort_unstable_by_key(|&(v, d)| (v, d));
+        entries.dedup_by(|next, prev| prev.0 == next.0); // keeps first = min dist
+        DistanceMap { entries }
+    }
+
+    /// Number of non-`∞` entries (the paper's `|x|`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff the map is `⊥`.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the distance for node `v` (`∞` if absent).
+    pub fn get(&self, v: NodeId) -> Dist {
+        match self.entries.binary_search_by_key(&v, |&(w, _)| w) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => Dist::INF,
+        }
+    }
+
+    /// Inserts `v ↦ min(current, d)`.
+    pub fn merge_entry(&mut self, v: NodeId, d: Dist) {
+        if !d.is_finite() {
+            return;
+        }
+        match self.entries.binary_search_by_key(&v, |&(w, _)| w) {
+            Ok(i) => {
+                if d < self.entries[i].1 {
+                    self.entries[i].1 = d;
+                }
+            }
+            Err(i) => self.entries.insert(i, (v, d)),
+        }
+    }
+
+    /// Iterates over the non-`∞` entries in node-id order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Dist)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// The sorted entry slice.
+    #[inline]
+    pub fn entries(&self) -> &[(NodeId, Dist)] {
+        &self.entries
+    }
+
+    /// Consumes the map, returning its entries.
+    #[inline]
+    pub fn into_entries(self) -> Vec<(NodeId, Dist)> {
+        self.entries
+    }
+
+    /// Retains only entries satisfying the predicate (used by filters).
+    pub fn retain(&mut self, mut f: impl FnMut(NodeId, Dist) -> bool) {
+        self.entries.retain(|&(v, d)| f(v, d));
+    }
+
+    /// Approximate equality: same node sets, distances within relative
+    /// tolerance `rel`. Floating-point sums accumulated in different
+    /// orders (e.g. MBF iteration vs. Dijkstra) differ in the last ulps;
+    /// tests and cross-validation compare with this instead of `==`.
+    pub fn approx_eq(&self, other: &DistanceMap, rel: f64) -> bool {
+        self.entries.len() == other.entries.len()
+            && self
+                .entries
+                .iter()
+                .zip(&other.entries)
+                .all(|(&(v, d), &(w, e))| v == w && dist_close(d, e, rel))
+    }
+
+    /// Fused propagate-and-aggregate: `self ← self ⊕ (s ⊙ other)` without
+    /// materializing the scaled copy. This is the hot operation of every
+    /// MBF-like iteration over the distance-map semimodule.
+    pub fn merge_scaled(&mut self, other: &DistanceMap, s: Dist) {
+        if !s.is_finite() || other.entries.is_empty() {
+            return; // ∞ ⊙ x = ⊥ (Equation (2.2))
+        }
+        if self.entries.is_empty() {
+            self.entries = other.entries.iter().map(|&(v, d)| (v, d + s)).collect();
+            return;
+        }
+        let mut out = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (a, b) = (&self.entries, &other.entries);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push((b[j].0, b[j].1 + s));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push((a[i].0, a[i].1.min(b[j].1 + s)));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend(b[j..].iter().map(|&(v, d)| (v, d + s)));
+        self.entries = out;
+    }
+
+    /// In-place `self ← self ⊕ other` where `⊕` is the coordinate-wise
+    /// minimum (Equation (2.6)), implemented as a sorted merge in
+    /// `O(|self| + |other|)`.
+    pub fn merge_min(&mut self, other: &DistanceMap) {
+        if other.entries.is_empty() {
+            return;
+        }
+        if self.entries.is_empty() {
+            self.entries = other.entries.clone();
+            return;
+        }
+        let mut out = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (a, b) = (&self.entries, &other.entries);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push((a[i].0, a[i].1.min(b[j].1)));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        self.entries = out;
+    }
+}
+
+/// `true` iff `a` and `b` agree within relative tolerance `rel`
+/// (infinities must match exactly).
+pub fn dist_close(a: Dist, b: Dist, rel: f64) -> bool {
+    match (a.is_finite(), b.is_finite()) {
+        (true, true) => {
+            let (x, y) = (a.value(), b.value());
+            (x - y).abs() <= rel * x.abs().max(y.abs()).max(1.0)
+        }
+        (false, false) => true,
+        _ => false,
+    }
+}
+
+impl Semimodule<MinPlus> for DistanceMap {
+    #[inline]
+    fn zero() -> Self {
+        DistanceMap::new()
+    }
+
+    #[inline]
+    fn add_assign(&mut self, rhs: &Self) {
+        self.merge_min(rhs);
+    }
+
+    /// `(s ⊙ x)_v = s + x_v` (Equation (2.7)); `∞ ⊙ x = ⊥` (zero
+    /// preservation, Equation (2.2)).
+    fn scale(&self, s: &MinPlus) -> Self {
+        let d = s.0;
+        if !d.is_finite() {
+            return DistanceMap::new();
+        }
+        if d == Dist::ZERO {
+            return self.clone();
+        }
+        DistanceMap {
+            entries: self.entries.iter().map(|&(v, x)| (v, x + d)).collect(),
+        }
+    }
+}
+
+impl FromIterator<(NodeId, Dist)> for DistanceMap {
+    fn from_iter<T: IntoIterator<Item = (NodeId, Dist)>>(iter: T) -> Self {
+        DistanceMap::from_entries(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dm(pairs: &[(NodeId, f64)]) -> DistanceMap {
+        DistanceMap::from_entries(pairs.iter().map(|&(v, d)| (v, Dist::new(d))).collect())
+    }
+
+    #[test]
+    fn from_entries_sorts_dedups_and_drops_infinite() {
+        let m = DistanceMap::from_entries(vec![
+            (3, Dist::new(1.0)),
+            (1, Dist::new(2.0)),
+            (3, Dist::new(0.5)),
+            (2, Dist::INF),
+        ]);
+        assert_eq!(m.entries(), &[(1, Dist::new(2.0)), (3, Dist::new(0.5))]);
+    }
+
+    #[test]
+    fn get_returns_infinity_for_missing() {
+        let m = dm(&[(1, 2.0)]);
+        assert_eq!(m.get(1), Dist::new(2.0));
+        assert_eq!(m.get(7), Dist::INF);
+    }
+
+    #[test]
+    fn merge_min_is_coordinatewise_min() {
+        let mut a = dm(&[(1, 2.0), (3, 5.0)]);
+        let b = dm(&[(1, 3.0), (2, 1.0), (3, 4.0)]);
+        a.merge_min(&b);
+        assert_eq!(a, dm(&[(1, 2.0), (2, 1.0), (3, 4.0)]));
+    }
+
+    #[test]
+    fn merge_entry_keeps_minimum() {
+        let mut a = dm(&[(1, 2.0)]);
+        a.merge_entry(1, Dist::new(3.0));
+        assert_eq!(a.get(1), Dist::new(2.0));
+        a.merge_entry(1, Dist::new(1.0));
+        assert_eq!(a.get(1), Dist::new(1.0));
+        a.merge_entry(0, Dist::new(9.0));
+        assert_eq!(a.get(0), Dist::new(9.0));
+    }
+
+    #[test]
+    fn scale_adds_uniformly_and_preserves_zero() {
+        use crate::semiring::Semiring;
+        let a = dm(&[(1, 2.0), (2, 0.0)]);
+        let scaled = a.scale(&MinPlus::new(1.5));
+        assert_eq!(scaled, dm(&[(1, 3.5), (2, 1.5)]));
+        assert_eq!(a.scale(&<MinPlus as Semiring>::zero()), DistanceMap::new());
+        assert_eq!(a.scale(&<MinPlus as Semiring>::one()), a);
+    }
+
+    #[test]
+    fn semimodule_add_matches_merge() {
+        let a = dm(&[(0, 1.0)]);
+        let b = dm(&[(0, 0.5), (9, 2.0)]);
+        let sum = Semimodule::<MinPlus>::add(&a, &b);
+        assert_eq!(sum, dm(&[(0, 0.5), (9, 2.0)]));
+    }
+}

@@ -1,0 +1,74 @@
+//! Representative projections ("filters") of congruence relations
+//! (Definitions 2.4 and 2.6 of the paper).
+//!
+//! A filter `r : M → M` picks a small canonical representative of each
+//! equivalence class of a congruence relation `∼` on the semimodule `M`.
+//! MBF-like algorithms apply `r` after every aggregation step; by
+//! Corollary 2.17 (`r^V ∼ id`) this never changes the (class of the)
+//! output, only the cost of computing it.
+
+use crate::semimodule::Semimodule;
+use crate::semiring::Semiring;
+
+/// A representative projection `r` with its induced congruence
+/// `x ∼ y :⇔ r(x) = r(y)` (Equation (7.4)-style definition, Lemma 2.8).
+///
+/// Implementations must satisfy, for all `s ∈ S` and `x, y ∈ M`:
+///
+/// * `r(r(x)) = r(x)` (projection, Observation 2.7),
+/// * `r(s ⊙ x) = r(s ⊙ r(x))` (Equation (2.12)),
+/// * `r(x ⊕ y) = r(r(x) ⊕ r(y))` (Equation (2.13), in the symmetrized
+///   form (7.7) that is equivalent for projections).
+///
+/// [`crate::laws::check_congruence`] verifies these on sample inputs and is
+/// exercised by every filter's property tests.
+pub trait Filter<S: Semiring, M: Semimodule<S>>: Send + Sync {
+    /// Applies `r` in place.
+    fn apply(&self, x: &mut M);
+
+    /// Returns the canonical representative `r(x)`.
+    fn canonical(&self, x: &M) -> M {
+        let mut y = x.clone();
+        self.apply(&mut y);
+        y
+    }
+
+    /// Tests `x ∼ y`, i.e. `r(x) = r(y)`.
+    fn equivalent(&self, x: &M, y: &M) -> bool {
+        self.canonical(x) == self.canonical(y)
+    }
+}
+
+/// The trivial filter `r = id` (used by SSSP, APSP, widest paths, …).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdentityFilter;
+
+impl<S: Semiring, M: Semimodule<S>> Filter<S, M> for IdentityFilter {
+    #[inline]
+    fn apply(&self, _x: &mut M) {}
+
+    #[inline]
+    fn canonical(&self, x: &M) -> M {
+        x.clone()
+    }
+
+    #[inline]
+    fn equivalent(&self, x: &M, y: &M) -> bool {
+        x == y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minplus::MinPlus;
+
+    #[test]
+    fn identity_filter_is_identity() {
+        let x = MinPlus::new(1.0);
+        let f = IdentityFilter;
+        assert_eq!(Filter::<MinPlus, MinPlus>::canonical(&f, &x), x);
+        assert!(Filter::<MinPlus, MinPlus>::equivalent(&f, &x, &x));
+        assert!(!Filter::<MinPlus, MinPlus>::equivalent(&f, &x, &MinPlus::new(2.0)));
+    }
+}

@@ -1,0 +1,161 @@
+//! Executable statements of the paper's algebraic laws
+//! (Definitions A.2, A.3, 2.4, 2.6; Lemma 2.8).
+//!
+//! Each checker returns `Err` with a human-readable description of the
+//! first violated law, which the property tests surface as a
+//! counterexample. Keeping the laws in library code (rather than inlined
+//! in tests) lets every semiring/semimodule/filter share one definition.
+
+use crate::filter::Filter;
+use crate::semimodule::Semimodule;
+use crate::semiring::Semiring;
+
+/// Checks all semiring laws of Definition A.2 on the sample `(x, y, z)`.
+pub fn check_semiring<S: Semiring>(x: &S, y: &S, z: &S) -> Result<(), String> {
+    let zero = S::zero();
+    let one = S::one();
+
+    // (1) (S, ⊕): associative, commutative, neutral zero.
+    ensure(
+        x.add(&y.add(z)) == x.add(y).add(z),
+        "⊕ is not associative",
+    )?;
+    ensure(x.add(y) == y.add(x), "⊕ is not commutative")?;
+    ensure(x.add(&zero) == *x && zero.add(x) == *x, "0 is not ⊕-neutral")?;
+
+    // (2) (S, ⊙): associative, neutral one.
+    ensure(
+        x.mul(&y.mul(z)) == x.mul(y).mul(z),
+        "⊙ is not associative",
+    )?;
+    ensure(x.mul(&one) == *x && one.mul(x) == *x, "1 is not ⊙-neutral")?;
+
+    // (3) distributive laws (A.4), (A.5).
+    ensure(
+        x.mul(&y.add(z)) == x.mul(y).add(&x.mul(z)),
+        "left distributivity fails",
+    )?;
+    ensure(
+        y.add(z).mul(x) == y.mul(x).add(&z.mul(x)),
+        "right distributivity fails",
+    )?;
+
+    // (4) 0 annihilates (A.6).
+    ensure(
+        zero.mul(x) == zero && x.mul(&zero) == zero,
+        "0 does not annihilate",
+    )
+}
+
+/// Checks the zero-preserving semimodule laws of Definition A.3 /
+/// Equations (2.1)–(2.5) on scalars `(s, t)` and vectors `(x, y)`.
+pub fn check_semimodule<S: Semiring, M: Semimodule<S>>(
+    s: &S,
+    t: &S,
+    x: &M,
+    y: &M,
+) -> Result<(), String> {
+    let bot = M::zero();
+
+    // (M, ⊕) is a semigroup with neutral ⊥.
+    ensure(x.add(&bot) == *x && bot.add(x) == *x, "⊥ is not ⊕-neutral")?;
+    ensure(
+        x.add(&y.add(&bot)) == x.add(y).add(&bot),
+        "⊕ is not associative",
+    )?;
+
+    // (2.1) / (A.7): 1 ⊙ x = x.
+    ensure(x.scale(&S::one()) == *x, "1 ⊙ x ≠ x")?;
+    // (2.2) / (A.11): 0 ⊙ x = ⊥ (zero preservation).
+    ensure(x.scale(&S::zero()) == bot, "0 ⊙ x ≠ ⊥")?;
+    // (2.3) / (A.8): s ⊙ (x ⊕ y) = sx ⊕ sy.
+    ensure(
+        x.add(y).scale(s) == x.scale(s).add(&y.scale(s)),
+        "s(x ⊕ y) ≠ sx ⊕ sy",
+    )?;
+    // (2.4) / (A.9): (s ⊕ t) ⊙ x = sx ⊕ tx.
+    ensure(
+        x.scale(&s.add(t)) == x.scale(s).add(&x.scale(t)),
+        "(s ⊕ t)x ≠ sx ⊕ tx",
+    )?;
+    // (2.5) / (A.10): (s ⊙ t) ⊙ x = s ⊙ (t ⊙ x).
+    ensure(
+        x.scale(&s.mul(t)) == x.scale(t).scale(s),
+        "(s ⊙ t)x ≠ s(tx)",
+    )
+}
+
+/// Checks that `r` is a representative projection of a congruence relation
+/// (Lemma 2.8 in the symmetrized form used by Lemma 7.5): on samples
+/// `(s, x, y)` it validates `r² = r`, `r(sx) = r(s·r(x))` and
+/// `r(x ⊕ y) = r(r(x) ⊕ r(y))`.
+pub fn check_congruence<S, M, F>(filter: &F, s: &S, x: &M, y: &M) -> Result<(), String>
+where
+    S: Semiring,
+    M: Semimodule<S>,
+    F: Filter<S, M>,
+{
+    let rx = filter.canonical(x);
+    let ry = filter.canonical(y);
+
+    // Projection: r² = r (Observation 2.7).
+    ensure(filter.canonical(&rx) == rx, "r is not a projection (r² ≠ r)")?;
+
+    // (2.12): x ∼ r(x) ⇒ sx ∼ s·r(x).
+    ensure(
+        filter.canonical(&x.scale(s)) == filter.canonical(&rx.scale(s)),
+        "congruence violated under scaling (2.12)",
+    )?;
+
+    // (2.13)/(7.7): r(x ⊕ y) = r(r(x) ⊕ r(y)).
+    ensure(
+        filter.canonical(&x.add(y)) == filter.canonical(&rx.add(&ry)),
+        "congruence violated under aggregation (2.13)",
+    )
+}
+
+fn ensure(cond: bool, msg: &str) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(msg.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boolean::Bool;
+    use crate::maxmin::Width;
+    use crate::minplus::MinPlus;
+
+    #[test]
+    fn minplus_is_a_semiring() {
+        let zero = <MinPlus as Semiring>::zero();
+        check_semiring(&MinPlus::new(1.0), &MinPlus::new(2.5), &zero).unwrap();
+    }
+
+    #[test]
+    fn maxmin_is_a_semiring() {
+        let one = <Width as Semiring>::one();
+        check_semiring(&Width::new(1.0), &Width::new(2.5), &one).unwrap();
+    }
+
+    #[test]
+    fn boolean_is_a_semiring() {
+        for x in [Bool(false), Bool(true)] {
+            for y in [Bool(false), Bool(true)] {
+                for z in [Bool(false), Bool(true)] {
+                    check_semiring(&x, &y, &z).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn semiring_is_module_over_itself() {
+        let zero = <MinPlus as Semiring>::zero();
+        check_semimodule(&MinPlus::new(1.0), &MinPlus::new(0.5), &MinPlus::new(3.0), &zero)
+            .unwrap();
+    }
+}

@@ -1,0 +1,89 @@
+//! The max-min semiring `S_{max,min} = (R≥0 ∪ {∞}, max, min)`
+//! (Definition 3.9 / Lemma 3.10), used for widest-path problems.
+
+use crate::dist::Dist;
+use crate::semiring::Semiring;
+
+/// Element of the max-min semiring: a path *width* (bottleneck capacity).
+///
+/// `⊕ = max` picks the wider of two alternatives; `⊙ = min` restricts a
+/// path's width by an edge's width. Neutral elements are `0` for `⊕` and
+/// `∞` for `⊙` (Lemma 3.10).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Width(pub Dist);
+
+impl Width {
+    /// Finite width from a raw capacity.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        Width(Dist::new(v))
+    }
+
+    /// Unbounded width (the multiplicative identity).
+    pub const INF: Width = Width(Dist::INF);
+
+    /// The underlying value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0.value()
+    }
+}
+
+impl Semiring for Width {
+    /// `0` — neutral for `max`, annihilating for `min`.
+    #[inline]
+    fn zero() -> Self {
+        Width(Dist::ZERO)
+    }
+
+    /// `∞` — neutral for `min`.
+    #[inline]
+    fn one() -> Self {
+        Width(Dist::INF)
+    }
+
+    #[inline]
+    fn add(&self, rhs: &Self) -> Self {
+        Width(self.0.max(rhs.0))
+    }
+
+    #[inline]
+    fn mul(&self, rhs: &Self) -> Self {
+        Width(self.0.min(rhs.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neutral_elements() {
+        let x = Width::new(3.0);
+        assert_eq!(Width::zero().add(&x), x);
+        assert_eq!(Width::one().mul(&x), x);
+    }
+
+    #[test]
+    fn zero_annihilates() {
+        let x = Width::new(3.0);
+        assert_eq!(Width::zero().mul(&x), Width::zero());
+    }
+
+    #[test]
+    fn add_is_max_mul_is_min() {
+        let a = Width::new(2.0);
+        let b = Width::new(5.0);
+        assert_eq!(a.add(&b), b);
+        assert_eq!(a.mul(&b), a);
+    }
+
+    #[test]
+    fn distributivity_spot_check() {
+        // min{x, max{y, z}} = max{min{x,y}, min{x,z}} (Equation (B.6)).
+        let x = Width::new(3.0);
+        let y = Width::new(2.0);
+        let z = Width::new(5.0);
+        assert_eq!(x.mul(&y.add(&z)), x.mul(&y).add(&x.mul(&z)));
+    }
+}

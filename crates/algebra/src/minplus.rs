@@ -1,0 +1,82 @@
+//! The min-plus (tropical) semiring `S_{min,+} = (R≥0 ∪ {∞}, min, +)`
+//! (Section 1.2 of the paper), the workhorse of distance computations.
+
+use crate::dist::Dist;
+use crate::semiring::Semiring;
+
+/// Element of the min-plus semiring. A thin wrapper around [`Dist`] so the
+/// semiring structure (`⊕ = min`, `⊙ = +`) is expressed by the type.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct MinPlus(pub Dist);
+
+impl MinPlus {
+    /// Finite element from a raw weight.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        MinPlus(Dist::new(v))
+    }
+
+    /// The underlying distance.
+    #[inline]
+    pub fn dist(self) -> Dist {
+        self.0
+    }
+}
+
+impl Semiring for MinPlus {
+    /// `∞` — neutral for `min`, annihilating for `+`.
+    #[inline]
+    fn zero() -> Self {
+        MinPlus(Dist::INF)
+    }
+
+    /// `0` — neutral for `+`.
+    #[inline]
+    fn one() -> Self {
+        MinPlus(Dist::ZERO)
+    }
+
+    #[inline]
+    fn add(&self, rhs: &Self) -> Self {
+        MinPlus(self.0.min(rhs.0))
+    }
+
+    #[inline]
+    fn mul(&self, rhs: &Self) -> Self {
+        MinPlus(self.0 + rhs.0)
+    }
+}
+
+impl From<Dist> for MinPlus {
+    #[inline]
+    fn from(d: Dist) -> Self {
+        MinPlus(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neutral_elements() {
+        let x = MinPlus::new(3.0);
+        assert_eq!(MinPlus::zero().add(&x), x);
+        assert_eq!(MinPlus::one().mul(&x), x);
+    }
+
+    #[test]
+    fn zero_annihilates() {
+        let x = MinPlus::new(3.0);
+        assert_eq!(MinPlus::zero().mul(&x), MinPlus::zero());
+        assert_eq!(x.mul(&MinPlus::zero()), MinPlus::zero());
+    }
+
+    #[test]
+    fn add_is_min_mul_is_plus() {
+        let a = MinPlus::new(2.0);
+        let b = MinPlus::new(5.0);
+        assert_eq!(a.add(&b), a);
+        assert_eq!(a.mul(&b), MinPlus::new(7.0));
+    }
+}

@@ -1,0 +1,60 @@
+//! The [`Semimodule`] trait (Definition A.3 of the paper).
+
+use crate::semiring::Semiring;
+use std::fmt::Debug;
+
+/// A zero-preserving semimodule `M = (M, ⊕, ⊙)` over a semiring `S`.
+///
+/// `⊕ : M × M → M` models **aggregation** of node states and
+/// `⊙ : S × M → M` models **propagation** of a node state over an edge.
+/// Requirements (Definition A.3, Equations (2.1)–(2.5)):
+///
+/// * `(M, ⊕)` is a semigroup with neutral element `⊥` ([`zero`](Semimodule::zero)),
+/// * `1 ⊙ x = x`, `s ⊙ (x ⊕ y) = sx ⊕ sy`, `(s ⊕ t)x = sx ⊕ tx`,
+///   `(s ⊙ t)x = s(tx)`,
+/// * zero-preservation: `0 ⊙ x = ⊥` (Equation (2.2): propagating over a
+///   non-edge loses the information).
+///
+/// Like the semiring laws, these are verified by property tests via
+/// [`crate::laws`].
+pub trait Semimodule<S: Semiring>: Clone + PartialEq + Debug + Send + Sync + 'static {
+    /// The neutral element `⊥` of aggregation ("no information").
+    fn zero() -> Self;
+    /// In-place aggregation `self ← self ⊕ rhs`.
+    fn add_assign(&mut self, rhs: &Self);
+    /// Propagation `s ⊙ self`.
+    fn scale(&self, s: &S) -> Self;
+
+    /// Out-of-place aggregation.
+    #[inline]
+    fn add(&self, rhs: &Self) -> Self {
+        let mut out = self.clone();
+        out.add_assign(rhs);
+        out
+    }
+
+    /// Returns `true` iff `self` equals `⊥`.
+    #[inline]
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+}
+
+/// Every semiring is a zero-preserving semimodule over itself
+/// (used by the paper for SSSP and the forest-fire example, Section 3.1).
+impl<S: Semiring> Semimodule<S> for S {
+    #[inline]
+    fn zero() -> Self {
+        S::zero()
+    }
+
+    #[inline]
+    fn add_assign(&mut self, rhs: &Self) {
+        *self = Semiring::add(self, rhs);
+    }
+
+    #[inline]
+    fn scale(&self, s: &S) -> Self {
+        s.mul(self)
+    }
+}

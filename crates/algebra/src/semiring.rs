@@ -1,0 +1,31 @@
+//! The [`Semiring`] trait (Definition A.2 of the paper).
+
+use std::fmt::Debug;
+
+/// A semiring `(S, ⊕, ⊙)`: a ring without additive inverses.
+///
+/// Requirements (Definition A.2):
+/// 1. `(S, ⊕)` is a commutative semigroup with neutral element [`zero`](Semiring::zero),
+/// 2. `(S, ⊙)` is a semigroup with neutral element [`one`](Semiring::one),
+/// 3. the left- and right-distributive laws hold,
+/// 4. `zero` annihilates with respect to `⊙`.
+///
+/// These laws cannot be enforced by the type system; they are verified for
+/// every implementation in this workspace by the property tests built on
+/// [`crate::laws`].
+pub trait Semiring: Clone + PartialEq + Debug + Send + Sync + 'static {
+    /// Neutral element of `⊕` (and annihilator of `⊙`).
+    fn zero() -> Self;
+    /// Neutral element of `⊙`.
+    fn one() -> Self;
+    /// Semiring addition `⊕` (aggregation).
+    fn add(&self, rhs: &Self) -> Self;
+    /// Semiring multiplication `⊙` (propagation).
+    fn mul(&self, rhs: &Self) -> Self;
+
+    /// Returns `true` iff `self` equals [`zero`](Semiring::zero).
+    #[inline]
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+}

@@ -1,0 +1,18 @@
+//! Applications of metric tree embeddings (Sections 9 and 10 of the
+//! paper): polylog-depth approximation algorithms that become easy once
+//! the input graph is embedded into a random FRT tree.
+//!
+//! * [`kmedian`] — the k-median problem (Theorem 9.2): candidate
+//!   sampling à la Mettu–Plaxton/Blelloch et al., an exact dynamic
+//!   program on the sampled HST, and an expected `O(log k)` approximation
+//!   overall,
+//! * [`buyatbulk`] — buy-at-bulk network design (Theorem 10.2): route
+//!   demands on the tree, buy cables for the aggregated flows, map the
+//!   tree solution back to graph paths (Section 7.5) for an expected
+//!   `O(log n)` approximation.
+
+pub mod buyatbulk;
+pub mod kmedian;
+
+pub use buyatbulk::{BuyAtBulkInstance, BuyAtBulkSolution, CableType, Demand};
+pub use kmedian::{KMedianConfig, KMedianSolution};

@@ -1,0 +1,61 @@
+//! Microbenchmarks for the algebraic substrate (Lemma 2.3: aggregation
+//! of sparse distance maps is a linear merge).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mte_algebra::{Dist, DistanceMap, MinPlus, Semimodule, Semiring};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn random_map(len: usize, universe: u32, rng: &mut StdRng) -> DistanceMap {
+    DistanceMap::from_entries(
+        (0..len)
+            .map(|_| (rng.gen_range(0..universe), Dist::new(rng.gen_range(0.0..100.0))))
+            .collect(),
+    )
+}
+
+fn bench_distance_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_map");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(1);
+
+    for len in [16usize, 256] {
+        let a = random_map(len, 1 << 20, &mut rng);
+        let b = random_map(len, 1 << 20, &mut rng);
+        group.bench_function(format!("merge_min/{len}"), |bch| {
+            bch.iter(|| {
+                let mut x = a.clone();
+                x.merge_min(black_box(&b));
+                x
+            })
+        });
+        group.bench_function(format!("merge_scaled/{len}"), |bch| {
+            bch.iter(|| {
+                let mut x = a.clone();
+                x.merge_scaled(black_box(&b), Dist::new(1.5));
+                x
+            })
+        });
+        group.bench_function(format!("scale/{len}"), |bch| {
+            bch.iter(|| Semimodule::scale(&a, black_box(&MinPlus::new(2.0))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_semiring_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semiring");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(1));
+    let a = MinPlus::new(3.0);
+    let b = MinPlus::new(5.0);
+    group.bench_function("minplus_add_mul", |bch| {
+        bch.iter(|| Semiring::add(&black_box(a), &black_box(b)).mul(&black_box(a)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance_map, bench_semiring_ops);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Application benchmarks (Sections 9 and 10): k-median and buy-at-bulk
+//! end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mte_apps::buyatbulk::{solve_buy_at_bulk, BuyAtBulkInstance, CableType, Demand};
+use mte_apps::kmedian::{solve_kmedian, KMedianConfig};
+use mte_graph::generators::{gnm_graph, grid_graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("applications");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(5));
+
+    let mut rng = StdRng::seed_from_u64(12);
+    let g = gnm_graph(256, 768, 1.0..10.0, &mut rng);
+    group.bench_function("kmedian_k4/n=256", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(13);
+            solve_kmedian(&g, &KMedianConfig::new(4), &mut r)
+        })
+    });
+
+    let mesh = grid_graph(12, 12, 5.0..40.0, &mut rng);
+    let instance = BuyAtBulkInstance {
+        cables: vec![
+            CableType { capacity: 1.0, cost: 1.0 },
+            CableType { capacity: 10.0, cost: 4.0 },
+            CableType { capacity: 100.0, cost: 14.0 },
+        ],
+        demands: (0..40)
+            .map(|i| Demand {
+                s: (i * 7 % mesh.n()) as u32,
+                t: ((i * 13 + 5) % mesh.n()) as u32,
+                amount: 1.0 + (i % 5) as f64,
+            })
+            .filter(|d| d.s != d.t)
+            .collect(),
+    };
+    group.bench_function("buyatbulk_40demands/grid144", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(14);
+            solve_buy_at_bulk(&mesh, &instance, &mut r)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

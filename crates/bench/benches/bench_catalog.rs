@@ -1,0 +1,51 @@
+//! Per-iteration cost of the MBF-like catalog (Section 3): the price of
+//! one propagate/aggregate/filter round per algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mte_core::catalog::{Connectivity, SourceDetection, WidestPaths};
+use mte_core::engine::{initial_states, iterate, run};
+use mte_core::frt::le_list::{LeListAlgorithm, Ranks};
+use mte_graph::generators::gnm_graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_catalog(c: &mut Criterion) {
+    let mut group = c.benchmark_group("catalog_iteration");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+
+    let mut rng = StdRng::seed_from_u64(6);
+    let g = gnm_graph(1024, 3072, 1.0..20.0, &mut rng);
+    let n = g.n();
+
+    // Warmed-up states (3 rounds in) so lists have realistic sizes.
+    let apsp = SourceDetection::apsp(n);
+    let apsp_states = run(&apsp, &g, 3).states;
+    group.bench_function("apsp/n=1024", |b| b.iter(|| iterate(&apsp, &g, &apsp_states)));
+
+    let kssp = SourceDetection::k_ssp(n, 4);
+    let kssp_states = run(&kssp, &g, 3).states;
+    group.bench_function("kssp4/n=1024", |b| b.iter(|| iterate(&kssp, &g, &kssp_states)));
+
+    let widest = WidestPaths::apwp(n);
+    let widest_states = run(&widest, &g, 3).states;
+    group.bench_function("apwp/n=1024", |b| b.iter(|| iterate(&widest, &g, &widest_states)));
+
+    let conn = Connectivity::all_pairs(n);
+    let conn_states = run(&conn, &g, 3).states;
+    group.bench_function("connectivity/n=1024", |b| b.iter(|| iterate(&conn, &g, &conn_states)));
+
+    let ranks = Arc::new(Ranks::sample(n, &mut rng));
+    let le = LeListAlgorithm::new(ranks);
+    let le_states = run(&le, &g, 3).states;
+    group.bench_function("le_lists/n=1024", |b| b.iter(|| iterate(&le, &g, &le_states)));
+
+    group.bench_function("le_lists_init/n=1024", |b| b.iter(|| initial_states(&le, n)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_catalog);
+criterion_main!(benches);

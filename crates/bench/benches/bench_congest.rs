@@ -1,0 +1,38 @@
+//! Congest simulation benchmarks (Section 8): the wall-clock cost of the
+//! message-level simulations themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mte_congest::khan::khan_le_lists;
+use mte_congest::skeleton::{skeleton_frt, SkeletonConfig};
+use mte_core::frt::le_list::Ranks;
+use mte_graph::generators::{gnm_graph, highway_graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_congest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("congest");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(5));
+
+    let mut rng = StdRng::seed_from_u64(15);
+    let g = gnm_graph(512, 1536, 1.0..10.0, &mut rng);
+    let ranks = Arc::new(Ranks::sample(g.n(), &mut rng));
+    group.bench_function("khan/gnm_n=512", |b| b.iter(|| khan_le_lists(&g, &ranks)));
+
+    let hw = highway_graph(512, 1e5);
+    let hw_ranks = Arc::new(Ranks::sample(hw.n(), &mut rng));
+    group.bench_function("khan/highway_n=512", |b| b.iter(|| khan_le_lists(&hw, &hw_ranks)));
+    group.bench_function("skeleton/highway_n=512", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(16);
+            skeleton_frt(&hw, &SkeletonConfig::default(), &mut r)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_congest);
+criterion_main!(benches);

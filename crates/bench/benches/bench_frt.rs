@@ -1,0 +1,51 @@
+//! End-to-end FRT sampling (Theorem 7.9 and the Section 1.1 baselines):
+//! the oracle pipeline vs the explicit-metric and direct samplers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mte_core::frt::{sample_direct, sample_from_metric, FrtConfig, FrtEmbedding};
+use mte_graph::algorithms::apsp;
+use mte_graph::generators::gnm_graph;
+use mte_graph::hopset::HopsetConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_frt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frt_sampling");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(5));
+
+    let mut rng = StdRng::seed_from_u64(8);
+    let g = gnm_graph(512, 1536, 1.0..20.0, &mut rng);
+    let metric = apsp(&g);
+
+    group.bench_function("from_metric/n=512", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(9);
+            sample_from_metric(&metric, g.min_weight(), &mut r)
+        })
+    });
+    group.bench_function("direct/n=512", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(10);
+            sample_direct(&g, &mut r)
+        })
+    });
+    let config = FrtConfig {
+        hopset: HopsetConfig { d: 129, epsilon: 0.0, oversample: 2.0 },
+        eps_hat: 0.05,
+        spanner_k: None,
+        max_iterations: None,
+    };
+    group.bench_function("oracle_pipeline/n=512", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(11);
+            FrtEmbedding::sample(&g, &config, &mut r)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_frt);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Substrate benchmarks: Dijkstra, Baswana–Sen spanner, hop-set
+//! construction (the preprocessing costs of the main pipeline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mte_graph::algorithms::sssp;
+use mte_graph::generators::gnm_graph;
+use mte_graph::hopset::{Hopset, HopsetConfig};
+use mte_graph::spanner::baswana_sen_spanner;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = gnm_graph(2048, 6144, 1.0..50.0, &mut rng);
+
+    group.bench_function("dijkstra/n=2048", |b| b.iter(|| sssp(&g, 0)));
+    group.bench_function("spanner_k2/n=2048", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(3);
+            baswana_sen_spanner(&g, 2, &mut r)
+        })
+    });
+    group.bench_function("spanner_k3/n=2048", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(4);
+            baswana_sen_spanner(&g, 3, &mut r)
+        })
+    });
+    group.bench_function("hopset_d65/n=2048", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(5);
+            Hopset::build(&g, &HopsetConfig { d: 65, epsilon: 0.0, oversample: 2.0 }, &mut r)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! E1 — Lemma 4.1. See DESIGN.md §4 and EXPERIMENTS.md.
+fn main() {
+    mte_bench::suite::exp_levels().print();
+}

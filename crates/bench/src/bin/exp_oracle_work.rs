@@ -1,0 +1,4 @@
+//! Experiment driver. See DESIGN.md §4 and EXPERIMENTS.md.
+fn main() {
+    mte_bench::suite::exp_oracle_work().print();
+}

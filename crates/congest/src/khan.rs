@@ -1,0 +1,226 @@
+//! The distributed LE-list algorithm of Khan et al. \[26\] (Section 8.1 of
+//! the paper), simulated at the message level.
+//!
+//! Every node starts with `x_v = {(v, 0)}`. Whenever a node's LE list
+//! gains an entry, the entry is scheduled for broadcast; each round, each
+//! node sends one pending `(source, distance)` pair over all incident
+//! edges. Receivers relax by the edge weight and merge under LE
+//! domination. The protocol terminates when no message is in flight —
+//! after `O(SPD(G) log n)` rounds w.h.p. (each of the `≤ SPD(G)`
+//! "waves" carries `O(log n)` list entries by Lemma 7.6).
+
+use crate::cost::CongestCost;
+use mte_algebra::{Dist, NodeId};
+use mte_core::frt::le_list::{le_filter_entries, LeList, Ranks};
+use mte_core::frt::tree::FrtTree;
+use mte_graph::Graph;
+use rand::Rng;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Per-node protocol state.
+struct NodeState {
+    /// Current LE list entries, sorted ascending by distance
+    /// (strictly decreasing rank).
+    list: Vec<(NodeId, Dist)>,
+    /// Entries awaiting broadcast.
+    queue: VecDeque<(NodeId, Dist)>,
+}
+
+/// Message-level simulation of LE-list computation on `g` with all edge
+/// weights multiplied by `stretch`, starting from the given per-node
+/// initial lists; entries travel at most `max_hops` edges (`None` =
+/// unlimited). Returns the final lists and the exact cost.
+///
+/// This generalized entry point also drives the skeleton algorithm's
+/// jump-started phase (Section 8.2/8.3, Equations (8.9)/(8.20)).
+pub fn pipelined_le_lists(
+    g: &Graph,
+    ranks: &Ranks,
+    init: Vec<Vec<(NodeId, Dist)>>,
+    stretch: f64,
+    max_hops: Option<usize>,
+) -> (Vec<LeList>, CongestCost) {
+    let n = g.n();
+    assert_eq!(init.len(), n);
+    let mut nodes: Vec<NodeState> = init
+        .into_iter()
+        .map(|entries| {
+            let list = le_filter_entries(&entries, ranks);
+            let queue = list.iter().copied().collect();
+            NodeState { list, queue }
+        })
+        .collect();
+    // hops[v] tracks, per queued entry, how many edges it travelled; the
+    // queue stores (source, dist, hops) triples, so fold it in:
+    let mut queues: Vec<VecDeque<(NodeId, Dist, u32)>> = nodes
+        .iter_mut()
+        .map(|s| s.queue.drain(..).map(|(w, d)| (w, d, 0u32)).collect())
+        .collect();
+
+    let mut cost = CongestCost::new();
+    let hop_limit = max_hops.map(|h| h as u32).unwrap_or(u32::MAX);
+
+    loop {
+        // Pick this round's message per node: the first queued entry that
+        // is still present in the node's current list (superseded entries
+        // are dropped without being sent).
+        let mut outgoing: Vec<Option<(NodeId, Dist, u32)>> = Vec::with_capacity(n);
+        for v in 0..n {
+            let msg = loop {
+                match queues[v].pop_front() {
+                    None => break None,
+                    Some((w, d, h)) => {
+                        let current = nodes[v]
+                            .list
+                            .iter()
+                            .find(|&&(x, _)| x == w)
+                            .map(|&(_, d2)| d2);
+                        if current == Some(d) && h < hop_limit {
+                            break Some((w, d, h));
+                        }
+                    }
+                }
+            };
+            outgoing.push(msg);
+        }
+        if outgoing.iter().all(Option::is_none) {
+            break;
+        }
+        cost.rounds += 1;
+
+        // Deliver: each sender transmits its pair over every incident edge.
+        let mut inbox: Vec<Vec<(NodeId, Dist, u32)>> = vec![Vec::new(); n];
+        for v in 0..n as NodeId {
+            if let Some((w, d, h)) = outgoing[v as usize] {
+                for &(u, ew) in g.neighbors(v) {
+                    cost.messages += 1;
+                    inbox[u as usize].push((w, d + Dist::new(ew * stretch), h + 1));
+                }
+            }
+        }
+
+        // Merge under LE domination; newly surviving entries are queued.
+        for v in 0..n {
+            if inbox[v].is_empty() {
+                continue;
+            }
+            let mut candidate = nodes[v].list.clone();
+            candidate.extend(inbox[v].iter().map(|&(w, d, _)| (w, d)));
+            let merged = le_filter_entries(&candidate, ranks);
+            if merged != nodes[v].list {
+                for &(w, d) in &merged {
+                    let had = nodes[v].list.iter().any(|&(x, dx)| x == w && dx <= d);
+                    if !had {
+                        // Queue with the hop count of the message that
+                        // produced this entry.
+                        let h = inbox[v]
+                            .iter()
+                            .filter(|&&(x, dx, _)| x == w && dx == d)
+                            .map(|&(_, _, h)| h)
+                            .min()
+                            .unwrap_or(0);
+                        queues[v].push_back((w, d, h));
+                    }
+                }
+                nodes[v].list = merged;
+            }
+        }
+    }
+
+    let lists = nodes
+        .into_iter()
+        .map(|s| LeList::from_entries_sorted(s.list))
+        .collect();
+    (lists, cost)
+}
+
+/// The algorithm of Khan et al. \[26\]: LE lists of the exact metric of `G`
+/// computed distributedly. Returns lists and the measured Congest cost.
+pub fn khan_le_lists(g: &Graph, ranks: &Ranks) -> (Vec<LeList>, CongestCost) {
+    let init: Vec<Vec<(NodeId, Dist)>> = (0..g.n() as NodeId)
+        .map(|v| vec![(v, Dist::ZERO)])
+        .collect();
+    pipelined_le_lists(g, ranks, init, 1.0, None)
+}
+
+/// End-to-end distributed FRT sampling à la Khan et al.: LE lists by
+/// [`khan_le_lists`], then the tree via Lemma 7.2 (the tree construction
+/// is local postprocessing: every node knows its own list; `β` and the
+/// permutation seed are broadcast in `O(D(G))` extra rounds, accounted).
+pub fn khan_frt(
+    g: &Graph,
+    rng: &mut impl Rng,
+) -> (FrtTree, Arc<Ranks>, CongestCost) {
+    let ranks = Arc::new(Ranks::sample(g.n(), rng));
+    let beta = rng.gen_range(1.0..2.0);
+    let (lists, mut cost) = khan_le_lists(g, &ranks);
+    let diameter = mte_graph::algorithms::hop_diameter(g) as u64;
+    cost += CongestCost::broadcast(2, diameter, g.n() as u64); // β + seed
+    let tree = FrtTree::from_le_lists(&lists, &ranks, beta, g.min_weight());
+    (tree, ranks, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mte_core::frt::le_list::{le_lists_direct, le_lists_approx_eq};
+    use mte_graph::algorithms::shortest_path_diameter;
+    use mte_graph::generators::{gnm_graph, path_graph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn khan_matches_centralized_le_lists() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let g = gnm_graph(40, 100, 1.0..8.0, &mut rng);
+        let ranks = Arc::new(Ranks::sample(g.n(), &mut rng));
+        let (distributed, cost) = khan_le_lists(&g, &ranks);
+        let (centralized, _, _) = le_lists_direct(&g, &ranks);
+        assert!(le_lists_approx_eq(&distributed, &centralized, 1e-9));
+        assert!(cost.rounds > 0 && cost.messages > 0);
+    }
+
+    #[test]
+    fn rounds_scale_with_spd() {
+        // O(SPD log n) upper bound; on a path SPD = n − 1.
+        let g = path_graph(64, 1.0);
+        let mut rng = StdRng::seed_from_u64(92);
+        let ranks = Arc::new(Ranks::sample(g.n(), &mut rng));
+        let (_, cost) = khan_le_lists(&g, &ranks);
+        let spd = shortest_path_diameter(&g) as u64;
+        let logn = (g.n() as f64).log2().ceil() as u64;
+        assert!(cost.rounds >= spd / 2, "rounds {} suspiciously low", cost.rounds);
+        assert!(
+            cost.rounds <= 4 * spd * logn,
+            "rounds {} above O(SPD log n)",
+            cost.rounds
+        );
+    }
+
+    #[test]
+    fn hop_limit_truncates_propagation() {
+        let g = path_graph(10, 1.0);
+        let ranks = Ranks::from_order((0..10).collect());
+        let init: Vec<Vec<(NodeId, Dist)>> =
+            (0..10).map(|v| vec![(v as NodeId, Dist::ZERO)]).collect();
+        let (lists, _) = pipelined_le_lists(&g, &ranks, init, 1.0, Some(3));
+        // Node 9's list may only contain sources within 3 hops.
+        for &(w, d) in lists[9].entries() {
+            assert!(d <= Dist::new(3.0), "entry ({w},{d:?}) travelled too far");
+        }
+    }
+
+    #[test]
+    fn khan_frt_tree_dominates() {
+        let mut rng = StdRng::seed_from_u64(93);
+        let g = gnm_graph(30, 70, 1.0..6.0, &mut rng);
+        let (tree, _, _) = khan_frt(&g, &mut rng);
+        let exact = mte_graph::algorithms::apsp(&g);
+        for u in 0..g.n() as NodeId {
+            for v in 0..g.n() as NodeId {
+                assert!(tree.leaf_distance(u, v) >= exact[u as usize][v as usize].value() - 1e-9);
+            }
+        }
+    }
+}

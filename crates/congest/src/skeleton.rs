@@ -1,0 +1,328 @@
+//! Skeleton-based distributed FRT construction (Sections 8.2/8.3 of the
+//! paper, after Ghaffari & Lenzen \[22\]).
+//!
+//! When `SPD(G) ≫ √n`, running Khan et al. directly is slow. Instead:
+//!
+//! 1. sample a skeleton `S` of `Θ(√n log n)` nodes; w.h.p. every node has
+//!    a skeleton node within `ℓ = ⌈√n⌉` hops, and skeleton pairwise
+//!    distances are realized by paths with `≤ ℓ` hops between consecutive
+//!    skeleton nodes,
+//! 2. learn `ℓ`-hop-limited distances to nearby skeleton nodes
+//!    (message-level simulated, `(S, ℓ, ∞, |S|)`-source detection),
+//! 3. build the skeleton graph `G_S` (Equations (8.2)–(8.4)), sparsify it
+//!    with a Baswana–Sen `(2k−1)`-spanner, and broadcast the spanner
+//!    globally (pipelined over a BFS tree, `O(|E'_S| + D(G))` rounds),
+//! 4. locally compute skeleton LE lists (rank-ordering all of `S` before
+//!    `V∖S`, as Section 8.2 requires) and **jump-start** `ℓ` more
+//!    pipelined LE rounds on `G` with edge weights stretched by `2k−1`
+//!    (Equation (8.9)).
+//!
+//! The result embeds `G` with expected stretch `O(k log n)` while the
+//! round count scales with `√n + D(G)` instead of `SPD(G)`.
+
+use crate::cost::CongestCost;
+use crate::khan::pipelined_le_lists;
+use mte_algebra::{Dist, NodeId};
+use mte_core::frt::le_list::{le_lists_from_metric, LeList, Ranks};
+use mte_core::frt::tree::FrtTree;
+use mte_graph::algorithms::hop_diameter;
+use mte_graph::spanner::baswana_sen_spanner;
+use mte_graph::Graph;
+use rand::Rng;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Parameters of the skeleton algorithm.
+#[derive(Clone, Debug)]
+pub struct SkeletonConfig {
+    /// Hop budget `ℓ` (`None` = `⌈√n⌉`).
+    pub ell: Option<usize>,
+    /// Skeleton sampling oversampling constant `c` (probability
+    /// `min(1, c·ln n/ℓ)` per node).
+    pub oversample: f64,
+    /// Spanner parameter `k` (stretch `2k−1` on skeleton distances).
+    pub spanner_k: usize,
+}
+
+impl Default for SkeletonConfig {
+    fn default() -> Self {
+        SkeletonConfig { ell: None, oversample: 2.0, spanner_k: 2 }
+    }
+}
+
+/// Result of the skeleton-based construction.
+#[derive(Clone, Debug)]
+pub struct SkeletonResult {
+    /// The sampled FRT tree (of the skeleton-stretched metric `H`).
+    pub tree: FrtTree,
+    /// The random order (skeleton nodes rank first).
+    pub ranks: Arc<Ranks>,
+    /// The final LE lists.
+    pub le_lists: Vec<LeList>,
+    /// The skeleton nodes.
+    pub skeleton: Vec<NodeId>,
+    /// Total simulated Congest cost.
+    pub cost: CongestCost,
+}
+
+/// Message-level simulation of `(sources, ℓ, ∞, |S|)`-source detection:
+/// every node learns `dist^ℓ(v, s, G)` for every source it can see within
+/// `ℓ` hops. Returns per-node `(source, dist)` lists and the cost.
+fn pipelined_source_detection(
+    g: &Graph,
+    sources: &[NodeId],
+    ell: usize,
+) -> (Vec<Vec<(NodeId, Dist)>>, CongestCost) {
+    let n = g.n();
+    let mut dist: Vec<std::collections::HashMap<NodeId, (Dist, u32)>> =
+        vec![std::collections::HashMap::new(); n];
+    let mut queues: Vec<VecDeque<(NodeId, Dist, u32)>> = vec![VecDeque::new(); n];
+    for &s in sources {
+        dist[s as usize].insert(s, (Dist::ZERO, 0));
+        queues[s as usize].push_back((s, Dist::ZERO, 0));
+    }
+    let mut cost = CongestCost::new();
+    loop {
+        let mut outgoing: Vec<Option<(NodeId, Dist, u32)>> = Vec::with_capacity(n);
+        for v in 0..n {
+            let msg = loop {
+                match queues[v].pop_front() {
+                    None => break None,
+                    Some((s, d, h)) => {
+                        let current = dist[v].get(&s).copied();
+                        if current.map(|(cd, _)| cd) == Some(d) && (h as usize) < ell {
+                            break Some((s, d, h));
+                        }
+                    }
+                }
+            };
+            outgoing.push(msg);
+        }
+        if outgoing.iter().all(Option::is_none) {
+            break;
+        }
+        cost.rounds += 1;
+        let mut inbox: Vec<Vec<(NodeId, Dist, u32)>> = vec![Vec::new(); n];
+        for v in 0..n as NodeId {
+            if let Some((s, d, h)) = outgoing[v as usize] {
+                for &(u, ew) in g.neighbors(v) {
+                    cost.messages += 1;
+                    inbox[u as usize].push((s, d + Dist::new(ew), h + 1));
+                }
+            }
+        }
+        for v in 0..n {
+            for &(s, d, h) in &inbox[v] {
+                let better = match dist[v].get(&s) {
+                    None => true,
+                    Some(&(cd, ch)) => d < cd || (d == cd && h < ch),
+                };
+                if better {
+                    dist[v].insert(s, (d, h));
+                    queues[v].push_back((s, d, h));
+                }
+            }
+        }
+    }
+    let lists = dist
+        .into_iter()
+        .map(|m| {
+            let mut v: Vec<(NodeId, Dist)> = m.into_iter().map(|(s, (d, _))| (s, d)).collect();
+            v.sort_unstable_by_key(|&(s, d)| (d, s));
+            v
+        })
+        .collect();
+    (lists, cost)
+}
+
+/// Runs the full skeleton-based distributed FRT construction.
+pub fn skeleton_frt(g: &Graph, config: &SkeletonConfig, rng: &mut impl Rng) -> SkeletonResult {
+    let n = g.n();
+    let ell = config.ell.unwrap_or_else(|| (n as f64).sqrt().ceil() as usize).max(1);
+    let diameter = hop_diameter(g) as u64;
+    let mut cost = CongestCost::new();
+
+    // (1) Sample the skeleton; O(D(G)) rounds to agree on randomness.
+    let p = (config.oversample * (n.max(2) as f64).ln() / ell as f64).min(1.0);
+    let mut skeleton: Vec<NodeId> = (0..n as NodeId).filter(|_| rng.gen_bool(p)).collect();
+    if skeleton.is_empty() {
+        skeleton.push(rng.gen_range(0..n) as NodeId);
+    }
+    cost += CongestCost::broadcast(2, diameter, n as u64);
+
+    // Rank all skeleton nodes before all non-skeleton nodes (Section 8.2).
+    let mut order: Vec<NodeId> = skeleton.clone();
+    {
+        use rand::seq::SliceRandom;
+        order.shuffle(rng);
+        let mut rest: Vec<NodeId> = (0..n as NodeId)
+            .filter(|v| !skeleton.contains(v))
+            .collect();
+        rest.shuffle(rng);
+        order.extend(rest);
+    }
+    let ranks = Arc::new(Ranks::from_order(order));
+
+    // (2) ℓ-hop source detection from the skeleton.
+    let (source_lists, sd_cost) = pipelined_source_detection(g, &skeleton, ell);
+    cost += sd_cost;
+
+    // (3) Skeleton graph from the ℓ-hop distances known at skeleton
+    // nodes; sparsified and broadcast.
+    let mut skel_index = vec![usize::MAX; n];
+    for (i, &s) in skeleton.iter().enumerate() {
+        skel_index[s as usize] = i;
+    }
+    let mut skel_edges = Vec::new();
+    for &s in &skeleton {
+        for &(t, d) in &source_lists[s as usize] {
+            if t != s && skel_index[t as usize] != usize::MAX && s < t {
+                skel_edges.push((
+                    skel_index[s as usize] as NodeId,
+                    skel_index[t as usize] as NodeId,
+                    d.value(),
+                ));
+            }
+        }
+    }
+    let skel_graph = Graph::from_edges(skeleton.len(), skel_edges);
+    let spanner = baswana_sen_spanner(&skel_graph, config.spanner_k, rng);
+    cost += CongestCost::broadcast(spanner.m() as u64, diameter, n as u64);
+
+    // (4) Locally: skeleton LE lists from the spanner metric. The
+    // skeleton-internal ranks must mirror the global order's prefix.
+    let skel_dist = mte_graph::algorithms::apsp(&spanner);
+    let mut skel_order: Vec<NodeId> = (0..skeleton.len() as NodeId).collect();
+    skel_order.sort_unstable_by_key(|&i| ranks.rank(skeleton[i as usize]));
+    let skel_ranks = Ranks::from_order(skel_order);
+    let (skel_le, _) = le_lists_from_metric(&skel_dist, &skel_ranks);
+
+    // …then jump-start: skeleton nodes start from their skeleton LE lists
+    // (translated back to global ids), everyone else from {(v, 0)}.
+    let stretch = (2 * config.spanner_k - 1) as f64;
+    let init: Vec<Vec<(NodeId, Dist)>> = (0..n as NodeId)
+        .map(|v| {
+            if skel_index[v as usize] != usize::MAX {
+                let mut entries: Vec<(NodeId, Dist)> = skel_le[skel_index[v as usize]]
+                    .entries()
+                    .iter()
+                    .map(|&(si, d)| (skeleton[si as usize], d))
+                    .collect();
+                entries.push((v, Dist::ZERO));
+                entries
+            } else {
+                vec![(v, Dist::ZERO)]
+            }
+        })
+        .collect();
+    let (mut le_lists, le_cost) = pipelined_le_lists(g, &ranks, init, stretch, Some(ell));
+    cost += le_cost;
+
+    // Recovery phase: w.h.p. every node already holds the global
+    // minimum-rank node (a skeleton node whose entries traverse every
+    // ℓ-hop neighbourhood). In the unlucky event of a skeleton gap wider
+    // than ℓ hops, some node misses it and the tree construction would
+    // fail; re-running the pipelined propagation without a hop limit
+    // from the current lists repairs this, at its exact extra round
+    // cost. (The w.h.p. analysis makes this a no-op in the common case.)
+    let min_rank_node = ranks.min_rank_node();
+    if le_lists
+        .iter()
+        .any(|l| l.entries().last().map(|&(w, _)| w) != Some(min_rank_node))
+    {
+        let resume: Vec<Vec<(NodeId, Dist)>> =
+            le_lists.iter().map(|l| l.entries().to_vec()).collect();
+        let (repaired, repair_cost) = pipelined_le_lists(g, &ranks, resume, stretch, None);
+        le_lists = repaired;
+        cost += repair_cost;
+    }
+
+    let beta = rng.gen_range(1.0..2.0);
+    let tree = FrtTree::from_le_lists(&le_lists, &ranks, beta, g.min_weight());
+    SkeletonResult { tree, ranks, le_lists, skeleton, cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mte_graph::algorithms::apsp;
+    use mte_graph::generators::gnm_graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn skeleton_tree_dominates_graph_distances() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let g = gnm_graph(60, 140, 1.0..6.0, &mut rng);
+        let res = skeleton_frt(&g, &SkeletonConfig::default(), &mut rng);
+        let exact = apsp(&g);
+        for u in 0..g.n() as NodeId {
+            for v in 0..g.n() as NodeId {
+                let dt = res.tree.leaf_distance(u, v);
+                let dg = exact[u as usize][v as usize].value();
+                assert!(dt >= dg - 1e-9, "dominance violated ({u},{v}): {dt} < {dg}");
+            }
+        }
+    }
+
+    #[test]
+    fn skeleton_ranks_come_first() {
+        let mut rng = StdRng::seed_from_u64(102);
+        let g = gnm_graph(50, 110, 1.0..5.0, &mut rng);
+        let res = skeleton_frt(&g, &SkeletonConfig::default(), &mut rng);
+        let max_skel_rank = res
+            .skeleton
+            .iter()
+            .map(|&s| res.ranks.rank(s))
+            .max()
+            .unwrap();
+        assert!((max_skel_rank as usize) < res.skeleton.len());
+    }
+
+    #[test]
+    fn skeleton_beats_khan_on_large_spd_graphs() {
+        // Theorem 8.1's regime: D(G) ≪ √n ≪ SPD(G). The highway graph
+        // has D = 2 and SPD = n − 1, so Khan et al. pay Θ(SPD) rounds
+        // while the skeleton algorithm pays Õ(√n + D).
+        let mut rng = StdRng::seed_from_u64(103);
+        let g = mte_graph::generators::highway_graph(2500, 1e5);
+        let ranks = Arc::new(Ranks::sample(g.n(), &mut rng));
+        let (_, khan_cost) = crate::khan::khan_le_lists(&g, &ranks);
+        let config = SkeletonConfig { ell: Some(250), oversample: 1.0, spanner_k: 3 };
+        let res = skeleton_frt(&g, &config, &mut rng);
+        assert!(
+            res.cost.rounds < khan_cost.rounds,
+            "skeleton {} rounds vs khan {}",
+            res.cost.rounds,
+            khan_cost.rounds
+        );
+        // And the output is still a valid dominating embedding.
+        let sp0 = mte_graph::algorithms::sssp(&g, 0);
+        for v in 0..g.n() as NodeId {
+            assert!(res.tree.leaf_distance(0, v) >= sp0.dist(v).value() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn average_stretch_stays_moderate() {
+        let mut rng = StdRng::seed_from_u64(104);
+        let g = gnm_graph(40, 90, 1.0..8.0, &mut rng);
+        let exact = apsp(&g);
+        let trials = 5;
+        let mut total = 0.0;
+        let mut count = 0;
+        for t in 0..trials {
+            let mut trng = StdRng::seed_from_u64(200 + t);
+            let res = skeleton_frt(&g, &SkeletonConfig::default(), &mut trng);
+            for u in 0..g.n() as NodeId {
+                for v in (u + 1)..g.n() as NodeId {
+                    total += res.tree.leaf_distance(u, v) / exact[u as usize][v as usize].value();
+                    count += 1;
+                }
+            }
+        }
+        let avg = total / count as f64;
+        // O(k log n) with k = 2: generous bound.
+        assert!(avg < 12.0 * (g.n() as f64).log2(), "avg stretch {avg}");
+    }
+}

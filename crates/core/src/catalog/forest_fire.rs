@@ -1,0 +1,108 @@
+//! Forest-fire detection (Example 3.7): every node learns whether some
+//! burning node lies within distance `d` — in an anonymous network, since
+//! states carry no node ids.
+
+use crate::engine::MbfAlgorithm;
+use mte_algebra::{Dist, Filter, MinPlus, NodeId};
+
+/// The forest-fire MBF-like algorithm: `S = M = S_{min,+}`, the filter of
+/// Equation (3.5) drops distances beyond `d`, and burning nodes start
+/// at 0.
+#[derive(Clone, Debug)]
+pub struct ForestFire {
+    burning: Vec<bool>,
+    max_dist: Dist,
+}
+
+impl ForestFire {
+    /// `on_fire` lists the burning nodes; `max_dist` is the alert radius.
+    pub fn new(n: usize, on_fire: &[NodeId], max_dist: Dist) -> Self {
+        let mut burning = vec![false; n];
+        for &v in on_fire {
+            burning[v as usize] = true;
+        }
+        ForestFire { burning, max_dist }
+    }
+
+    fn project(&self, x: &mut MinPlus) {
+        if x.0 > self.max_dist {
+            *x = MinPlus(Dist::INF);
+        }
+    }
+}
+
+impl MbfAlgorithm for ForestFire {
+    type S = MinPlus;
+    type M = MinPlus;
+
+    #[inline]
+    fn edge_coeff(&self, _v: NodeId, _w: NodeId, weight: f64) -> MinPlus {
+        MinPlus::new(weight)
+    }
+
+    fn filter(&self, x: &mut MinPlus) {
+        self.project(x);
+    }
+
+    fn init(&self, v: NodeId) -> MinPlus {
+        if self.burning[v as usize] {
+            MinPlus(Dist::ZERO)
+        } else {
+            MinPlus(Dist::INF)
+        }
+    }
+}
+
+/// The threshold filter of Equation (3.5) as a standalone [`Filter`] for
+/// congruence property tests.
+#[derive(Clone, Debug)]
+pub struct ThresholdFilter(pub Dist);
+
+impl Filter<MinPlus, MinPlus> for ThresholdFilter {
+    fn apply(&self, x: &mut MinPlus) {
+        if x.0 > self.0 {
+            *x = MinPlus(Dist::INF);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_to_fixpoint;
+    use mte_graph::algorithms::sssp;
+    use mte_graph::generators::gnm_graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn detects_fires_within_radius_only() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = gnm_graph(40, 90, 1.0..4.0, &mut rng);
+        let fires = [3 as NodeId, 17];
+        let radius = Dist::new(6.0);
+        let alg = ForestFire::new(g.n(), &fires, radius);
+        let res = run_to_fixpoint(&alg, &g, g.n() + 1);
+
+        let d3 = sssp(&g, 3);
+        let d17 = sssp(&g, 17);
+        for v in 0..g.n() as NodeId {
+            let true_dist = d3.dist(v).min(d17.dist(v));
+            let got = res.states[v as usize].0;
+            if true_dist <= radius {
+                assert_eq!(got, true_dist, "node {v} should see the fire");
+            } else {
+                assert_eq!(got, Dist::INF, "node {v} should not be alerted");
+            }
+        }
+    }
+
+    #[test]
+    fn no_fires_no_alerts() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = gnm_graph(10, 20, 1.0..2.0, &mut rng);
+        let alg = ForestFire::new(g.n(), &[], Dist::new(100.0));
+        let res = run_to_fixpoint(&alg, &g, g.n() + 1);
+        assert!(res.states.iter().all(|x| x.0 == Dist::INF));
+    }
+}

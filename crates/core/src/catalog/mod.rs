@@ -1,0 +1,27 @@
+//! The catalog of MBF-like algorithms from Section 3 of the paper.
+//!
+//! Each example is expressed through the [`crate::engine::MbfAlgorithm`]
+//! trait by choosing a semiring, a semimodule, a representative projection
+//! and initial values — exactly the recipe the paper's conclusion spells
+//! out:
+//!
+//! | Example | Problem | Semiring | Semimodule | module |
+//! |---------|---------|----------|------------|--------|
+//! | 3.2 | source detection | `S_{min,+}` | `D` | [`source_detection`] |
+//! | 3.3–3.6 | SSSP, k-SSP, APSP, MSSP | `S_{min,+}` | `D` | [`source_detection`] |
+//! | 3.7 | forest fires | `S_{min,+}` | `S_{min,+}` | [`forest_fire`] |
+//! | 3.13–3.15 | SSWP, APWP, MSWP | `S_{max,min}` | `W` | [`widest`] |
+//! | 3.23/3.24 | k-SDP / k-DSDP | `P_{min,+}` | `P_{min,+}` | [`ksdp`] |
+//! | 3.25 | connectivity | `B` | `B^V` | [`connectivity`] |
+
+pub mod connectivity;
+pub mod forest_fire;
+pub mod ksdp;
+pub mod source_detection;
+pub mod widest;
+
+pub use connectivity::Connectivity;
+pub use forest_fire::ForestFire;
+pub use ksdp::KShortestDistances;
+pub use source_detection::SourceDetection;
+pub use widest::WidestPaths;

@@ -1,0 +1,235 @@
+//! The MBF-like iteration engine (paper Sections 2.3–2.4).
+//!
+//! An MBF-like algorithm `A` (Definition 2.11) is given by a semiring `S`,
+//! a zero-preserving semimodule `M` over `S`, a congruence relation with
+//! representative projection `r`, and initial values `x⁽⁰⁾ ∈ M^V`. One
+//! iteration computes `x⁽ⁱ⁺¹⁾ = r^V A x⁽ⁱ⁾`: **propagate** each node's
+//! state over its incident edges (`⊙` with the adjacency coefficient),
+//! **aggregate** incoming states (`⊕`), **filter** with `r`. By
+//! Corollary 2.17 the interleaved filtering never changes the output
+//! class, so `h` iterations compute `r^V A^h x⁽⁰⁾`.
+//!
+//! The engine parallelizes each iteration over destination vertices with
+//! rayon — the "implicit parallelism of the MBF algorithm" the paper
+//! leverages (cf. its comparison with Mohri's inherently sequential
+//! framework).
+
+use crate::work::WorkStats;
+use mte_algebra::{Filter, NodeId, Semimodule, Semiring};
+use mte_graph::Graph;
+use rayon::prelude::*;
+
+/// An MBF-like algorithm (Definition 2.11): the semiring, semimodule,
+/// adjacency coefficients, filter, and initialization.
+pub trait MbfAlgorithm: Send + Sync {
+    /// The semiring `S` whose elements weight the edges.
+    type S: Semiring;
+    /// The node-state semimodule `M` over `S`.
+    type M: Semimodule<Self::S>;
+
+    /// Adjacency coefficient `a_vw` for the edge `{v, w}` of weight
+    /// `weight`, used when propagating `w`'s state to `v`. The diagonal is
+    /// always the semiring one (cf. Equations (1.4), (3.9), (3.18),
+    /// (3.28)) and is applied by the engine.
+    fn edge_coeff(&self, v: NodeId, w: NodeId, weight: f64) -> Self::S;
+
+    /// The representative projection `r`, applied component-wise.
+    fn filter(&self, x: &mut Self::M);
+
+    /// Initial state `x⁽⁰⁾_v`.
+    fn init(&self, v: NodeId) -> Self::M;
+
+    /// Fused `acc ← acc ⊕ (coeff ⊙ state)`. Override to avoid
+    /// materializing the scaled intermediate (the hot path of every
+    /// iteration).
+    fn propagate_into(&self, acc: &mut Self::M, state: &Self::M, coeff: &Self::S) {
+        acc.add_assign(&state.scale(coeff));
+    }
+
+    /// Size of a state's sparse representation (the paper's `|x|`),
+    /// used for work accounting. Defaults to 1 for constant-size states.
+    fn state_size(&self, _x: &Self::M) -> usize {
+        1
+    }
+}
+
+/// Result of running an MBF-like algorithm: final states and work tally.
+#[derive(Clone, Debug)]
+pub struct MbfRun<M> {
+    /// Final state vector `x⁽ʰ⁾ = r^V A^h x⁽⁰⁾`, indexed by node.
+    pub states: Vec<M>,
+    /// Number of iterations actually executed.
+    pub iterations: usize,
+    /// Whether a fixpoint (`x⁽ⁱ⁺¹⁾ = x⁽ⁱ⁾`) was reached.
+    pub fixpoint: bool,
+    /// Work accounting.
+    pub work: WorkStats,
+}
+
+/// The initial state vector `r^V x⁽⁰⁾`.
+pub fn initial_states<A: MbfAlgorithm>(alg: &A, n: usize) -> Vec<A::M> {
+    (0..n as NodeId)
+        .into_par_iter()
+        .map(|v| {
+            let mut x = alg.init(v);
+            alg.filter(&mut x);
+            x
+        })
+        .collect()
+}
+
+/// One MBF-like iteration `x ← r^V A x` on `g`, with all edge weights
+/// multiplied by `weight_scale` (the oracle's `A_λ`, Lemma 5.1, scales the
+/// adjacency matrix of `G'` level by level). Returns the new states and
+/// the work spent.
+pub fn iterate_scaled<A: MbfAlgorithm>(
+    alg: &A,
+    g: &Graph,
+    x: &[A::M],
+    weight_scale: f64,
+) -> (Vec<A::M>, WorkStats) {
+    debug_assert_eq!(g.n(), x.len());
+    let results: Vec<(A::M, u64, u64)> = (0..g.n() as NodeId)
+        .into_par_iter()
+        .map(|v| {
+            // a_vv = 1: keep the node's own state.
+            let mut acc = x[v as usize].clone();
+            let mut entries = alg.state_size(&acc) as u64;
+            let mut relaxations = 0u64;
+            for &(w, ew) in g.neighbors(v) {
+                let coeff = alg.edge_coeff(v, w, ew * weight_scale);
+                alg.propagate_into(&mut acc, &x[w as usize], &coeff);
+                entries += alg.state_size(&x[w as usize]) as u64;
+                relaxations += 1;
+            }
+            alg.filter(&mut acc);
+            (acc, entries, relaxations)
+        })
+        .collect();
+
+    let mut states = Vec::with_capacity(results.len());
+    let mut work = WorkStats { iterations: 1, ..WorkStats::default() };
+    for (s, e, r) in results {
+        work.entries_processed += e;
+        work.edge_relaxations += r;
+        states.push(s);
+    }
+    (states, work)
+}
+
+/// One MBF-like iteration `x ← r^V A x` on `g`.
+pub fn iterate<A: MbfAlgorithm>(alg: &A, g: &Graph, x: &[A::M]) -> (Vec<A::M>, WorkStats) {
+    iterate_scaled(alg, g, x, 1.0)
+}
+
+/// Runs exactly `h` iterations: `A^h(G) = r^V A^h x⁽⁰⁾` (Equation (2.17)).
+pub fn run<A: MbfAlgorithm>(alg: &A, g: &Graph, h: usize) -> MbfRun<A::M> {
+    let mut states = initial_states(alg, g.n());
+    let mut work = WorkStats::new();
+    for _ in 0..h {
+        let (next, w) = iterate(alg, g, &states);
+        work += w;
+        states = next;
+    }
+    MbfRun { states, iterations: h, fixpoint: false, work }
+}
+
+/// Iterates until the fixpoint `x⁽ⁱ⁺¹⁾ = x⁽ⁱ⁾`, reached after at most
+/// `SPD(G) < n` iterations (Definition 2.11), or until `cap` iterations.
+pub fn run_to_fixpoint<A: MbfAlgorithm>(alg: &A, g: &Graph, cap: usize) -> MbfRun<A::M>
+where
+    A::M: PartialEq,
+{
+    let mut states = initial_states(alg, g.n());
+    let mut work = WorkStats::new();
+    let mut iterations = 0;
+    let mut fixpoint = false;
+    while iterations < cap {
+        let (next, w) = iterate(alg, g, &states);
+        work += w;
+        iterations += 1;
+        if next == states {
+            fixpoint = true;
+            break;
+        }
+        states = next;
+    }
+    MbfRun { states, iterations, fixpoint, work }
+}
+
+/// Applies a [`Filter`] component-wise to a state vector: the paper's
+/// `r^V` (Definition 2.9). Exposed for the oracle, which interleaves
+/// filters with projections between iterations.
+pub fn filter_states<S, M, F>(filter: &F, states: &mut [M])
+where
+    S: Semiring,
+    M: Semimodule<S>,
+    F: Filter<S, M> + Sync,
+{
+    states.par_iter_mut().for_each(|x| filter.apply(x));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mte_algebra::{Dist, MinPlus};
+    use mte_graph::generators::path_graph;
+
+    /// Plain single-source MBF: S = M = S_{min,+}, r = id (Example 3.3).
+    struct PlainSssp {
+        source: NodeId,
+    }
+
+    impl MbfAlgorithm for PlainSssp {
+        type S = MinPlus;
+        type M = MinPlus;
+
+        fn edge_coeff(&self, _v: NodeId, _w: NodeId, weight: f64) -> MinPlus {
+            MinPlus::new(weight)
+        }
+
+        fn filter(&self, _x: &mut MinPlus) {}
+
+        fn init(&self, v: NodeId) -> MinPlus {
+            if v == self.source {
+                MinPlus(Dist::ZERO)
+            } else {
+                MinPlus(Dist::INF)
+            }
+        }
+    }
+
+    #[test]
+    fn h_iterations_compute_h_hop_distances() {
+        // Path 0-1-2-3-4: after h iterations node v knows dist iff v ≤ h.
+        let g = path_graph(5, 2.0);
+        let alg = PlainSssp { source: 0 };
+        let run2 = run(&alg, &g, 2);
+        assert_eq!(run2.states[2], MinPlus::new(4.0));
+        assert_eq!(run2.states[3], MinPlus(Dist::INF));
+        let full = run_to_fixpoint(&alg, &g, 100);
+        assert!(full.fixpoint);
+        // SPD(path of 5 nodes) = 4, plus one confirming iteration.
+        assert_eq!(full.iterations, 5);
+        assert_eq!(full.states[4], MinPlus::new(8.0));
+    }
+
+    #[test]
+    fn work_is_counted() {
+        let g = path_graph(4, 1.0);
+        let alg = PlainSssp { source: 0 };
+        let r = run(&alg, &g, 3);
+        assert_eq!(r.work.iterations, 3);
+        // 2m relaxations per iteration.
+        assert_eq!(r.work.edge_relaxations, 3 * 2 * g.m() as u64);
+    }
+
+    #[test]
+    fn scaled_iteration_scales_weights() {
+        let g = path_graph(3, 1.0);
+        let alg = PlainSssp { source: 0 };
+        let x = initial_states(&alg, g.n());
+        let (y, _) = iterate_scaled(&alg, &g, &x, 3.0);
+        assert_eq!(y[1], MinPlus::new(3.0));
+    }
+}

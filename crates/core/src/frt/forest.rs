@@ -1,0 +1,169 @@
+//! Amplification by repetition (paper Section 1): the FRT guarantee is
+//! *in expectation*; "repeating the process log(ε⁻¹) times and taking the
+//! best result, one obtains an O(log n)-approximation with probability at
+//! least 1 − ε". [`FrtForest`] manages such a collection of independent
+//! samples and the statistics applications use to pick among them.
+
+use crate::frt::baseline::{sample_direct, BaselineSample};
+use crate::frt::le_list::Ranks;
+use crate::frt::tree::FrtTree;
+use crate::frt::{FrtConfig, FrtEmbedding};
+use crate::simgraph::SimulatedGraph;
+use mte_algebra::NodeId;
+use mte_graph::Graph;
+use rand::Rng;
+use std::sync::Arc;
+
+/// A collection of independently sampled FRT trees over the same graph.
+pub struct FrtForest {
+    trees: Vec<FrtTree>,
+    ranks: Vec<Arc<Ranks>>,
+}
+
+impl FrtForest {
+    /// Samples `count` trees through the full oracle pipeline, amortizing
+    /// the hop-set construction: the simulated graph is built once, only
+    /// the cheap randomness (permutation, β) varies per tree. (Levels are
+    /// resampled too, as the paper's distribution requires fresh
+    /// randomness per sample — `H` depends on levels, so we rebuild the
+    /// level assignment by resampling the simulated graph's levels via a
+    /// fresh `SimulatedGraph` carrying the same augmented graph.)
+    pub fn sample_pipeline(
+        g: &Graph,
+        config: &FrtConfig,
+        count: usize,
+        rng: &mut impl Rng,
+    ) -> FrtForest {
+        assert!(count >= 1);
+        // Build the (expensive, randomness-independent-downstream) hop
+        // set once.
+        let base_sim = SimulatedGraph::build(g, &config.hopset, config.eps_hat, rng);
+        let aug = base_sim.augmented().clone();
+        let mut trees = Vec::with_capacity(count);
+        let mut ranks = Vec::with_capacity(count);
+        for _ in 0..count {
+            let levels = crate::simgraph::LevelAssignment::sample(g.n(), rng);
+            let sim = SimulatedGraph::with_levels(&aug, base_sim.d(), config.eps_hat, levels);
+            let emb = FrtEmbedding::sample_on(&sim, config, rng);
+            ranks.push(Arc::new(emb.ranks().clone()));
+            trees.push(emb.tree().clone());
+        }
+        FrtForest { trees, ranks }
+    }
+
+    /// Samples `count` trees of the exact metric (direct iteration).
+    pub fn sample_exact(g: &Graph, count: usize, rng: &mut impl Rng) -> FrtForest {
+        assert!(count >= 1);
+        let samples: Vec<BaselineSample> = (0..count).map(|_| sample_direct(g, rng)).collect();
+        FrtForest {
+            ranks: samples.iter().map(|s| Arc::clone(&s.ranks)).collect(),
+            trees: samples.into_iter().map(|s| s.tree).collect(),
+        }
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// `true` iff the forest is empty (never happens via the samplers).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// The sampled trees.
+    pub fn trees(&self) -> &[FrtTree] {
+        &self.trees
+    }
+
+    /// The random order used by tree `i`.
+    pub fn ranks(&self, i: usize) -> &Ranks {
+        &self.ranks[i]
+    }
+
+    /// Mean embedded distance over the forest — an estimator of the
+    /// expected tree distance `E_T[dist(u, v, T)]` (Definition 7.1).
+    pub fn mean_distance(&self, u: NodeId, v: NodeId) -> f64 {
+        self.trees.iter().map(|t| t.leaf_distance(u, v)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Index of the tree minimizing an application-supplied objective —
+    /// the "take the best result" amplification step.
+    pub fn best_by<F: FnMut(&FrtTree) -> f64>(&self, mut objective: F) -> usize {
+        let mut best = 0;
+        let mut best_val = f64::INFINITY;
+        for (i, t) in self.trees.iter().enumerate() {
+            let val = objective(t);
+            if val < best_val {
+                best_val = val;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mte_graph::algorithms::apsp;
+    use mte_graph::generators::gnm_graph;
+    use mte_graph::hopset::HopsetConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forest_mean_distance_estimates_expected_stretch() {
+        let mut rng = StdRng::seed_from_u64(501);
+        let g = gnm_graph(40, 100, 1.0..10.0, &mut rng);
+        let exact = apsp(&g);
+        let forest = FrtForest::sample_exact(&g, 16, &mut rng);
+        assert_eq!(forest.len(), 16);
+        let mut worst: f64 = 0.0;
+        for u in 0..g.n() as NodeId {
+            for v in (u + 1)..g.n() as NodeId {
+                let mean = forest.mean_distance(u, v);
+                let dg = exact[u as usize][v as usize].value();
+                assert!(mean >= dg - 1e-9, "dominance in every tree");
+                worst = worst.max(mean / dg);
+            }
+        }
+        // Expected stretch O(log n); 16 samples tame the variance.
+        assert!(worst <= 10.0 * (g.n() as f64).log2(), "worst mean stretch {worst}");
+    }
+
+    #[test]
+    fn best_by_picks_the_minimizer() {
+        let mut rng = StdRng::seed_from_u64(502);
+        let g = gnm_graph(25, 60, 1.0..5.0, &mut rng);
+        let forest = FrtForest::sample_exact(&g, 5, &mut rng);
+        let obj = |t: &FrtTree| t.leaf_distance(0, 20);
+        let best = forest.best_by(obj);
+        let val = obj(&forest.trees()[best]);
+        for t in forest.trees() {
+            assert!(val <= obj(t) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn pipeline_forest_amortizes_hopset() {
+        let mut rng = StdRng::seed_from_u64(503);
+        let g = gnm_graph(36, 90, 1.0..8.0, &mut rng);
+        let config = FrtConfig {
+            hopset: HopsetConfig { d: 7, epsilon: 0.0, oversample: 3.0 },
+            eps_hat: 0.05,
+            spanner_k: None,
+            max_iterations: None,
+        };
+        let forest = FrtForest::sample_pipeline(&g, &config, 3, &mut rng);
+        assert_eq!(forest.len(), 3);
+        let exact = apsp(&g);
+        for t in forest.trees() {
+            for u in 0..g.n() as NodeId {
+                for v in 0..g.n() as NodeId {
+                    assert!(t.leaf_distance(u, v) >= exact[u as usize][v as usize].value() - 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! Least-Element (LE) lists (Section 7.1/7.2 of the paper; first
+//! introduced by Cohen \[12, 14\]).
+//!
+//! Fix a uniformly random order (here: a random permutation rank) on `V`.
+//! The LE list of `v` keeps, from `{(dist(v, w), w) | w ∈ V}`, exactly the
+//! pairs not *dominated* — `(d', w')` dominates `(d, w)` iff `w' < w` and
+//! `d' ≤ d`. Equivalently: for every radius `r`, the list can answer
+//! "which is the smallest node within distance `r` of `v`?" — all an FRT
+//! tree needs.
+//!
+//! Computing all LE lists is MBF-like (Definition 7.3, Lemma 7.5):
+//! `S = S_{min,+}`, `M = D`, `r` = LE-domination filter, `x⁽⁰⁾_v = {v↦0}`.
+//! Lemma 7.6 bounds every intermediate filtered list by `O(log n)` w.h.p.,
+//! which is what makes each iteration cheap (Lemma 7.8).
+
+use crate::engine::{run_to_fixpoint, MbfAlgorithm};
+use crate::oracle::{default_iteration_cap, oracle_run_to_fixpoint};
+use crate::simgraph::SimulatedGraph;
+use crate::work::WorkStats;
+use mte_algebra::{Dist, DistanceMap, Filter, MinPlus, NodeId};
+use mte_graph::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::sync::Arc;
+
+/// A uniformly random total order on the nodes: `rank[v]` is `v`'s
+/// position in a random permutation; *lower rank = smaller node* in the
+/// paper's `v < w` notation.
+#[derive(Clone, Debug)]
+pub struct Ranks {
+    rank: Vec<u32>,
+    order: Vec<NodeId>,
+}
+
+impl Ranks {
+    /// Samples a uniform permutation of `n` nodes.
+    pub fn sample(n: usize, rng: &mut impl Rng) -> Ranks {
+        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+        order.shuffle(rng);
+        let mut rank = vec![0u32; n];
+        for (r, &v) in order.iter().enumerate() {
+            rank[v as usize] = r as u32;
+        }
+        Ranks { rank, order }
+    }
+
+    /// A fixed order (for tests): `order[i]` is the node with rank `i`.
+    pub fn from_order(order: Vec<NodeId>) -> Ranks {
+        let mut rank = vec![0u32; order.len()];
+        for (r, &v) in order.iter().enumerate() {
+            rank[v as usize] = r as u32;
+        }
+        Ranks { rank, order }
+    }
+
+    /// The rank of node `v`.
+    #[inline]
+    pub fn rank(&self, v: NodeId) -> u32 {
+        self.rank[v as usize]
+    }
+
+    /// The node of minimum rank (the globally "smallest" node).
+    #[inline]
+    pub fn min_rank_node(&self) -> NodeId {
+        self.order[0]
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.rank.len()
+    }
+}
+
+/// Core LE filtering: keep only non-dominated entries. Returns entries
+/// sorted by ascending distance (hence strictly decreasing rank).
+pub fn le_filter_entries(entries: &[(NodeId, Dist)], ranks: &Ranks) -> Vec<(NodeId, Dist)> {
+    let mut sorted = entries.to_vec();
+    sorted.sort_unstable_by_key(|&(v, d)| (d, ranks.rank(v)));
+    let mut kept = Vec::new();
+    let mut best_rank = u32::MAX;
+    for (v, d) in sorted {
+        let r = ranks.rank(v);
+        if r < best_rank {
+            kept.push((v, d));
+            best_rank = r;
+        }
+    }
+    kept
+}
+
+/// The LE representative projection of Definition 7.3 (Equation (7.3)):
+/// `r(x)_w = ∞` iff some `w' < w` has `x_{w'} ≤ x_w`.
+#[derive(Clone, Debug)]
+pub struct LeFilter {
+    ranks: Arc<Ranks>,
+}
+
+impl LeFilter {
+    /// Filter w.r.t. the given random order.
+    pub fn new(ranks: Arc<Ranks>) -> Self {
+        LeFilter { ranks }
+    }
+}
+
+impl Filter<MinPlus, DistanceMap> for LeFilter {
+    fn apply(&self, x: &mut DistanceMap) {
+        if x.len() <= 1 {
+            return;
+        }
+        let kept = le_filter_entries(x.entries(), &self.ranks);
+        *x = DistanceMap::from_entries(kept);
+    }
+}
+
+/// The LE-list MBF-like algorithm (Definition 7.3).
+#[derive(Clone, Debug)]
+pub struct LeListAlgorithm {
+    ranks: Arc<Ranks>,
+}
+
+impl LeListAlgorithm {
+    /// LE lists w.r.t. the given random order.
+    pub fn new(ranks: Arc<Ranks>) -> Self {
+        LeListAlgorithm { ranks }
+    }
+}
+
+impl MbfAlgorithm for LeListAlgorithm {
+    type S = MinPlus;
+    type M = DistanceMap;
+
+    #[inline]
+    fn edge_coeff(&self, _v: NodeId, _w: NodeId, weight: f64) -> MinPlus {
+        MinPlus::new(weight)
+    }
+
+    fn filter(&self, x: &mut DistanceMap) {
+        if x.len() <= 1 {
+            return;
+        }
+        let kept = le_filter_entries(x.entries(), &self.ranks);
+        *x = DistanceMap::from_entries(kept);
+    }
+
+    /// Equation (7.5): `x⁽⁰⁾_{vv} = 0`, `∞` elsewhere.
+    fn init(&self, v: NodeId) -> DistanceMap {
+        DistanceMap::singleton(v, Dist::ZERO)
+    }
+
+    #[inline]
+    fn propagate_into(&self, acc: &mut DistanceMap, state: &DistanceMap, coeff: &MinPlus) {
+        acc.merge_scaled(state, coeff.0);
+    }
+
+    #[inline]
+    fn state_size(&self, x: &DistanceMap) -> usize {
+        x.len().max(1)
+    }
+}
+
+/// A finished LE list: entries `(node, dist)` sorted by ascending
+/// distance with strictly decreasing rank. The first entry is always
+/// `(v, 0)` for the owner `v`; the last is the globally minimum-rank node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LeList {
+    entries: Vec<(NodeId, Dist)>,
+}
+
+impl LeList {
+    /// Builds a list from a (filtered) distance map.
+    pub fn from_distance_map(x: &DistanceMap, ranks: &Ranks) -> LeList {
+        LeList { entries: le_filter_entries(x.entries(), ranks) }
+    }
+
+    /// Wraps entries that are already LE-filtered and sorted by ascending
+    /// distance (callers that maintain the invariant themselves, e.g. the
+    /// Congest simulator).
+    pub fn from_entries_sorted(entries: Vec<(NodeId, Dist)>) -> LeList {
+        debug_assert!(entries.windows(2).all(|w| w[0].1 <= w[1].1));
+        LeList { entries }
+    }
+
+    /// Entries sorted by ascending distance.
+    #[inline]
+    pub fn entries(&self) -> &[(NodeId, Dist)] {
+        &self.entries
+    }
+
+    /// List length (`O(log n)` w.h.p. by Lemma 7.6).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff empty (only possible for an empty graph).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The minimum-rank node within distance `radius` of the owner —
+    /// the `v_i = min{w | dist(v, w) ≤ β2^i}` query of the FRT
+    /// construction (Section 7.1, step (4)). Returns `None` if the ball is
+    /// empty (radius below 0 never happens: the owner sits at distance 0).
+    pub fn min_node_within(&self, radius: Dist) -> Option<NodeId> {
+        // Entries are distance-ascending with decreasing rank, so the
+        // answer is the *last* entry with dist ≤ radius.
+        let idx = self.entries.partition_point(|&(_, d)| d <= radius);
+        idx.checked_sub(1).map(|i| self.entries[i].0)
+    }
+
+    /// Largest finite distance in the list.
+    pub fn max_dist(&self) -> Dist {
+        self.entries.last().map_or(Dist::ZERO, |&(_, d)| d)
+    }
+
+    /// Approximate equality: same node sequence, distances within
+    /// relative tolerance `rel` (floating-point sums in different orders
+    /// differ in the last ulps).
+    pub fn approx_eq(&self, other: &LeList, rel: f64) -> bool {
+        self.entries.len() == other.entries.len()
+            && self
+                .entries
+                .iter()
+                .zip(&other.entries)
+                .all(|(&(v, d), &(w, e))| {
+                    v == w && mte_algebra::distance_map::dist_close(d, e, rel)
+                })
+    }
+}
+
+/// Approximate equality of whole LE-list collections (see
+/// [`LeList::approx_eq`]).
+pub fn le_lists_approx_eq(a: &[LeList], b: &[LeList], rel: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.approx_eq(y, rel))
+}
+
+/// LE lists via the **oracle on `H`** — the paper's main pipeline
+/// (Section 7.3/7.4). Returns the lists, the number of simulated
+/// `H`-iterations, and the work.
+pub fn le_lists_oracle(
+    sim: &SimulatedGraph,
+    ranks: &Arc<Ranks>,
+    cap: Option<usize>,
+) -> (Vec<LeList>, usize, WorkStats) {
+    let alg = LeListAlgorithm::new(Arc::clone(ranks));
+    let cap = cap.unwrap_or_else(|| default_iteration_cap(sim.base().n()));
+    let run = oracle_run_to_fixpoint(&alg, sim, cap);
+    let lists = run
+        .states
+        .iter()
+        .map(|x| LeList::from_distance_map(x, ranks))
+        .collect();
+    (lists, run.h_iterations, run.work)
+}
+
+/// LE lists by **direct iteration on `G`** (the algorithm of Khan et
+/// al. \[26\], Section 8.1): `SPD(G) + 1` filtered MBF iterations. Exact
+/// w.r.t. `dist(·,·,G)`; the baseline the oracle is measured against.
+pub fn le_lists_direct(g: &Graph, ranks: &Arc<Ranks>) -> (Vec<LeList>, usize, WorkStats) {
+    let alg = LeListAlgorithm::new(Arc::clone(ranks));
+    let run = run_to_fixpoint(&alg, g, g.n() + 1);
+    let lists = run
+        .states
+        .iter()
+        .map(|x| LeList::from_distance_map(x, ranks))
+        .collect();
+    (lists, run.iterations, run.work)
+}
+
+/// LE lists from an **explicit metric** (the Blelloch et al. \[10\]
+/// baseline): a metric is a complete graph of SPD 1, so a single MBF-like
+/// iteration — here computed directly per node in `Θ(n)` work each after
+/// an `O(n log n)` sort — reproduces their result.
+pub fn le_lists_from_metric(dist: &[Vec<Dist>], ranks: &Ranks) -> (Vec<LeList>, WorkStats) {
+    let n = dist.len();
+    let mut work = WorkStats { iterations: 1, ..WorkStats::default() };
+    let lists: Vec<LeList> = (0..n)
+        .map(|v| {
+            let entries: Vec<(NodeId, Dist)> = (0..n)
+                .filter(|&w| dist[v][w].is_finite())
+                .map(|w| (w as NodeId, dist[v][w]))
+                .collect();
+            work.entries_processed += entries.len() as u64;
+            LeList { entries: le_filter_entries(&entries, ranks) }
+        })
+        .collect();
+    (lists, work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mte_graph::algorithms::apsp;
+    use mte_graph::generators::{gnm_graph, path_graph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Reference LE list straight from the definition (Section 7.1 (3)).
+    fn reference_le_list(dist_row: &[Dist], ranks: &Ranks) -> Vec<(NodeId, Dist)> {
+        let n = dist_row.len();
+        let mut kept = Vec::new();
+        for w in 0..n as NodeId {
+            let dw = dist_row[w as usize];
+            if !dw.is_finite() {
+                continue;
+            }
+            let dominated = (0..n as NodeId).any(|u| {
+                ranks.rank(u) < ranks.rank(w) && dist_row[u as usize] <= dw
+            });
+            if !dominated {
+                kept.push((w, dw));
+            }
+        }
+        kept.sort_unstable_by_key(|&(v, d)| (d, ranks.rank(v)));
+        kept
+    }
+
+    #[test]
+    fn direct_le_lists_match_definition() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let g = gnm_graph(40, 100, 1.0..8.0, &mut rng);
+        let ranks = Arc::new(Ranks::sample(g.n(), &mut rng));
+        let (lists, _, _) = le_lists_direct(&g, &ranks);
+        let exact = apsp(&g);
+        for v in 0..g.n() {
+            let expect = LeList { entries: reference_le_list(&exact[v], &ranks) };
+            assert!(lists[v].approx_eq(&expect, 1e-9), "node {v}");
+        }
+    }
+
+    #[test]
+    fn le_list_starts_with_owner_and_ends_with_min_rank() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = gnm_graph(30, 60, 1.0..5.0, &mut rng);
+        let ranks = Arc::new(Ranks::sample(g.n(), &mut rng));
+        let (lists, _, _) = le_lists_direct(&g, &ranks);
+        for v in 0..g.n() as NodeId {
+            let l = &lists[v as usize];
+            assert_eq!(l.entries()[0], (v, Dist::ZERO), "owner first");
+            assert_eq!(
+                l.entries().last().unwrap().0,
+                ranks.min_rank_node(),
+                "global minimum last"
+            );
+            // Ranks strictly decrease along the list.
+            for pair in l.entries().windows(2) {
+                assert!(ranks.rank(pair[1].0) < ranks.rank(pair[0].0));
+                assert!(pair[1].1 >= pair[0].1);
+            }
+        }
+    }
+
+    #[test]
+    fn min_node_within_matches_bruteforce() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let g = gnm_graph(25, 60, 1.0..6.0, &mut rng);
+        let ranks = Arc::new(Ranks::sample(g.n(), &mut rng));
+        let (lists, _, _) = le_lists_direct(&g, &ranks);
+        let exact = apsp(&g);
+        for v in 0..g.n() {
+            for radius in [0.0, 1.0, 2.5, 7.0, 1e6] {
+                let r = Dist::new(radius);
+                let expect = (0..g.n() as NodeId)
+                    .filter(|&w| exact[v][w as usize] <= r)
+                    .min_by_key(|&w| ranks.rank(w));
+                assert_eq!(lists[v].min_node_within(r), expect, "v={v} r={radius}");
+            }
+        }
+    }
+
+    #[test]
+    fn metric_baseline_agrees_with_direct() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let g = gnm_graph(30, 80, 1.0..4.0, &mut rng);
+        let ranks = Arc::new(Ranks::sample(g.n(), &mut rng));
+        let (direct, _, _) = le_lists_direct(&g, &ranks);
+        let exact = apsp(&g);
+        let (from_metric, _) = le_lists_from_metric(&exact, &ranks);
+        assert!(le_lists_approx_eq(&direct, &from_metric, 1e-9));
+    }
+
+    #[test]
+    fn oracle_le_lists_match_explicit_h() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let g = gnm_graph(25, 55, 1.0..6.0, &mut rng);
+        let spd = mte_graph::algorithms::shortest_path_diameter(&g) as usize;
+        let sim = SimulatedGraph::without_hopset(&g, spd.max(1), 0.15, &mut rng);
+        let ranks = Arc::new(Ranks::sample(g.n(), &mut rng));
+        let (via_oracle, _, _) = le_lists_oracle(&sim, &ranks, Some(4 * g.n()));
+        let h = sim.explicit_h();
+        let (via_h, _, _) = le_lists_direct(&h, &ranks);
+        assert!(le_lists_approx_eq(&via_oracle, &via_h, 1e-9));
+    }
+
+    #[test]
+    fn le_list_lengths_are_logarithmic() {
+        // Lemma 7.6: |r(x)| ∈ O(log n) w.h.p.
+        let mut rng = StdRng::seed_from_u64(46);
+        let g = gnm_graph(400, 1200, 1.0..50.0, &mut rng);
+        let ranks = Arc::new(Ranks::sample(g.n(), &mut rng));
+        let (lists, _, _) = le_lists_direct(&g, &ranks);
+        let max_len = lists.iter().map(LeList::len).max().unwrap();
+        // E[len] = H_n ≈ ln n ≈ 6; 6·ln n is a conservative w.h.p. bound.
+        assert!(max_len as f64 <= 6.0 * (g.n() as f64).ln(), "max length {max_len}");
+    }
+
+    #[test]
+    fn path_graph_le_lists() {
+        let g = path_graph(5, 1.0);
+        // Order: node 4 smallest, then 0, 1, 2, 3.
+        let ranks = Arc::new(Ranks::from_order(vec![4, 0, 1, 2, 3]));
+        let (lists, _, _) = le_lists_direct(&g, &ranks);
+        // Node 0: itself at 0, then node 4 at distance 4 (nothing between
+        // dominates since 0 has rank 1).
+        assert_eq!(
+            lists[0].entries(),
+            &[(0, Dist::ZERO), (4, Dist::new(4.0))]
+        );
+        // Node 3: itself, then 4 (rank 0) at distance 1 dominates 0,1,2.
+        assert_eq!(
+            lists[3].entries(),
+            &[(3, Dist::ZERO), (4, Dist::new(1.0))]
+        );
+    }
+}

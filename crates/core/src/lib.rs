@@ -1,0 +1,33 @@
+//! The paper's core contribution, implemented end to end:
+//!
+//! * [`engine`] — the class of **MBF-like algorithms** (paper Section 2):
+//!   simple linear functions given by semiring adjacency matrices,
+//!   interleaved with representative projections (filters); iterated in
+//!   parallel with rayon,
+//! * [`catalog`] — every example MBF-like algorithm of Section 3
+//!   (source detection, SSSP, k-SSP, APSP, MSSP, forest fire, widest
+//!   paths, k-SDP, k-DSDP, connectivity),
+//! * [`simgraph`] — the **simulated graph `H`** (Section 4): vertex
+//!   levels, penalty weights, `SPD(H) ∈ O(log² n)` w.h.p.,
+//! * [`oracle`] — the **oracle for MBF-like queries** on `H`
+//!   (Section 5): simulates iterations of any MBF-like algorithm on the
+//!   complete graph `H` using only the edges of `G'`,
+//! * [`metric`] — `(1+o(1))`- and `O(1)`-approximate metrics
+//!   (Section 6, Theorems 6.1 and 6.2),
+//! * [`frt`] — **sampling from the FRT distribution** via Least-Element
+//!   lists (Section 7, Theorem 7.9 and Corollaries 7.10/7.11), FRT tree
+//!   construction (Lemma 7.2), baselines, and path reconstruction
+//!   (Section 7.5),
+//! * [`work`] — work/depth accounting used by the experiments.
+
+pub mod catalog;
+pub mod engine;
+pub mod frt;
+pub mod metric;
+pub mod oracle;
+pub mod simgraph;
+pub mod work;
+
+pub use engine::{MbfAlgorithm, MbfRun};
+pub use simgraph::{LevelAssignment, SimulatedGraph};
+pub use work::WorkStats;

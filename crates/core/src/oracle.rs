@@ -1,0 +1,206 @@
+//! The oracle for MBF-like queries on `H` (Section 5 of the paper).
+//!
+//! By Lemma 5.1 the adjacency matrix of `H` decomposes as
+//! `A_H = ⊕_{λ=0}^{Λ} P_λ A_λ^d P_λ`, where `P_λ` projects onto nodes of
+//! level `≥ λ` and `A_λ` is `G'`'s adjacency matrix with weights scaled by
+//! `(1+ε̂)^{Λ−λ}`. Because filters may be applied at any time without
+//! changing the output class (Corollary 2.17, Equation (5.9)), one
+//! iteration of any MBF-like algorithm on `H` is simulated as
+//!
+//! ```text
+//! x ← r^V ( ⊕_λ  P_λ (r^V A_λ)^d P_λ x )
+//! ```
+//!
+//! using only `G'`'s `O(m)` edges — `Λ·d ∈ polylog n` cheap iterations
+//! instead of one `Ω(n²)` dense product (Theorem 5.2).
+
+use crate::engine::{initial_states, iterate_scaled, MbfAlgorithm};
+use crate::simgraph::SimulatedGraph;
+use crate::work::WorkStats;
+use mte_algebra::{MinPlus, NodeId, Semimodule};
+use rayon::prelude::*;
+
+/// Result of an oracle computation: the states `A^h(H)` and the cost of
+/// simulating them on `G'`.
+#[derive(Clone, Debug)]
+pub struct OracleRun<M> {
+    /// Final states, indexed by node.
+    pub states: Vec<M>,
+    /// Number of simulated `H`-iterations.
+    pub h_iterations: usize,
+    /// Whether a fixpoint on `H` was reached (`h > SPD(H)`).
+    pub fixpoint: bool,
+    /// Work spent, including all inner `G'`-iterations.
+    pub work: WorkStats,
+}
+
+/// Simulates **one** iteration of `alg` on `H`:
+/// `x ← r^V (⊕_λ P_λ (r^V A_λ)^d P_λ x)`.
+pub fn oracle_iteration<A>(
+    alg: &A,
+    sim: &SimulatedGraph,
+    x: &[A::M],
+) -> (Vec<A::M>, WorkStats)
+where
+    A: MbfAlgorithm<S = MinPlus>,
+{
+    let n = sim.augmented().n();
+    debug_assert_eq!(n, x.len());
+    let lambda_max = sim.levels().lambda();
+    let mut work = WorkStats::new();
+    let mut agg: Vec<A::M> = vec![A::M::zero(); n];
+
+    for lambda in 0..=lambda_max {
+        let scale = sim.level_scale(lambda);
+        // y ← P_λ x : discard states below level λ.
+        let mut y: Vec<A::M> = (0..n)
+            .into_par_iter()
+            .map(|v| {
+                if sim.levels().level(v as NodeId) >= lambda {
+                    x[v].clone()
+                } else {
+                    A::M::zero()
+                }
+            })
+            .collect();
+        // y ← (r^V A_λ)^d y : d filtered iterations on the scaled G'.
+        for _ in 0..sim.d() {
+            let (next, w) = iterate_scaled(alg, sim.augmented(), &y, scale);
+            work += w;
+            y = next;
+        }
+        // agg ← agg ⊕ P_λ y.
+        agg.par_iter_mut().enumerate().for_each(|(v, a)| {
+            if sim.levels().level(v as NodeId) >= lambda {
+                a.add_assign(&y[v]);
+            }
+        });
+    }
+
+    // Final component-wise filter r^V.
+    agg.par_iter_mut().for_each(|a| alg.filter(a));
+    (agg, work)
+}
+
+/// Runs `h` iterations of `alg` on `H` starting from `r^V x⁽⁰⁾`
+/// (Theorem 5.2 (1)).
+pub fn oracle_run<A>(alg: &A, sim: &SimulatedGraph, h: usize) -> OracleRun<A::M>
+where
+    A: MbfAlgorithm<S = MinPlus>,
+{
+    let mut states = initial_states(alg, sim.augmented().n());
+    let mut work = WorkStats::new();
+    for _ in 0..h {
+        let (next, w) = oracle_iteration(alg, sim, &states);
+        work += w;
+        states = next;
+    }
+    OracleRun { states, h_iterations: h, fixpoint: false, work }
+}
+
+/// Iterates `alg` on `H` until a fixpoint, capped at `cap` iterations.
+/// W.h.p. the fixpoint arrives after `SPD(H) ∈ O(log² n)` iterations
+/// (Theorems 4.5 and 5.2 (2)).
+pub fn oracle_run_to_fixpoint<A>(alg: &A, sim: &SimulatedGraph, cap: usize) -> OracleRun<A::M>
+where
+    A: MbfAlgorithm<S = MinPlus>,
+    A::M: PartialEq,
+{
+    let mut states = initial_states(alg, sim.augmented().n());
+    let mut work = WorkStats::new();
+    let mut h = 0;
+    let mut fixpoint = false;
+    while h < cap {
+        let (next, w) = oracle_iteration(alg, sim, &states);
+        work += w;
+        h += 1;
+        if next == states {
+            fixpoint = true;
+            break;
+        }
+        states = next;
+    }
+    OracleRun { states, h_iterations: h, fixpoint, work }
+}
+
+/// Default iteration cap: `SPD(H) ∈ O(log² n)` w.h.p. (Theorem 4.5), with
+/// a generous constant; the fixpoint check stops earlier in practice.
+pub fn default_iteration_cap(n: usize) -> usize {
+    let log = (n.max(2) as f64).log2();
+    (6.0 * log * log) as usize + 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::SourceDetection;
+    use crate::engine::run_to_fixpoint;
+    use mte_graph::algorithms::shortest_path_diameter;
+    use mte_graph::generators::{gnm_graph, path_graph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Theorem 5.2 ground truth: running APSP through the oracle must
+    /// agree exactly with running APSP directly on the explicit `H`.
+    #[test]
+    fn oracle_apsp_equals_explicit_h_apsp() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = gnm_graph(30, 70, 1.0..6.0, &mut rng);
+        let spd = shortest_path_diameter(&g) as usize;
+        let sim = SimulatedGraph::without_hopset(&g, spd.max(1), 0.2, &mut rng);
+        let h_explicit = sim.explicit_h();
+
+        let alg = SourceDetection::apsp(g.n());
+        let via_oracle = oracle_run_to_fixpoint(&alg, &sim, 4 * g.n());
+        assert!(via_oracle.fixpoint);
+        let via_h = run_to_fixpoint(&alg, &h_explicit, 4 * g.n());
+        assert!(via_h.fixpoint);
+
+        for v in 0..g.n() {
+            assert!(
+                via_oracle.states[v].approx_eq(&via_h.states[v], 1e-9),
+                "oracle and explicit H disagree at node {v}:\n{:?}\nvs\n{:?}",
+                via_oracle.states[v],
+                via_h.states[v]
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_single_iteration_matches_h_iteration() {
+        // One oracle iteration = one MBF iteration on H (not more).
+        let mut rng = StdRng::seed_from_u64(22);
+        let g = path_graph(12, 1.0);
+        let sim = SimulatedGraph::without_hopset(&g, 11, 0.1, &mut rng);
+        let h_explicit = sim.explicit_h();
+        let alg = SourceDetection::apsp(g.n());
+
+        let o1 = oracle_run(&alg, &sim, 1);
+        let d1 = crate::engine::run(&alg, &h_explicit, 1);
+        for v in 0..g.n() {
+            assert!(
+                o1.states[v].approx_eq(&d1.states[v], 1e-9),
+                "node {v}: {:?} vs {:?}",
+                o1.states[v],
+                d1.states[v]
+            );
+        }
+    }
+
+    #[test]
+    fn fixpoint_reached_within_cap() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = path_graph(64, 1.0);
+        let sim = SimulatedGraph::without_hopset(&g, 63, 0.1, &mut rng);
+        let alg = SourceDetection::sssp(g.n(), 0);
+        let run = oracle_run_to_fixpoint(&alg, &sim, default_iteration_cap(g.n()));
+        assert!(
+            run.fixpoint,
+            "no fixpoint within {} iterations",
+            default_iteration_cap(g.n())
+        );
+        // SPD(H) ∈ O(log² n): far fewer than the 64 iterations plain MBF
+        // would need on this path.
+        assert!(run.h_iterations < 40, "took {} iterations", run.h_iterations);
+    }
+}

@@ -1,0 +1,55 @@
+//! Work/depth accounting (DESIGN.md §3, substitution 1).
+//!
+//! The paper analyses algorithms in an abstract DAG model where **work** is
+//! the number of DAG nodes and **depth** its longest path. We track the
+//! model-level quantities the theorems bound:
+//!
+//! * `entries_processed` — total sparse state entries touched by
+//!   propagate/aggregate/filter steps: the paper's `Σ|x_i|`-style work
+//!   terms (Lemma 2.3, Lemma 7.8),
+//! * `edge_relaxations` — semiring multiplications attributed to edges,
+//! * `iterations` — sequential MBF-like rounds: the depth proxy (each
+//!   round has polylog critical path by Lemmas 2.3/7.7).
+
+use std::ops::AddAssign;
+
+/// Counted work of an MBF-like computation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkStats {
+    /// Sequential MBF-like rounds executed (depth proxy).
+    pub iterations: u64,
+    /// Sparse state entries processed across all rounds (work proxy).
+    pub entries_processed: u64,
+    /// Edge relaxations (semiring `⊙` applications attributed to edges).
+    pub edge_relaxations: u64,
+}
+
+impl WorkStats {
+    /// The empty tally.
+    pub fn new() -> Self {
+        WorkStats::default()
+    }
+}
+
+impl AddAssign for WorkStats {
+    fn add_assign(&mut self, rhs: WorkStats) {
+        self.iterations += rhs.iterations;
+        self.entries_processed += rhs.entries_processed;
+        self.edge_relaxations += rhs.edge_relaxations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation() {
+        let mut a = WorkStats { iterations: 1, entries_processed: 10, edge_relaxations: 5 };
+        a += WorkStats { iterations: 2, entries_processed: 1, edge_relaxations: 1 };
+        assert_eq!(
+            a,
+            WorkStats { iterations: 3, entries_processed: 11, edge_relaxations: 6 }
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! The Baswana–Sen randomized `(2k−1)`-spanner \[8\].
+//!
+//! Given `G = (V, E, ω)` and `k ≥ 1`, computes `E' ⊆ E` such that
+//! `G' = (V, E', ω)` satisfies
+//! `dist(v,w,G) ≤ dist(v,w,G') ≤ (2k−1)·dist(v,w,G)` with
+//! `|E'| ∈ O(k·n^{1+1/k})` in expectation. The paper uses this to trade
+//! stretch for work in Theorem 6.2 and Corollary 7.11.
+
+use crate::graph::Graph;
+use mte_algebra::NodeId;
+use rand::Rng;
+use std::collections::HashMap;
+
+const UNCLUSTERED: NodeId = NodeId::MAX;
+
+/// Computes a `(2k−1)`-spanner of `g`, returned as a subgraph. `k = 1`
+/// returns the graph itself (stretch 1).
+pub fn baswana_sen_spanner(g: &Graph, k: usize, rng: &mut impl Rng) -> Graph {
+    assert!(k >= 1);
+    if k == 1 {
+        return g.clone();
+    }
+    let n = g.n();
+    let sample_p = (n as f64).powf(-1.0 / k as f64);
+
+    // cluster[v]: id of the cluster (its center) v currently belongs to,
+    // or UNCLUSTERED once v has resolved all its remaining edges.
+    let mut cluster: Vec<NodeId> = (0..n as NodeId).collect();
+    // Active inter-cluster edges, as (u, v, w) with u < v.
+    let mut active: Vec<(NodeId, NodeId, f64)> = g.edges().collect();
+    let mut spanner: Vec<(NodeId, NodeId, f64)> = Vec::new();
+
+    // Phases 1 .. k−1: sample cluster centers, re-cluster vertices.
+    for _phase in 1..k {
+        // Which current clusters survive to the next level?
+        let mut sampled: HashMap<NodeId, bool> = HashMap::new();
+        for v in 0..n {
+            let c = cluster[v];
+            if c != UNCLUSTERED {
+                sampled.entry(c).or_insert_with(|| rng.gen_bool(sample_p));
+            }
+        }
+
+        // Per-vertex adjacency among the active edges.
+        let mut incident: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); n];
+        for &(u, v, w) in &active {
+            incident[u as usize].push((v, w));
+            incident[v as usize].push((u, w));
+        }
+
+        let mut new_cluster = cluster.clone();
+        // discard[v] is set when v resolved all its incident active edges.
+        let mut discard_all = vec![false; n];
+        // Edges (v, to-cluster) that are settled this phase.
+        let mut settled: Vec<(NodeId, NodeId)> = Vec::new(); // (vertex, other-cluster)
+
+        for v in 0..n as NodeId {
+            let c = cluster[v as usize];
+            if c == UNCLUSTERED || *sampled.get(&c).unwrap_or(&false) {
+                continue; // vertices in sampled clusters keep everything
+            }
+            // Group v's active edges by the other endpoint's cluster and
+            // keep the lightest edge per neighboring cluster.
+            let mut lightest: HashMap<NodeId, (NodeId, f64)> = HashMap::new();
+            for &(u, w) in &incident[v as usize] {
+                let cu = cluster[u as usize];
+                if cu == UNCLUSTERED || cu == c {
+                    continue;
+                }
+                let e = lightest.entry(cu).or_insert((u, w));
+                if w < e.1 || (w == e.1 && u < e.0) {
+                    *e = (u, w);
+                }
+            }
+            // Lightest edge into a *sampled* neighboring cluster, if any.
+            let best_sampled = lightest
+                .iter()
+                .filter(|(cu, _)| *sampled.get(cu).unwrap_or(&false))
+                .min_by(|a, b| a.1 .1.total_cmp(&b.1 .1).then(a.0.cmp(b.0)))
+                .map(|(cu, &(u, w))| (*cu, u, w));
+
+            match best_sampled {
+                None => {
+                    // Not adjacent to any sampled cluster: add the lightest
+                    // edge to every neighboring cluster, then retire v.
+                    for (_, &(u, w)) in &lightest {
+                        spanner.push((v.min(u), v.max(u), w));
+                    }
+                    discard_all[v as usize] = true;
+                    new_cluster[v as usize] = UNCLUSTERED;
+                }
+                Some((cu_star, u_star, w_star)) => {
+                    // Join the nearest sampled cluster ...
+                    spanner.push((v.min(u_star), v.max(u_star), w_star));
+                    new_cluster[v as usize] = cu_star;
+                    settled.push((v, cu_star));
+                    // ... and add the lightest edge to every *strictly
+                    // closer* neighboring cluster, settling those too.
+                    for (cu, &(u, w)) in &lightest {
+                        if *cu != cu_star && w < w_star {
+                            spanner.push((v.min(u), v.max(u), w));
+                            settled.push((v, *cu));
+                        }
+                    }
+                }
+            }
+        }
+
+        let settled_set: std::collections::HashSet<(NodeId, NodeId)> =
+            settled.into_iter().collect();
+        let old_cluster = cluster;
+        cluster = new_cluster;
+
+        // Rebuild the active edge set: drop edges of retired vertices,
+        // intra-cluster edges (w.r.t. the *new* clustering), and edges
+        // settled above (vertex → old cluster of the other endpoint).
+        active.retain(|&(u, v, _)| {
+            if discard_all[u as usize] || discard_all[v as usize] {
+                return false;
+            }
+            let (cu, cv) = (cluster[u as usize], cluster[v as usize]);
+            if cu == UNCLUSTERED || cv == UNCLUSTERED || cu == cv {
+                return false;
+            }
+            if settled_set.contains(&(u, old_cluster[v as usize]))
+                || settled_set.contains(&(v, old_cluster[u as usize]))
+            {
+                return false;
+            }
+            true
+        });
+    }
+
+    // Final phase: every vertex adds its lightest edge to each neighboring
+    // cluster.
+    let mut incident: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); n];
+    for &(u, v, w) in &active {
+        incident[u as usize].push((v, w));
+        incident[v as usize].push((u, w));
+    }
+    for v in 0..n as NodeId {
+        let mut lightest: HashMap<NodeId, (NodeId, f64)> = HashMap::new();
+        for &(u, w) in &incident[v as usize] {
+            let cu = cluster[u as usize];
+            if cu == UNCLUSTERED || cu == cluster[v as usize] {
+                continue;
+            }
+            let e = lightest.entry(cu).or_insert((u, w));
+            if w < e.1 || (w == e.1 && u < e.0) {
+                *e = (u, w);
+            }
+        }
+        for (_, &(u, w)) in &lightest {
+            spanner.push((v.min(u), v.max(u), w));
+        }
+    }
+
+    Graph::from_edges(n, spanner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{apsp, is_connected};
+    use crate::generators::gnm_graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_spanner_stretch(g: &Graph, k: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sp = baswana_sen_spanner(g, k, &mut rng);
+        assert!(sp.m() <= g.m());
+        assert!(is_connected(&sp), "spanner must stay connected");
+        let dg = apsp(g);
+        let ds = apsp(&sp);
+        let bound = (2 * k - 1) as f64 + 1e-9;
+        for u in 0..g.n() {
+            for v in 0..g.n() {
+                let a = dg[u][v].value();
+                let b = ds[u][v].value();
+                assert!(b >= a - 1e-9, "spanner may not shorten distances");
+                assert!(
+                    b <= a * bound,
+                    "stretch violated at ({u},{v}): {b} > {bound} * {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k1_returns_graph_itself() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = gnm_graph(20, 60, 1.0..5.0, &mut rng);
+        let sp = baswana_sen_spanner(&g, 1, &mut rng);
+        assert_eq!(sp.m(), g.m());
+    }
+
+    #[test]
+    fn stretch_bound_k2() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = gnm_graph(60, 400, 1.0..10.0, &mut rng);
+        check_spanner_stretch(&g, 2, 11);
+    }
+
+    #[test]
+    fn stretch_bound_k3() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gnm_graph(60, 500, 1.0..10.0, &mut rng);
+        check_spanner_stretch(&g, 3, 12);
+    }
+
+    #[test]
+    fn spanner_sparsifies_dense_graphs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 120;
+        let g = gnm_graph(n, n * (n - 1) / 4, 1.0..2.0, &mut rng);
+        let sp = baswana_sen_spanner(&g, 3, &mut rng);
+        // Expected size O(k n^{1+1/k}); allow a generous constant.
+        let bound = 12.0 * (n as f64).powf(1.0 + 1.0 / 3.0);
+        assert!(
+            (sp.m() as f64) < bound,
+            "spanner too dense: {} ≥ {bound}",
+            sp.m()
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! A tour of the MBF-like algorithm catalog (paper Section 3): one graph,
+//! six problems, one framework. Each algorithm is "pick a semiring, a
+//! semimodule, a filter, an initialization" — the engine does the rest.
+//!
+//! ```text
+//! cargo run --release --example algebra_tour
+//! ```
+
+use metric_tree_embedding::core::catalog::{
+    Connectivity, ForestFire, KShortestDistances, SourceDetection, WidestPaths,
+};
+use metric_tree_embedding::core::engine::{run, run_to_fixpoint};
+use metric_tree_embedding::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let g = gnm_graph(24, 60, 1.0..9.0, &mut rng);
+    println!("graph: n = {}, m = {}\n", g.n(), g.m());
+
+    // 1. SSSP over S_{min,+} (Example 3.3).
+    let sssp_alg = SourceDetection::sssp(g.n(), 0);
+    let res = run_to_fixpoint(&sssp_alg, &g, g.n() + 1);
+    println!(
+        "SSSP from 0 (min-plus semiring): dist(0, 23) = {}",
+        res.states[23].get(0)
+    );
+
+    // 2. k-SSP: the 3 closest nodes to node 5 (Example 3.4).
+    let kssp = SourceDetection::k_ssp(g.n(), 3);
+    let res = run_to_fixpoint(&kssp, &g, g.n() + 1);
+    println!(
+        "3 closest sources seen by node 5: {:?}",
+        res.states[5].entries()
+    );
+
+    // 3. Forest fires within radius 6 of nodes {2, 17} (Example 3.7).
+    let fire = ForestFire::new(g.n(), &[2, 17], Dist::new(6.0));
+    let res = run_to_fixpoint(&fire, &g, g.n() + 1);
+    let alerted = res.states.iter().filter(|x| x.0.is_finite()).count();
+    println!("forest fire: {alerted}/{} nodes within distance 6 of a fire", g.n());
+
+    // 4. Widest paths over S_{max,min} (Example 3.13): trust propagation.
+    let widest = WidestPaths::sswp(g.n(), 0);
+    let res = run_to_fixpoint(&widest, &g, g.n() + 1);
+    println!(
+        "widest path 0 → 23 (max-min semiring): bottleneck {:?}",
+        res.states[23].get(0)
+    );
+
+    // 5. 2-shortest distances to node 0 over the all-paths semiring
+    //    P_{min,+} (Example 3.23) — with the actual paths.
+    let ksdp = KShortestDistances::new(0, 2);
+    let res = run_to_fixpoint(&ksdp, &g, 2 * g.n());
+    let entries = res.states[7].entries();
+    println!("2 shortest 7 → 0 paths (all-paths semiring):");
+    for (path, w) in entries {
+        println!("   weight {:>6.2} via {:?}", w.value(), path.nodes());
+    }
+
+    // 6. 2-hop connectivity over the Boolean semiring (Example 3.25).
+    let conn = Connectivity::all_pairs(g.n());
+    let res = run(&conn, &g, 2);
+    println!(
+        "Boolean semiring: node 0 reaches {} nodes within 2 hops",
+        res.states[0].len()
+    );
+}

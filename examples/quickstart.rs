@@ -1,0 +1,62 @@
+//! Quickstart: sample a metric tree embedding of a sparse random graph
+//! and inspect its quality.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use metric_tree_embedding::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2016);
+
+    // A sparse weighted graph: 500 nodes, ~1500 edges, weight ratio 100.
+    let g = gnm_graph(500, 1500, 1.0..100.0, &mut rng);
+    println!("graph: n = {}, m = {}", g.n(), g.m());
+
+    // Sample one tree from the FRT distribution via the full pipeline:
+    // hop set → simulated graph H → oracle LE lists → tree (Cor. 7.10).
+    let config = FrtConfig {
+        hopset: metric_tree_embedding::graph::HopsetConfig::for_scale(g.n(), g.m()),
+        ..FrtConfig::default()
+    };
+    let embedding = FrtEmbedding::sample(&g, &config, &mut rng);
+    let tree = embedding.tree();
+    println!(
+        "tree: {} nodes over {} levels, β = {:.3}, {} H-iterations, work ≈ {} entries",
+        tree.len(),
+        tree.num_levels(),
+        embedding.beta(),
+        embedding.h_iterations(),
+        embedding.work().entries_processed,
+    );
+
+    // LE lists are short (Lemma 7.6): report the maximum.
+    let max_le = embedding.le_lists().iter().map(|l| l.len()).max().unwrap();
+    println!("longest LE list: {max_le} entries (ln n ≈ {:.1})", (g.n() as f64).ln());
+
+    // Verify dominance and measure the stretch on sampled pairs.
+    let mut worst: f64 = 0.0;
+    let mut total = 0.0;
+    let mut count = 0;
+    for u in (0..g.n() as NodeId).step_by(7) {
+        let sp = sssp(&g, u);
+        for v in (u + 1..g.n() as NodeId).step_by(11) {
+            let dg = sp.dist(v).value();
+            let dt = embedding.distance(u, v);
+            assert!(dt >= dg - 1e-9, "tree distances must dominate");
+            let stretch = dt / dg;
+            worst = worst.max(stretch);
+            total += stretch;
+            count += 1;
+        }
+    }
+    println!(
+        "stretch over {count} sampled pairs: avg {:.2}, max {:.2} (log2 n = {:.1})",
+        total / count as f64,
+        worst,
+        (g.n() as f64).log2()
+    );
+}

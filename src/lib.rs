@@ -1,0 +1,58 @@
+//! # metric-tree-embedding
+//!
+//! A parallel implementation of **metric tree embeddings** (FRT-style, with
+//! expected stretch `O(log n)`) computed from sparse weighted graphs via an
+//! **algebraic view on Moore-Bellman-Ford**, reproducing
+//!
+//! > Stephan Friedrichs, Christoph Lenzen.
+//! > *Parallel Metric Tree Embedding based on an Algebraic View on
+//! > Moore-Bellman-Ford.* SPAA 2016 (arXiv:1509.09047).
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! * [`algebra`] — semirings, semimodules, congruences/filters (paper §2, App. A),
+//! * [`graph`] — graph substrate, generators, reference algorithms,
+//!   Baswana–Sen spanners, hop sets,
+//! * [`core`] — the MBF-like framework (§2–3), the simulated graph `H` (§4),
+//!   the MBF oracle (§5), approximate metrics (§6) and FRT sampling (§7),
+//! * [`congest`] — Congest-model simulator and distributed LE-list
+//!   algorithms (§8),
+//! * [`apps`] — k-median (§9) and buy-at-bulk network design (§10).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use metric_tree_embedding::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! // A sparse random graph with polynomially bounded weights.
+//! let g = gnm_graph(200, 600, 1.0..100.0, &mut rng);
+//! // Sample one tree from the FRT distribution via the H-oracle pipeline.
+//! let embedding = FrtEmbedding::sample(&g, &FrtConfig::default(), &mut rng);
+//! let t = embedding.tree();
+//! // Tree distances dominate graph distances for every node pair.
+//! let du = t.leaf_distance(3, 77);
+//! assert!(du >= sssp(&g, 3).dist(77).value());
+//! ```
+
+pub use mte_algebra as algebra;
+pub use mte_apps as apps;
+pub use mte_congest as congest;
+pub use mte_core as core;
+pub use mte_graph as graph;
+
+/// Convenient re-exports of the most frequently used items.
+pub mod prelude {
+    pub use mte_algebra::{Dist, DistanceMap, MinPlus, NodeId, Semimodule, Semiring};
+    pub use mte_apps::buyatbulk::{BuyAtBulkInstance, BuyAtBulkSolution, CableType, Demand};
+    pub use mte_apps::kmedian::{KMedianConfig, KMedianSolution};
+    pub use mte_core::frt::{FrtConfig, FrtEmbedding, FrtTree, LeList};
+    pub use mte_core::simgraph::{LevelAssignment, SimulatedGraph};
+    pub use mte_graph::algorithms::{apsp, sssp, ShortestPaths};
+    pub use mte_graph::generators::{
+        caterpillar_graph, cycle_graph, expander_graph, gnm_graph, grid_graph, highway_graph,
+        path_graph, random_geometric_graph, star_graph, tree_graph,
+    };
+    pub use mte_graph::{Graph, Hopset, HopsetConfig};
+}

@@ -1,0 +1,132 @@
+//! Failure-injection and boundary tests across the workspace: degenerate
+//! graphs, extreme parameters, and the documented panics.
+
+use metric_tree_embedding::algebra::{Dist, NodeId};
+use metric_tree_embedding::apps::buyatbulk::{
+    solve_buy_at_bulk, BuyAtBulkInstance, CableType, Demand,
+};
+use metric_tree_embedding::apps::kmedian::{kmedian_cost, solve_kmedian};
+use metric_tree_embedding::core::catalog::SourceDetection;
+use metric_tree_embedding::core::engine::run_to_fixpoint;
+use metric_tree_embedding::core::frt::{sample_direct, sample_from_metric};
+use metric_tree_embedding::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn two_node_graph_embeds() {
+    let g = Graph::from_edges(2, vec![(0, 1, 3.5)]);
+    let mut rng = StdRng::seed_from_u64(301);
+    let s = sample_direct(&g, &mut rng);
+    let d = s.tree.leaf_distance(0, 1);
+    assert!(d >= 3.5 - 1e-9);
+    assert_eq!(s.tree.leaf_distance(0, 0), 0.0);
+}
+
+#[test]
+fn uniform_weights_embed() {
+    let g = cycle_graph(16, 1.0);
+    let mut rng = StdRng::seed_from_u64(302);
+    let s = sample_direct(&g, &mut rng);
+    for u in 0..16 {
+        for v in 0..16 {
+            let hops = (u as i32 - v as i32).unsigned_abs().min(16 - (u as i32 - v as i32).unsigned_abs());
+            assert!(s.tree.leaf_distance(u, v) >= hops as f64 - 1e-9);
+        }
+    }
+}
+
+#[test]
+fn extreme_weight_ratio_embeds() {
+    // ω_max/ω_min = 10⁶ (still "polynomially bounded" for n = 32), with
+    // the heavy edge as a bridge so distances actually span the ratio:
+    // the radii ladder gets ~20 levels deeper.
+    let mut rng = StdRng::seed_from_u64(303);
+    let mut edges: Vec<(NodeId, NodeId, f64)> = (0..30u32).map(|i| (i, i + 1, 1.0)).collect();
+    edges.push((0, 31, 1e6));
+    let g = Graph::from_edges(32, edges);
+    let s = sample_direct(&g, &mut rng);
+    assert!(s.tree.num_levels() >= 20);
+    let exact = sssp(&g, 0);
+    for v in 0..32 {
+        assert!(s.tree.leaf_distance(0, v) >= exact.dist(v).value() - 1e-6);
+    }
+}
+
+#[test]
+#[should_panic(expected = "connected")]
+fn disconnected_graph_is_rejected_by_frt() {
+    let g = Graph::from_edges(4, vec![(0, 1, 1.0), (2, 3, 1.0)]);
+    let mut rng = StdRng::seed_from_u64(304);
+    let _ = sample_direct(&g, &mut rng);
+}
+
+#[test]
+fn metric_with_infinite_entries_builds_lists() {
+    // le_lists_from_metric tolerates ∞ (it simply drops those pairs);
+    // tree construction is only attempted on connected metrics.
+    let dist = vec![
+        vec![Dist::ZERO, Dist::new(1.0)],
+        vec![Dist::new(1.0), Dist::ZERO],
+    ];
+    let mut rng = StdRng::seed_from_u64(305);
+    let s = sample_from_metric(&dist, 1.0, &mut rng);
+    assert!(s.tree.leaf_distance(0, 1) >= 1.0 - 1e-9);
+}
+
+#[test]
+fn kmedian_k_one_and_k_n() {
+    let g = path_graph(7, 2.0);
+    let mut rng = StdRng::seed_from_u64(306);
+    let sol1 = solve_kmedian(&g, &KMedianConfig::new(1), &mut rng);
+    assert_eq!(sol1.centers.len(), 1);
+    // k = 1 optimum on a path is the midpoint.
+    assert!(sol1.cost <= kmedian_cost(&g, &[0]) + 1e-9);
+    let sol_n = solve_kmedian(&g, &KMedianConfig::new(7), &mut rng);
+    assert_eq!(sol_n.cost, 0.0);
+}
+
+#[test]
+fn buyatbulk_single_cable_type() {
+    let g = path_graph(5, 1.0);
+    let inst = BuyAtBulkInstance {
+        cables: vec![CableType { capacity: 2.0, cost: 1.0 }],
+        demands: vec![Demand { s: 0, t: 4, amount: 3.0 }],
+    };
+    let mut rng = StdRng::seed_from_u64(307);
+    let sol = solve_buy_at_bulk(&g, &inst, &mut rng);
+    // Flow 3 needs 2 copies of the capacity-2 cable wherever it goes.
+    assert!(sol.edges.iter().all(|&(_, _, _, _, mult)| mult == 2));
+    assert!(sol.total_cost >= 4.0 * 2.0 - 1e-9); // ≥ shortest path · 2 copies
+}
+
+#[test]
+fn source_detection_with_empty_source_set() {
+    let g = path_graph(4, 1.0);
+    let alg = SourceDetection::new(g.n(), &[], 3, Dist::INF);
+    let res = run_to_fixpoint(&alg, &g, g.n() + 1);
+    assert!(res.fixpoint);
+    assert!(res.states.iter().all(|x| x.is_empty()));
+}
+
+#[test]
+fn zero_capacity_demands_are_noops() {
+    let g = path_graph(4, 1.0);
+    let inst = BuyAtBulkInstance {
+        cables: vec![CableType { capacity: 1.0, cost: 1.0 }],
+        demands: vec![Demand { s: 0, t: 3, amount: 0.0 }],
+    };
+    let mut rng = StdRng::seed_from_u64(308);
+    let sol = solve_buy_at_bulk(&g, &inst, &mut rng);
+    assert_eq!(sol.total_cost, 0.0);
+}
+
+#[test]
+fn star_graph_small_spd_fast_fixpoint() {
+    let mut rng = StdRng::seed_from_u64(309);
+    let g = star_graph(64, 1.0..5.0, &mut rng);
+    let alg = SourceDetection::apsp(g.n());
+    let res = run_to_fixpoint(&alg, &g, g.n() + 1);
+    // SPD(star) = 2 ⇒ fixpoint after ≤ 3 iterations.
+    assert!(res.iterations <= 3, "took {}", res.iterations);
+}

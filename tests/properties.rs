@@ -1,0 +1,190 @@
+//! Property-based tests for the paper's algebraic laws: semiring axioms
+//! (Definition A.2), zero-preserving semimodule axioms (Definition A.3 /
+//! Equations (2.1)–(2.5)), and congruence/representative-projection laws
+//! (Definitions 2.4/2.6, Lemma 2.8) for every filter in the workspace.
+
+use metric_tree_embedding::algebra::allpaths::{AllPaths, Path};
+use metric_tree_embedding::algebra::laws::{check_congruence, check_semimodule, check_semiring};
+use metric_tree_embedding::algebra::node_set::NodeSet;
+use metric_tree_embedding::algebra::{
+    Bool, Dist, DistanceMap, MinPlus, NodeId, Width, WidthMap,
+};
+use metric_tree_embedding::core::catalog::forest_fire::ThresholdFilter;
+use metric_tree_embedding::core::catalog::ksdp::KsdpFilter;
+use metric_tree_embedding::core::catalog::source_detection::{
+    SourceDetection, SourceDetectionFilter,
+};
+use metric_tree_embedding::core::catalog::KShortestDistances;
+use metric_tree_embedding::core::frt::le_list::{LeFilter, Ranks};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const UNIVERSE: NodeId = 12;
+
+fn arb_dist() -> impl Strategy<Value = Dist> {
+    prop_oneof![
+        8 => (0u32..1000).prop_map(|v| Dist::new(v as f64 / 8.0)),
+        1 => Just(Dist::INF),
+        1 => Just(Dist::ZERO),
+    ]
+}
+
+fn arb_minplus() -> impl Strategy<Value = MinPlus> {
+    arb_dist().prop_map(MinPlus)
+}
+
+fn arb_width() -> impl Strategy<Value = Width> {
+    arb_dist().prop_map(Width)
+}
+
+fn arb_distance_map() -> impl Strategy<Value = DistanceMap> {
+    proptest::collection::vec((0..UNIVERSE, arb_dist()), 0..8)
+        .prop_map(DistanceMap::from_entries)
+}
+
+fn arb_width_map() -> impl Strategy<Value = WidthMap> {
+    proptest::collection::vec((0..UNIVERSE, arb_width()), 0..8)
+        .prop_map(WidthMap::from_entries)
+}
+
+fn arb_node_set() -> impl Strategy<Value = NodeSet> {
+    proptest::collection::vec(0..UNIVERSE, 0..8).prop_map(NodeSet::from_nodes)
+}
+
+/// A random loop-free path over a small universe (so concatenations
+/// actually fire sometimes).
+fn arb_path() -> impl Strategy<Value = Path> {
+    (proptest::collection::vec(0..5u32, 1..4), any::<bool>()).prop_map(|(mut nodes, rev)| {
+        nodes.sort_unstable();
+        nodes.dedup();
+        if rev {
+            // Descending paths end at the smallest node — hits the k-SDP
+            // target 0 often enough to exercise the keep-path branches.
+            nodes.reverse();
+        }
+        Path::from_nodes(&nodes).expect("sorted deduped nodes form a loop-free path")
+    })
+}
+
+fn arb_allpaths() -> impl Strategy<Value = AllPaths> {
+    (
+        proptest::collection::vec((arb_path(), 0u32..100), 0..5),
+        any::<bool>(),
+    )
+        .prop_map(|(entries, identity)| {
+            AllPaths::normalize(
+                identity,
+                entries
+                    .into_iter()
+                    .map(|(p, w)| (p, Dist::new(w as f64)))
+                    .collect(),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // ---- Semiring laws (Definition A.2) ----
+
+    #[test]
+    fn minplus_semiring_laws(x in arb_minplus(), y in arb_minplus(), z in arb_minplus()) {
+        check_semiring(&x, &y, &z).unwrap();
+    }
+
+    #[test]
+    fn maxmin_semiring_laws(x in arb_width(), y in arb_width(), z in arb_width()) {
+        check_semiring(&x, &y, &z).unwrap();
+    }
+
+    #[test]
+    fn allpaths_semiring_laws(x in arb_allpaths(), y in arb_allpaths(), z in arb_allpaths()) {
+        check_semiring(&x, &y, &z).unwrap();
+    }
+
+    // ---- Semimodule laws (Definition A.3, Equations (2.1)–(2.5)) ----
+
+    #[test]
+    fn distance_map_semimodule_laws(
+        s in arb_minplus(), t in arb_minplus(),
+        x in arb_distance_map(), y in arb_distance_map(),
+    ) {
+        check_semimodule(&s, &t, &x, &y).unwrap();
+    }
+
+    #[test]
+    fn width_map_semimodule_laws(
+        s in arb_width(), t in arb_width(),
+        x in arb_width_map(), y in arb_width_map(),
+    ) {
+        check_semimodule(&s, &t, &x, &y).unwrap();
+    }
+
+    #[test]
+    fn node_set_semimodule_laws(
+        s in any::<bool>(), t in any::<bool>(),
+        x in arb_node_set(), y in arb_node_set(),
+    ) {
+        check_semimodule(&Bool(s), &Bool(t), &x, &y).unwrap();
+    }
+
+    #[test]
+    fn allpaths_selfmodule_laws(
+        s in arb_allpaths(), t in arb_allpaths(),
+        x in arb_allpaths(), y in arb_allpaths(),
+    ) {
+        check_semimodule(&s, &t, &x, &y).unwrap();
+    }
+
+    // ---- Congruence laws (Lemma 2.8) for every filter ----
+
+    #[test]
+    fn source_detection_filter_is_congruent(
+        s in arb_minplus(),
+        x in arb_distance_map(), y in arb_distance_map(),
+        k in 1usize..4,
+        limit in arb_dist(),
+    ) {
+        let sources: Vec<NodeId> = (0..UNIVERSE).filter(|v| v % 2 == 0).collect();
+        let filter = SourceDetectionFilter(SourceDetection::new(
+            UNIVERSE as usize, &sources, k, limit,
+        ));
+        check_congruence(&filter, &s, &x, &y).unwrap();
+    }
+
+    #[test]
+    fn threshold_filter_is_congruent(
+        s in arb_minplus(), x in arb_minplus(), y in arb_minplus(), limit in arb_dist(),
+    ) {
+        check_congruence(&ThresholdFilter(limit), &s, &x, &y).unwrap();
+    }
+
+    #[test]
+    fn le_filter_is_congruent(
+        s in arb_minplus(),
+        x in arb_distance_map(), y in arb_distance_map(),
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ranks = Arc::new(Ranks::sample(UNIVERSE as usize, &mut rng));
+        check_congruence(&LeFilter::new(ranks), &s, &x, &y).unwrap();
+    }
+
+    #[test]
+    fn ksdp_filter_is_congruent(
+        s in arb_allpaths(), x in arb_allpaths(), y in arb_allpaths(), k in 1usize..3,
+    ) {
+        // Target node 0 exists in the path universe {0..5}.
+        let filter = KsdpFilter(KShortestDistances::new(0, k));
+        check_congruence(&filter, &s, &x, &y).unwrap();
+    }
+
+    #[test]
+    fn ksdp_distinct_filter_is_congruent(
+        s in arb_allpaths(), x in arb_allpaths(), y in arb_allpaths(),
+    ) {
+        let filter = KsdpFilter(KShortestDistances::distinct(0, 2));
+        check_congruence(&filter, &s, &x, &y).unwrap();
+    }
+}
