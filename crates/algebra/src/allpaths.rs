@@ -152,7 +152,10 @@ impl AllPaths {
         entries.retain(|(p, w)| w.is_finite() && !(has_identity && p.hops() == 0));
         entries.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
         entries.dedup_by(|next, prev| prev.0 == next.0); // keeps min weight
-        AllPaths { has_identity, entries }
+        AllPaths {
+            has_identity,
+            entries,
+        }
     }
 
     /// Keeps only entries satisfying the predicate (used by k-SDP filters).
@@ -172,12 +175,18 @@ impl AllPaths {
 impl Semiring for AllPaths {
     /// `0 = (∞, …, ∞)` — contains no path (Equation (3.16)).
     fn zero() -> Self {
-        AllPaths { has_identity: false, entries: Vec::new() }
+        AllPaths {
+            has_identity: false,
+            entries: Vec::new(),
+        }
     }
 
     /// `1` — contains every `(v)` at weight 0 (Equation (3.17)).
     fn one() -> Self {
-        AllPaths { has_identity: true, entries: Vec::new() }
+        AllPaths {
+            has_identity: true,
+            entries: Vec::new(),
+        }
     }
 
     /// Path-wise minimum (Equation (3.14)).

@@ -7,6 +7,7 @@
 //! the parallel-sort argument of Lemma 2.3 collapses to merging here.
 
 use crate::dist::Dist;
+use crate::merge;
 use crate::minplus::MinPlus;
 use crate::semimodule::Semimodule;
 use crate::NodeId;
@@ -22,7 +23,9 @@ impl DistanceMap {
     /// The empty map `⊥ = (∞, …, ∞)`.
     #[inline]
     pub fn new() -> Self {
-        DistanceMap { entries: Vec::new() }
+        DistanceMap {
+            entries: Vec::new(),
+        }
     }
 
     /// Map with a single entry, typically `{v ↦ 0}` for initialization
@@ -30,7 +33,9 @@ impl DistanceMap {
     #[inline]
     pub fn singleton(v: NodeId, d: Dist) -> Self {
         if d.is_finite() {
-            DistanceMap { entries: vec![(v, d)] }
+            DistanceMap {
+                entries: vec![(v, d)],
+            }
         } else {
             DistanceMap::new()
         }
@@ -118,74 +123,73 @@ impl DistanceMap {
 
     /// Fused propagate-and-aggregate: `self ← self ⊕ (s ⊙ other)` without
     /// materializing the scaled copy. This is the hot operation of every
-    /// MBF-like iteration over the distance-map semimodule.
+    /// MBF-like iteration over the distance-map semimodule; it merges via
+    /// this thread's reusable scratch buffer, so steady-state calls
+    /// allocate nothing (see [`crate::merge`]).
     pub fn merge_scaled(&mut self, other: &DistanceMap, s: Dist) {
+        merge::with_dist_scratch(|scratch| self.merge_scaled_with(other, s, scratch));
+    }
+
+    /// The explicit-scratch primitive underlying
+    /// [`DistanceMap::merge_scaled`], for callers that manage their own
+    /// buffer instead of borrowing the thread-local one. After the call
+    /// `scratch` holds the accumulator's previous entries (the buffers
+    /// are swapped); its contents are otherwise unspecified.
+    pub fn merge_scaled_with(
+        &mut self,
+        other: &DistanceMap,
+        s: Dist,
+        scratch: &mut Vec<(NodeId, Dist)>,
+    ) {
         if !s.is_finite() || other.entries.is_empty() {
             return; // ∞ ⊙ x = ⊥ (Equation (2.2))
         }
         if self.entries.is_empty() {
-            self.entries = other.entries.iter().map(|&(v, d)| (v, d + s)).collect();
+            self.entries
+                .extend(other.entries.iter().map(|&(v, d)| (v, d + s)));
             return;
         }
-        let mut out = Vec::with_capacity(self.entries.len() + other.entries.len());
-        let (a, b) = (&self.entries, &other.entries);
-        let (mut i, mut j) = (0, 0);
-        while i < a.len() && j < b.len() {
-            match a[i].0.cmp(&b[j].0) {
-                std::cmp::Ordering::Less => {
-                    out.push(a[i]);
-                    i += 1;
-                }
-                std::cmp::Ordering::Greater => {
-                    out.push((b[j].0, b[j].1 + s));
-                    j += 1;
-                }
-                std::cmp::Ordering::Equal => {
-                    out.push((a[i].0, a[i].1.min(b[j].1 + s)));
-                    i += 1;
-                    j += 1;
-                }
-            }
+        // Disjoint tails append in place without touching the scratch.
+        if self.entries.last().unwrap().0 < other.entries[0].0 {
+            self.entries
+                .extend(other.entries.iter().map(|&(v, d)| (v, d + s)));
+            return;
         }
-        out.extend_from_slice(&a[i..]);
-        out.extend(b[j..].iter().map(|&(v, d)| (v, d + s)));
-        self.entries = out;
+        merge::merge_sorted_into(&self.entries, &other.entries, |d| d + s, Dist::min, scratch);
+        std::mem::swap(&mut self.entries, scratch);
     }
 
     /// In-place `self ← self ⊕ other` where `⊕` is the coordinate-wise
-    /// minimum (Equation (2.6)), implemented as a sorted merge in
-    /// `O(|self| + |other|)`.
+    /// minimum (Equation (2.6)): a sorted merge in `O(|self| + |other|)`
+    /// through this thread's scratch buffer (allocation-free in steady
+    /// state).
     pub fn merge_min(&mut self, other: &DistanceMap) {
         if other.entries.is_empty() {
             return;
         }
         if self.entries.is_empty() {
-            self.entries = other.entries.clone();
+            self.entries.extend_from_slice(&other.entries);
             return;
         }
-        let mut out = Vec::with_capacity(self.entries.len() + other.entries.len());
-        let (a, b) = (&self.entries, &other.entries);
-        let (mut i, mut j) = (0, 0);
-        while i < a.len() && j < b.len() {
-            match a[i].0.cmp(&b[j].0) {
-                std::cmp::Ordering::Less => {
-                    out.push(a[i]);
-                    i += 1;
-                }
-                std::cmp::Ordering::Greater => {
-                    out.push(b[j]);
-                    j += 1;
-                }
-                std::cmp::Ordering::Equal => {
-                    out.push((a[i].0, a[i].1.min(b[j].1)));
-                    i += 1;
-                    j += 1;
-                }
-            }
+        if self.entries.last().unwrap().0 < other.entries[0].0 {
+            self.entries.extend_from_slice(&other.entries);
+            return;
         }
-        out.extend_from_slice(&a[i..]);
-        out.extend_from_slice(&b[j..]);
-        self.entries = out;
+        merge::with_dist_scratch(|scratch| {
+            merge::merge_sorted_into(&self.entries, &other.entries, |d| d, Dist::min, scratch);
+            std::mem::swap(&mut self.entries, scratch);
+        });
+    }
+
+    /// Runs `edit` on the raw entry vector, then restores the node-sorted
+    /// min-deduplicated no-`∞` invariant. Lets filters rewrite a map in
+    /// its own buffer instead of building a replacement map (the LE
+    /// filter sorts by distance, filters, and hands the buffer back).
+    pub fn edit_entries(&mut self, edit: impl FnOnce(&mut Vec<(NodeId, Dist)>)) {
+        edit(&mut self.entries);
+        self.entries.retain(|(_, d)| d.is_finite());
+        self.entries.sort_unstable_by_key(|&(v, d)| (v, d));
+        self.entries.dedup_by(|next, prev| prev.0 == next.0); // keeps first = min dist
     }
 }
 
@@ -278,6 +282,35 @@ mod tests {
         assert_eq!(a.get(1), Dist::new(1.0));
         a.merge_entry(0, Dist::new(9.0));
         assert_eq!(a.get(0), Dist::new(9.0));
+    }
+
+    #[test]
+    fn merge_scaled_matches_scale_then_merge() {
+        let mut acc = dm(&[(1, 2.0), (3, 5.0), (7, 1.0)]);
+        let other = dm(&[(1, 0.5), (2, 1.0), (9, 3.0)]);
+        let mut expected = acc.clone();
+        expected.merge_min(&other.scale(&MinPlus::new(1.5)));
+        acc.merge_scaled(&other, Dist::new(1.5));
+        assert_eq!(acc, expected);
+    }
+
+    #[test]
+    fn merge_scaled_with_swaps_caller_scratch() {
+        let mut acc = dm(&[(1, 2.0), (3, 5.0)]);
+        let other = dm(&[(2, 1.0), (3, 1.0)]);
+        let mut scratch: Vec<(NodeId, Dist)> = Vec::with_capacity(64);
+        acc.merge_scaled_with(&other, Dist::new(1.0), &mut scratch);
+        assert_eq!(acc, dm(&[(1, 2.0), (2, 2.0), (3, 2.0)]));
+        // The buffers were swapped: the scratch now carries the
+        // accumulator's previous entries (and its old capacity moved
+        // into the accumulator), so repeated merges reuse allocations.
+        assert_eq!(scratch, vec![(1, Dist::new(2.0)), (3, Dist::new(5.0))]);
+        // Appending fast path leaves the scratch untouched.
+        let tail = dm(&[(9, 1.0)]);
+        scratch.clear();
+        acc.merge_scaled_with(&tail, Dist::ZERO, &mut scratch);
+        assert!(scratch.is_empty());
+        assert_eq!(acc.get(9), Dist::new(1.0));
     }
 
     #[test]

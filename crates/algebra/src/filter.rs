@@ -69,6 +69,10 @@ mod tests {
         let f = IdentityFilter;
         assert_eq!(Filter::<MinPlus, MinPlus>::canonical(&f, &x), x);
         assert!(Filter::<MinPlus, MinPlus>::equivalent(&f, &x, &x));
-        assert!(!Filter::<MinPlus, MinPlus>::equivalent(&f, &x, &MinPlus::new(2.0)));
+        assert!(!Filter::<MinPlus, MinPlus>::equivalent(
+            &f,
+            &x,
+            &MinPlus::new(2.0)
+        ));
     }
 }

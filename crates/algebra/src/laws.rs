@@ -16,18 +16,15 @@ pub fn check_semiring<S: Semiring>(x: &S, y: &S, z: &S) -> Result<(), String> {
     let one = S::one();
 
     // (1) (S, ⊕): associative, commutative, neutral zero.
-    ensure(
-        x.add(&y.add(z)) == x.add(y).add(z),
-        "⊕ is not associative",
-    )?;
+    ensure(x.add(&y.add(z)) == x.add(y).add(z), "⊕ is not associative")?;
     ensure(x.add(y) == y.add(x), "⊕ is not commutative")?;
-    ensure(x.add(&zero) == *x && zero.add(x) == *x, "0 is not ⊕-neutral")?;
+    ensure(
+        x.add(&zero) == *x && zero.add(x) == *x,
+        "0 is not ⊕-neutral",
+    )?;
 
     // (2) (S, ⊙): associative, neutral one.
-    ensure(
-        x.mul(&y.mul(z)) == x.mul(y).mul(z),
-        "⊙ is not associative",
-    )?;
+    ensure(x.mul(&y.mul(z)) == x.mul(y).mul(z), "⊙ is not associative")?;
     ensure(x.mul(&one) == *x && one.mul(x) == *x, "1 is not ⊙-neutral")?;
 
     // (3) distributive laws (A.4), (A.5).
@@ -99,7 +96,10 @@ where
     let ry = filter.canonical(y);
 
     // Projection: r² = r (Observation 2.7).
-    ensure(filter.canonical(&rx) == rx, "r is not a projection (r² ≠ r)")?;
+    ensure(
+        filter.canonical(&rx) == rx,
+        "r is not a projection (r² ≠ r)",
+    )?;
 
     // (2.12): x ∼ r(x) ⇒ sx ∼ s·r(x).
     ensure(
@@ -155,7 +155,12 @@ mod tests {
     #[test]
     fn semiring_is_module_over_itself() {
         let zero = <MinPlus as Semiring>::zero();
-        check_semimodule(&MinPlus::new(1.0), &MinPlus::new(0.5), &MinPlus::new(3.0), &zero)
-            .unwrap();
+        check_semimodule(
+            &MinPlus::new(1.0),
+            &MinPlus::new(0.5),
+            &MinPlus::new(3.0),
+            &zero,
+        )
+        .unwrap();
     }
 }

@@ -27,6 +27,7 @@ pub mod filter;
 pub mod laws;
 pub mod matrix;
 pub mod maxmin;
+pub mod merge;
 pub mod minplus;
 pub mod node_set;
 pub mod semimodule;

@@ -22,7 +22,10 @@ pub struct SemiringMatrix<S> {
 impl<S: Semiring> SemiringMatrix<S> {
     /// The all-zero matrix (the zero of the matrix semiring).
     pub fn zeros(n: usize) -> Self {
-        SemiringMatrix { n, data: vec![S::zero(); n * n] }
+        SemiringMatrix {
+            n,
+            data: vec![S::zero(); n * n],
+        }
     }
 
     /// The identity matrix (ones on the diagonal).
@@ -139,10 +142,7 @@ mod tests {
 
     #[test]
     fn identity_is_neutral() {
-        let a = SemiringMatrix::from_rows(
-            2,
-            vec![mp(0.0), mp(3.0), mp(3.0), mp(0.0)],
-        );
+        let a = SemiringMatrix::from_rows(2, vec![mp(0.0), mp(3.0), mp(3.0), mp(0.0)]);
         let id = SemiringMatrix::<MinPlus>::identity(2);
         assert_eq!(id.mul(&a), a);
         assert_eq!(a.mul(&id), a);
@@ -155,9 +155,15 @@ mod tests {
         let a = SemiringMatrix::from_rows(
             3,
             vec![
-                mp(0.0), mp(1.0), inf,
-                mp(1.0), mp(0.0), mp(2.0),
-                inf,     mp(2.0), mp(0.0),
+                mp(0.0),
+                mp(1.0),
+                inf,
+                mp(1.0),
+                mp(0.0),
+                mp(2.0),
+                inf,
+                mp(2.0),
+                mp(0.0),
             ],
         );
         let a2 = a.mul(&a);
@@ -184,13 +190,10 @@ mod tests {
 
     #[test]
     fn apply_matches_manual_slf() {
-        use crate::distance_map::DistanceMap;
         use crate::dist::Dist;
+        use crate::distance_map::DistanceMap;
         let inf = <MinPlus as Semiring>::zero();
-        let a = SemiringMatrix::from_rows(
-            2,
-            vec![mp(0.0), mp(5.0), mp(5.0), inf],
-        );
+        let a = SemiringMatrix::from_rows(2, vec![mp(0.0), mp(5.0), mp(5.0), inf]);
         let x = vec![
             DistanceMap::singleton(0, Dist::ZERO),
             DistanceMap::singleton(1, Dist::ZERO),

@@ -4,6 +4,13 @@
 use crate::boolean::Bool;
 use crate::semimodule::Semimodule;
 use crate::NodeId;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread merge scratch for set unions (see [`crate::merge`] for
+    /// the rationale).
+    static NODE_SCRATCH: RefCell<Vec<NodeId>> = const { RefCell::new(Vec::new()) };
+}
 
 /// A sparse set of node ids (sorted, deduplicated): an element of `B^V`
 /// with the listed coordinates set to 1.
@@ -53,23 +60,10 @@ impl NodeSet {
     pub fn nodes(&self) -> &[NodeId] {
         &self.nodes
     }
-}
 
-impl Semimodule<Bool> for NodeSet {
-    #[inline]
-    fn zero() -> Self {
-        NodeSet::new()
-    }
-
-    /// Union (coordinate-wise `∨`).
-    fn add_assign(&mut self, rhs: &Self) {
-        if rhs.nodes.is_empty() {
-            return;
-        }
-        if self.nodes.is_empty() {
-            self.nodes = rhs.nodes.clone();
-            return;
-        }
+    /// Union fallback allocating a fresh output (used when the scratch
+    /// buffer is unavailable to a re-entrant merge).
+    fn union_into_fresh(&mut self, rhs: &NodeSet) {
         let mut out = Vec::with_capacity(self.nodes.len() + rhs.nodes.len());
         let (a, b) = (&self.nodes, &rhs.nodes);
         let (mut i, mut j) = (0, 0);
@@ -93,6 +87,59 @@ impl Semimodule<Bool> for NodeSet {
         out.extend_from_slice(&a[i..]);
         out.extend_from_slice(&b[j..]);
         self.nodes = out;
+    }
+}
+
+impl Semimodule<Bool> for NodeSet {
+    #[inline]
+    fn zero() -> Self {
+        NodeSet::new()
+    }
+
+    /// Union (coordinate-wise `∨`), merged through a thread-local
+    /// scratch buffer (allocation-free in steady state).
+    fn add_assign(&mut self, rhs: &Self) {
+        if rhs.nodes.is_empty() {
+            return;
+        }
+        if self.nodes.is_empty() {
+            self.nodes.extend_from_slice(&rhs.nodes);
+            return;
+        }
+        if *self.nodes.last().unwrap() < rhs.nodes[0] {
+            self.nodes.extend_from_slice(&rhs.nodes);
+            return;
+        }
+        NODE_SCRATCH.with(|cell| {
+            let mut scratch = match cell.try_borrow_mut() {
+                Ok(s) => s,
+                Err(_) => return self.union_into_fresh(rhs),
+            };
+            scratch.clear();
+            scratch.reserve(self.nodes.len() + rhs.nodes.len());
+            let (a, b) = (&self.nodes, &rhs.nodes);
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => {
+                        scratch.push(a[i]);
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        scratch.push(b[j]);
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        scratch.push(a[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            scratch.extend_from_slice(&a[i..]);
+            scratch.extend_from_slice(&b[j..]);
+            std::mem::swap(&mut self.nodes, &mut scratch);
+        });
     }
 
     /// `1 ⊙ x = x`, `0 ⊙ x = ∅` (coordinate-wise `∧` with a constant).

@@ -19,7 +19,9 @@ impl WidthMap {
     /// The all-zero map `⊥`.
     #[inline]
     pub fn new() -> Self {
-        WidthMap { entries: Vec::new() }
+        WidthMap {
+            entries: Vec::new(),
+        }
     }
 
     /// Map with a single entry, typically `{v ↦ ∞}` (Equation (3.10)).
@@ -27,7 +29,9 @@ impl WidthMap {
         if w == Width::zero_value() {
             WidthMap::new()
         } else {
-            WidthMap { entries: vec![(v, w)] }
+            WidthMap {
+                entries: vec![(v, w)],
+            }
         }
     }
 
@@ -35,7 +39,9 @@ impl WidthMap {
     /// zero entries dropped.
     pub fn from_entries(mut entries: Vec<(NodeId, Width)>) -> Self {
         entries.retain(|&(_, w)| w != Width::zero_value());
-        entries.sort_unstable_by(|a, b| (a.0, std::cmp::Reverse(a.1)).cmp(&(b.0, std::cmp::Reverse(b.1))));
+        entries.sort_unstable_by(|a, b| {
+            (a.0, std::cmp::Reverse(a.1)).cmp(&(b.0, std::cmp::Reverse(b.1)))
+        });
         entries.dedup_by(|next, prev| prev.0 == next.0); // keeps first = max width
         WidthMap { entries }
     }
@@ -65,6 +71,37 @@ impl WidthMap {
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, Width)> + '_ {
         self.entries.iter().copied()
     }
+
+    /// Fused propagate-and-aggregate: `self ← self ⊕ (s ⊙ other)`
+    /// (coordinate-wise `max(self_v, min(s, other_v))`) without
+    /// materializing the scaled copy — the max-min analogue of
+    /// [`crate::DistanceMap::merge_scaled`], merged through this
+    /// thread's scratch buffer.
+    pub fn merge_scaled(&mut self, other: &WidthMap, s: Width) {
+        if s == Width::zero_value() || other.entries.is_empty() {
+            return; // 0 ⊙ x = ⊥
+        }
+        if self.entries.is_empty() {
+            self.entries
+                .extend(other.entries.iter().map(|&(v, w)| (v, Width(w.0.min(s.0)))));
+            return;
+        }
+        if self.entries.last().unwrap().0 < other.entries[0].0 {
+            self.entries
+                .extend(other.entries.iter().map(|&(v, w)| (v, Width(w.0.min(s.0)))));
+            return;
+        }
+        crate::merge::with_width_scratch(|scratch| {
+            crate::merge::merge_sorted_into(
+                &self.entries,
+                &other.entries,
+                |w| Width(w.0.min(s.0)),
+                |a, b| Width(a.0.max(b.0)),
+                scratch,
+            );
+            std::mem::swap(&mut self.entries, scratch);
+        });
+    }
 }
 
 impl Width {
@@ -80,38 +117,31 @@ impl Semimodule<Width> for WidthMap {
         WidthMap::new()
     }
 
-    /// Coordinate-wise maximum (Equation (3.7)).
+    /// Coordinate-wise maximum (Equation (3.7)), merged through this
+    /// thread's scratch buffer (allocation-free in steady state, see
+    /// [`crate::merge`]).
     fn add_assign(&mut self, rhs: &Self) {
         if rhs.entries.is_empty() {
             return;
         }
         if self.entries.is_empty() {
-            self.entries = rhs.entries.clone();
+            self.entries.extend_from_slice(&rhs.entries);
             return;
         }
-        let mut out = Vec::with_capacity(self.entries.len() + rhs.entries.len());
-        let (a, b) = (&self.entries, &rhs.entries);
-        let (mut i, mut j) = (0, 0);
-        while i < a.len() && j < b.len() {
-            match a[i].0.cmp(&b[j].0) {
-                std::cmp::Ordering::Less => {
-                    out.push(a[i]);
-                    i += 1;
-                }
-                std::cmp::Ordering::Greater => {
-                    out.push(b[j]);
-                    j += 1;
-                }
-                std::cmp::Ordering::Equal => {
-                    out.push((a[i].0, Width(a[i].1 .0.max(b[j].1 .0))));
-                    i += 1;
-                    j += 1;
-                }
-            }
+        if self.entries.last().unwrap().0 < rhs.entries[0].0 {
+            self.entries.extend_from_slice(&rhs.entries);
+            return;
         }
-        out.extend_from_slice(&a[i..]);
-        out.extend_from_slice(&b[j..]);
-        self.entries = out;
+        crate::merge::with_width_scratch(|scratch| {
+            crate::merge::merge_sorted_into(
+                &self.entries,
+                &rhs.entries,
+                |w| w,
+                |a, b| Width(a.0.max(b.0)),
+                scratch,
+            );
+            std::mem::swap(&mut self.entries, scratch);
+        });
     }
 
     /// Coordinate-wise `min{s, x_v}` (Equation (3.8)); scaling by the

@@ -76,7 +76,13 @@ impl BuyAtBulkInstance {
         self.cables
             .iter()
             .enumerate()
-            .map(|(i, c)| (c.cost * (f / c.capacity).ceil(), i, (f / c.capacity).ceil() as u64))
+            .map(|(i, c)| {
+                (
+                    c.cost * (f / c.capacity).ceil(),
+                    i,
+                    (f / c.capacity).ceil() as u64,
+                )
+            })
             .min_by(|a, b| a.0.total_cmp(&b.0))
             .map(|(_, i, mult)| (i, mult))
     }
@@ -156,7 +162,7 @@ pub fn solve_on_tree(
         total_cost += instance.cables[cable].cost * mult as f64 * length;
         edges.push((u, v, flow, cable, mult));
     }
-    edges.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    edges.sort_unstable_by_key(|a| (a.0, a.1));
     BuyAtBulkSolution { edges, total_cost }
 }
 
@@ -220,15 +226,27 @@ mod tests {
 
     fn economies_of_scale_cables() -> Vec<CableType> {
         vec![
-            CableType { capacity: 1.0, cost: 1.0 },
-            CableType { capacity: 10.0, cost: 4.0 },
-            CableType { capacity: 100.0, cost: 12.0 },
+            CableType {
+                capacity: 1.0,
+                cost: 1.0,
+            },
+            CableType {
+                capacity: 10.0,
+                cost: 4.0,
+            },
+            CableType {
+                capacity: 100.0,
+                cost: 12.0,
+            },
         ]
     }
 
     #[test]
     fn unit_cost_prefers_bulk_cables() {
-        let inst = BuyAtBulkInstance { cables: economies_of_scale_cables(), demands: vec![] };
+        let inst = BuyAtBulkInstance {
+            cables: economies_of_scale_cables(),
+            demands: vec![],
+        };
         assert_eq!(inst.unit_cost_for_flow(1.0), 1.0);
         assert_eq!(inst.unit_cost_for_flow(5.0), 4.0); // one 10-cable beats five 1-cables
         assert_eq!(inst.unit_cost_for_flow(0.0), 0.0);
@@ -238,7 +256,10 @@ mod tests {
     #[test]
     fn empty_demands_cost_nothing() {
         let g = path_graph(4, 1.0);
-        let inst = BuyAtBulkInstance { cables: economies_of_scale_cables(), demands: vec![] };
+        let inst = BuyAtBulkInstance {
+            cables: economies_of_scale_cables(),
+            demands: vec![],
+        };
         let mut rng = StdRng::seed_from_u64(121);
         let sol = solve_buy_at_bulk(&g, &inst, &mut rng);
         assert_eq!(sol.total_cost, 0.0);
@@ -250,9 +271,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(122);
         let g = gnm_graph(40, 90, 1.0..6.0, &mut rng);
         let demands: Vec<Demand> = (0..12)
-            .map(|i| Demand { s: i as NodeId, t: (i + 13) as NodeId, amount: 1.0 + i as f64 })
+            .map(|i| Demand {
+                s: i as NodeId,
+                t: (i + 13) as NodeId,
+                amount: 1.0 + i as f64,
+            })
             .collect();
-        let inst = BuyAtBulkInstance { cables: economies_of_scale_cables(), demands };
+        let inst = BuyAtBulkInstance {
+            cables: economies_of_scale_cables(),
+            demands,
+        };
         let sol = solve_buy_at_bulk(&g, &inst, &mut rng);
         assert!(is_feasible(&inst, &sol));
         let lb = lower_bound(&g, &inst);
@@ -272,12 +300,22 @@ mod tests {
         // best of a few samples (the guarantee is in expectation).
         let g = path_graph(40, 1.0);
         let demands: Vec<Demand> = (0..16)
-            .map(|i| Demand { s: (i % 4) as NodeId, t: (39 - (i % 4)) as NodeId, amount: 1.0 })
+            .map(|i| Demand {
+                s: (i % 4) as NodeId,
+                t: (39 - (i % 4)) as NodeId,
+                amount: 1.0,
+            })
             .collect();
         let inst = BuyAtBulkInstance {
             cables: vec![
-                CableType { capacity: 1.0, cost: 1.0 },
-                CableType { capacity: 20.0, cost: 2.0 },
+                CableType {
+                    capacity: 1.0,
+                    cost: 1.0,
+                },
+                CableType {
+                    capacity: 20.0,
+                    cost: 2.0,
+                },
             ],
             demands,
         };
@@ -299,8 +337,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(123);
         let g = grid_graph(5, 5, 1.0..2.0, &mut rng);
         let inst = BuyAtBulkInstance {
-            cables: vec![CableType { capacity: 1.0, cost: 1.0 }],
-            demands: vec![Demand { s: 0, t: 24, amount: 1.0 }],
+            cables: vec![CableType {
+                capacity: 1.0,
+                cost: 1.0,
+            }],
+            demands: vec![Demand {
+                s: 0,
+                t: 24,
+                amount: 1.0,
+            }],
         };
         let direct = direct_routing_cost(&g, &inst);
         // Average over trees: expected O(log n)·direct.
@@ -320,7 +365,11 @@ mod tests {
         let g = path_graph(4, 1.0);
         let inst = BuyAtBulkInstance {
             cables: economies_of_scale_cables(),
-            demands: vec![Demand { s: 2, t: 2, amount: 5.0 }],
+            demands: vec![Demand {
+                s: 2,
+                t: 2,
+                amount: 5.0,
+            }],
         };
         let mut rng = StdRng::seed_from_u64(124);
         let sol = solve_buy_at_bulk(&g, &inst, &mut rng);

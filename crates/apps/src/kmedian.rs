@@ -40,7 +40,11 @@ pub struct KMedianConfig {
 impl KMedianConfig {
     /// Default configuration for a given `k`.
     pub fn new(k: usize) -> Self {
-        KMedianConfig { k, oversample: 3.0, trees: 3 }
+        KMedianConfig {
+            k,
+            oversample: 3.0,
+            trees: 3,
+        }
     }
 }
 
@@ -90,11 +94,7 @@ pub fn kmedian_candidates(g: &Graph, k: usize, oversample: f64, rng: &mut impl R
 
 /// LE lists with sources restricted to `Q`, then an FRT tree over the
 /// submetric spanned by `Q` (step (2)).
-fn frt_tree_on_subset(
-    g: &Graph,
-    subset: &[NodeId],
-    rng: &mut impl Rng,
-) -> (FrtTree, Vec<NodeId>) {
+fn frt_tree_on_subset(g: &Graph, subset: &[NodeId], rng: &mut impl Rng) -> (FrtTree, Vec<NodeId>) {
     // Global random order; LE initialization only at subset nodes.
     let ranks = Arc::new(Ranks::sample(g.n(), rng));
     let alg = RestrictedLe {
@@ -331,7 +331,10 @@ pub fn kmedian_random_baseline(g: &Graph, k: usize, rng: &mut impl Rng) -> KMedi
     nodes.shuffle(rng);
     nodes.truncate(k.max(1));
     let cost = kmedian_cost(g, &nodes);
-    KMedianSolution { centers: nodes, cost }
+    KMedianSolution {
+        centers: nodes,
+        cost,
+    }
 }
 
 /// Baseline: local search with single swaps (Arya et al.), a strong
@@ -354,7 +357,10 @@ pub fn kmedian_local_search(
                 trial[i] = cand;
                 let cost = kmedian_cost(g, &trial);
                 if cost + 1e-12 < current.cost {
-                    current = KMedianSolution { centers: trial, cost };
+                    current = KMedianSolution {
+                        centers: trial,
+                        cost,
+                    };
                     improved = true;
                     break 'outer;
                 }
@@ -379,7 +385,10 @@ pub fn kmedian_exhaustive(g: &Graph, k: usize) -> KMedianSolution {
         if chosen.len() == k {
             let cost = kmedian_cost(g, chosen);
             if cost < best.cost {
-                *best = KMedianSolution { centers: chosen.clone(), cost };
+                *best = KMedianSolution {
+                    centers: chosen.clone(),
+                    cost,
+                };
             }
             return;
         }
@@ -389,7 +398,10 @@ pub fn kmedian_exhaustive(g: &Graph, k: usize) -> KMedianSolution {
             chosen.pop();
         }
     }
-    let mut best = KMedianSolution { centers: vec![0], cost: f64::INFINITY };
+    let mut best = KMedianSolution {
+        centers: vec![0],
+        cost: f64::INFINITY,
+    };
     recurse(g, k.max(1).min(g.n()), 0, &mut Vec::new(), &mut best);
     best
 }
@@ -420,7 +432,15 @@ mod tests {
         // here we simply check the end-to-end ratio vs the graph optimum.
         let g = path_graph(9, 1.0);
         let mut rng = StdRng::seed_from_u64(112);
-        let sol = solve_kmedian(&g, &KMedianConfig { k: 3, oversample: 3.0, trees: 5 }, &mut rng);
+        let sol = solve_kmedian(
+            &g,
+            &KMedianConfig {
+                k: 3,
+                oversample: 3.0,
+                trees: 5,
+            },
+            &mut rng,
+        );
         let opt = kmedian_exhaustive(&g, 3);
         assert!(sol.centers.len() <= 3);
         assert!(
@@ -444,7 +464,10 @@ mod tests {
             ours += solve_kmedian(&g, &KMedianConfig::new(k), &mut r1).cost;
             random += kmedian_random_baseline(&g, k, &mut r2).cost;
         }
-        assert!(ours < random, "FRT solution {ours} not better than random {random}");
+        assert!(
+            ours < random,
+            "FRT solution {ours} not better than random {random}"
+        );
     }
 
     #[test]
@@ -454,7 +477,15 @@ mod tests {
             let g = gnm_graph(14, 30, 1.0..5.0, &mut rng);
             let k = 2;
             let opt = kmedian_exhaustive(&g, k);
-            let sol = solve_kmedian(&g, &KMedianConfig { k, oversample: 4.0, trees: 6 }, &mut rng);
+            let sol = solve_kmedian(
+                &g,
+                &KMedianConfig {
+                    k,
+                    oversample: 4.0,
+                    trees: 6,
+                },
+                &mut rng,
+            );
             assert!(
                 sol.cost <= 4.0 * opt.cost + 1e-9,
                 "seed {seed}: {} vs opt {}",

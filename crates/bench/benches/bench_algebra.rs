@@ -10,7 +10,12 @@ use std::time::Duration;
 fn random_map(len: usize, universe: u32, rng: &mut StdRng) -> DistanceMap {
     DistanceMap::from_entries(
         (0..len)
-            .map(|_| (rng.gen_range(0..universe), Dist::new(rng.gen_range(0.0..100.0))))
+            .map(|_| {
+                (
+                    rng.gen_range(0..universe),
+                    Dist::new(rng.gen_range(0.0..100.0)),
+                )
+            })
             .collect(),
     )
 }

@@ -27,9 +27,18 @@ fn bench_apps(c: &mut Criterion) {
     let mesh = grid_graph(12, 12, 5.0..40.0, &mut rng);
     let instance = BuyAtBulkInstance {
         cables: vec![
-            CableType { capacity: 1.0, cost: 1.0 },
-            CableType { capacity: 10.0, cost: 4.0 },
-            CableType { capacity: 100.0, cost: 14.0 },
+            CableType {
+                capacity: 1.0,
+                cost: 1.0,
+            },
+            CableType {
+                capacity: 10.0,
+                cost: 4.0,
+            },
+            CableType {
+                capacity: 100.0,
+                cost: 14.0,
+            },
         ],
         demands: (0..40)
             .map(|i| Demand {

@@ -24,26 +24,38 @@ fn bench_catalog(c: &mut Criterion) {
     // Warmed-up states (3 rounds in) so lists have realistic sizes.
     let apsp = SourceDetection::apsp(n);
     let apsp_states = run(&apsp, &g, 3).states;
-    group.bench_function("apsp/n=1024", |b| b.iter(|| iterate(&apsp, &g, &apsp_states)));
+    group.bench_function("apsp/n=1024", |b| {
+        b.iter(|| iterate(&apsp, &g, &apsp_states))
+    });
 
     let kssp = SourceDetection::k_ssp(n, 4);
     let kssp_states = run(&kssp, &g, 3).states;
-    group.bench_function("kssp4/n=1024", |b| b.iter(|| iterate(&kssp, &g, &kssp_states)));
+    group.bench_function("kssp4/n=1024", |b| {
+        b.iter(|| iterate(&kssp, &g, &kssp_states))
+    });
 
     let widest = WidestPaths::apwp(n);
     let widest_states = run(&widest, &g, 3).states;
-    group.bench_function("apwp/n=1024", |b| b.iter(|| iterate(&widest, &g, &widest_states)));
+    group.bench_function("apwp/n=1024", |b| {
+        b.iter(|| iterate(&widest, &g, &widest_states))
+    });
 
     let conn = Connectivity::all_pairs(n);
     let conn_states = run(&conn, &g, 3).states;
-    group.bench_function("connectivity/n=1024", |b| b.iter(|| iterate(&conn, &g, &conn_states)));
+    group.bench_function("connectivity/n=1024", |b| {
+        b.iter(|| iterate(&conn, &g, &conn_states))
+    });
 
     let ranks = Arc::new(Ranks::sample(n, &mut rng));
     let le = LeListAlgorithm::new(ranks);
     let le_states = run(&le, &g, 3).states;
-    group.bench_function("le_lists/n=1024", |b| b.iter(|| iterate(&le, &g, &le_states)));
+    group.bench_function("le_lists/n=1024", |b| {
+        b.iter(|| iterate(&le, &g, &le_states))
+    });
 
-    group.bench_function("le_lists_init/n=1024", |b| b.iter(|| initial_states(&le, n)));
+    group.bench_function("le_lists_init/n=1024", |b| {
+        b.iter(|| initial_states(&le, n))
+    });
     group.finish();
 }
 

@@ -24,7 +24,9 @@ fn bench_congest(c: &mut Criterion) {
 
     let hw = highway_graph(512, 1e5);
     let hw_ranks = Arc::new(Ranks::sample(hw.n(), &mut rng));
-    group.bench_function("khan/highway_n=512", |b| b.iter(|| khan_le_lists(&hw, &hw_ranks)));
+    group.bench_function("khan/highway_n=512", |b| {
+        b.iter(|| khan_le_lists(&hw, &hw_ranks))
+    });
     group.bench_function("skeleton/highway_n=512", |b| {
         b.iter(|| {
             let mut r = StdRng::seed_from_u64(16);

@@ -33,7 +33,11 @@ fn bench_frt(c: &mut Criterion) {
         })
     });
     let config = FrtConfig {
-        hopset: HopsetConfig { d: 129, epsilon: 0.0, oversample: 2.0 },
+        hopset: HopsetConfig {
+            d: 129,
+            epsilon: 0.0,
+            oversample: 2.0,
+        },
         eps_hat: 0.05,
         spanner_k: None,
         max_iterations: None,

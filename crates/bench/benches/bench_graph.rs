@@ -35,7 +35,15 @@ fn bench_substrate(c: &mut Criterion) {
     group.bench_function("hopset_d65/n=2048", |b| {
         b.iter(|| {
             let mut r = StdRng::seed_from_u64(5);
-            Hopset::build(&g, &HopsetConfig { d: 65, epsilon: 0.0, oversample: 2.0 }, &mut r)
+            Hopset::build(
+                &g,
+                &HopsetConfig {
+                    d: 65,
+                    epsilon: 0.0,
+                    oversample: 2.0,
+                },
+                &mut r,
+            )
         })
     });
     group.finish();

@@ -1,4 +1,21 @@
 //! Experiment driver. See DESIGN.md §4 and EXPERIMENTS.md.
+//!
+//! Runs the Section 1.1 sampler comparison (E16) plus the engine suite
+//! (dense vs frontier vs hybrid scheduling on the standard catalog), and
+//! writes the machine-readable `BENCH_engine.json` that tracks the
+//! engine's performance trajectory across PRs.
+
+use mte_bench::engine_suite::{engine_suite, engine_suite_json, engine_suite_table};
+
 fn main() {
     mte_bench::suite::exp_baseline().print();
+
+    let cases = engine_suite();
+    engine_suite_table(&cases).print();
+
+    let path = "BENCH_engine.json";
+    match std::fs::write(path, engine_suite_json(&cases)) {
+        Ok(()) => println!("wrote {path} ({} cases)", cases.len()),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
 }

@@ -1,0 +1,233 @@
+//! The engine benchmark suite: dense vs frontier vs hybrid scheduling on
+//! the standard graph catalog, with machine-readable output.
+//!
+//! Run via `exp_baseline` (or `cargo bench --bench bench_engine` for the
+//! criterion timings); emits `BENCH_engine.json` so successive PRs can
+//! track the performance trajectory of the iteration core. Every case
+//! cross-checks that the sparse strategies reproduce the dense states
+//! bit-identically before recording numbers — a benchmark of a wrong
+//! answer is worthless.
+
+use crate::tables::{f, Table};
+use mte_core::catalog::SourceDetection;
+use mte_core::engine::{run_to_fixpoint_with, EngineStrategy, MbfAlgorithm};
+use mte_core::frt::le_list::{LeListAlgorithm, Ranks};
+use mte_core::work::WorkStats;
+use mte_graph::generators::{gnm_graph, grid_graph, path_graph};
+use mte_graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured (graph, algorithm, strategy) cell.
+#[derive(Clone, Debug)]
+pub struct EngineCase {
+    /// Graph family label.
+    pub graph: String,
+    /// Node count.
+    pub n: usize,
+    /// Undirected edge count.
+    pub m: usize,
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Strategy label.
+    pub strategy: String,
+    /// Wall time of the full fixpoint run, in milliseconds.
+    pub wall_ms: f64,
+    /// Iterations to fixpoint.
+    pub iterations: usize,
+    /// Work counters of the run.
+    pub work: WorkStats,
+}
+
+/// The standard catalog the engine suite runs on. The first two are the
+/// sparse-convergence workloads the engine issue names as acceptance
+/// targets; the path is the extreme SPD = n − 1 regime.
+pub fn engine_catalog() -> Vec<(String, Graph)> {
+    let mut rng = StdRng::seed_from_u64(0xE16E);
+    vec![
+        (
+            "gnm n=2000 m=6000".into(),
+            gnm_graph(2000, 6000, 1.0..50.0, &mut rng),
+        ),
+        ("grid 50x50".into(), grid_graph(50, 50, 1.0..5.0, &mut rng)),
+        ("path n=1024".into(), path_graph(1024, 1.0)),
+    ]
+}
+
+fn strategy_label(s: EngineStrategy) -> String {
+    match s {
+        EngineStrategy::Dense => "dense".into(),
+        EngineStrategy::Frontier => "frontier".into(),
+        EngineStrategy::Hybrid { dense_threshold } => format!("hybrid({dense_threshold})"),
+    }
+}
+
+/// The strategies each workload is measured under.
+pub fn measured_strategies() -> [EngineStrategy; 3] {
+    [
+        EngineStrategy::Dense,
+        EngineStrategy::Frontier,
+        EngineStrategy::default(),
+    ]
+}
+
+fn measure<A>(graph_label: &str, g: &Graph, alg_label: &str, alg: &A, out: &mut Vec<EngineCase>)
+where
+    A: MbfAlgorithm,
+    A::M: PartialEq + std::fmt::Debug,
+{
+    let cap = g.n() + 1;
+    let reference = run_to_fixpoint_with(alg, g, cap, EngineStrategy::Dense);
+    for strategy in measured_strategies() {
+        let t0 = Instant::now();
+        let run = run_to_fixpoint_with(alg, g, cap, strategy);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            run.states,
+            reference.states,
+            "{graph_label}/{alg_label}: {} diverged from dense",
+            strategy_label(strategy)
+        );
+        out.push(EngineCase {
+            graph: graph_label.to_string(),
+            n: g.n(),
+            m: g.m(),
+            algorithm: alg_label.to_string(),
+            strategy: strategy_label(strategy),
+            wall_ms,
+            iterations: run.iterations,
+            work: run.work,
+        });
+    }
+}
+
+/// Runs the suite: SSSP and LE lists to fixpoint on every catalog graph
+/// under every strategy.
+pub fn engine_suite() -> Vec<EngineCase> {
+    let mut cases = Vec::new();
+    for (label, g) in engine_catalog() {
+        let sssp = SourceDetection::sssp(g.n(), 0);
+        measure(&label, &g, "sssp", &sssp, &mut cases);
+        let mut rng = StdRng::seed_from_u64(0x1E11);
+        let ranks = Arc::new(Ranks::sample(g.n(), &mut rng));
+        let le = LeListAlgorithm::new(ranks);
+        measure(&label, &g, "le_lists", &le, &mut cases);
+    }
+    cases
+}
+
+/// Renders the suite as a table, with the per-workload dense/frontier
+/// relaxation ratio (the headline number of the engine rework).
+pub fn engine_suite_table(cases: &[EngineCase]) -> Table {
+    let mut t = Table::new(
+        "Engine suite: dense vs frontier vs hybrid (fixpoint runs, states cross-checked)",
+        &[
+            "graph",
+            "algorithm",
+            "strategy",
+            "wall ms",
+            "iters",
+            "edge relax",
+            "touched",
+            "vs dense",
+        ],
+    );
+    for case in cases {
+        let dense_relax = cases
+            .iter()
+            .find(|c| {
+                c.graph == case.graph && c.algorithm == case.algorithm && c.strategy == "dense"
+            })
+            .map(|c| c.work.edge_relaxations)
+            .unwrap_or(case.work.edge_relaxations);
+        let ratio = dense_relax as f64 / case.work.edge_relaxations.max(1) as f64;
+        t.push(vec![
+            case.graph.clone(),
+            case.algorithm.clone(),
+            case.strategy.clone(),
+            f(case.wall_ms, 1),
+            case.iterations.to_string(),
+            case.work.edge_relaxations.to_string(),
+            case.work.touched_vertices.to_string(),
+            format!("{:.2}x", ratio),
+        ]);
+    }
+    t
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Serializes the suite to the `BENCH_engine.json` schema (hand-rolled;
+/// the workspace carries no serialization dependency).
+pub fn engine_suite_json(cases: &[EngineCase]) -> String {
+    let mut out = String::from("{\n  \"suite\": \"engine\",\n  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"graph\": \"{}\", \"n\": {}, \"m\": {}, ",
+                "\"algorithm\": \"{}\", \"strategy\": \"{}\", ",
+                "\"wall_ms\": {:.3}, \"iterations\": {}, ",
+                "\"entries_processed\": {}, \"edge_relaxations\": {}, ",
+                "\"touched_vertices\": {}}}{}\n"
+            ),
+            json_escape(&c.graph),
+            c.n,
+            c.m,
+            json_escape(&c.algorithm),
+            json_escape(&c.strategy),
+            c.wall_ms,
+            c.iterations,
+            c.work.entries_processed,
+            c.work.edge_relaxations,
+            c.work.touched_vertices,
+            if i + 1 == cases.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature suite run (small graphs) exercising the measurement,
+    /// table, and JSON paths end to end.
+    #[test]
+    fn mini_suite_measures_and_serializes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gnm_graph(40, 90, 1.0..9.0, &mut rng);
+        let mut cases = Vec::new();
+        measure(
+            "mini",
+            &g,
+            "sssp",
+            &SourceDetection::sssp(g.n(), 0),
+            &mut cases,
+        );
+        assert_eq!(cases.len(), measured_strategies().len());
+        let dense = &cases[0];
+        let frontier = &cases[1];
+        assert_eq!(dense.strategy, "dense");
+        assert!(frontier.work.edge_relaxations < dense.work.edge_relaxations);
+
+        let json = engine_suite_json(&cases);
+        assert!(json.contains("\"suite\": \"engine\""));
+        assert!(json.contains("\"edge_relaxations\""));
+        assert_eq!(json.matches("\"graph\"").count(), cases.len());
+
+        let table = engine_suite_table(&cases).render();
+        assert!(table.contains("dense") && table.contains("frontier"));
+    }
+}

@@ -21,5 +21,6 @@
 //! | `exp_buyatbulk`   | Theorem 10.2 (buy-at-bulk quality) |
 //! | `exp_baseline`    | Sec. 1.1 (oracle pipeline vs Ω(n²) metric baseline) |
 
+pub mod engine_suite;
 pub mod suite;
 pub mod tables;

@@ -9,9 +9,7 @@ use mte_core::frt::le_list::{le_lists_direct, le_lists_oracle, Ranks};
 use mte_core::frt::{sample_direct, sample_from_metric, FrtConfig, FrtEmbedding};
 use mte_core::metric::{approximate_metric, approximate_metric_with_spanner, MetricConfig};
 use mte_core::simgraph::{LevelAssignment, SimulatedGraph};
-use mte_graph::algorithms::{
-    apsp, hop_diameter, shortest_path_diameter, sssp_hop_limited,
-};
+use mte_graph::algorithms::{apsp, hop_diameter, shortest_path_diameter, sssp_hop_limited};
 use mte_graph::generators::*;
 use mte_graph::hopset::{Hopset, HopsetConfig};
 use mte_graph::Graph;
@@ -54,7 +52,14 @@ pub fn exp_levels() -> Table {
 pub fn exp_spd() -> Table {
     let mut t = Table::new(
         "E2 (Theorem 4.5): SPD(H) vs SPD(G), ε̂ = 0.1 (mean over 5 level samples)",
-        &["graph", "n", "SPD(G)", "mean SPD(H)", "max SPD(H)", "log2²(n)"],
+        &[
+            "graph",
+            "n",
+            "SPD(G)",
+            "mean SPD(H)",
+            "max SPD(H)",
+            "log2²(n)",
+        ],
     );
     let cases: Vec<(&str, Graph)> = vec![
         ("path", path_graph(128, 1.0)),
@@ -62,7 +67,10 @@ pub fn exp_spd() -> Table {
         ("path", path_graph(512, 1.0)),
         ("cycle", cycle_graph(256, 1.0)),
         ("gnm m=3n", gnm_graph(256, 768, 1.0..10.0, &mut rng(2))),
-        ("caterpillar", caterpillar_graph(192, 64, 1.0, 1.0..2.0, &mut rng(3))),
+        (
+            "caterpillar",
+            caterpillar_graph(192, 64, 1.0, 1.0..2.0, &mut rng(3)),
+        ),
     ];
     for (name, g) in cases {
         let spd_g = shortest_path_diameter(&g);
@@ -132,7 +140,15 @@ pub fn exp_triangle() -> Table {
     );
     let g = path_graph(96, 1.0);
     let mut r = rng(6);
-    let hs = Hopset::build(&g, &HopsetConfig { d: 9, epsilon: 0.25, oversample: 3.0 }, &mut r);
+    let hs = Hopset::build(
+        &g,
+        &HopsetConfig {
+            d: 9,
+            epsilon: 0.25,
+            oversample: 3.0,
+        },
+        &mut r,
+    );
     let aug = hs.augment(&g);
     // d-hop distances on G' as a pseudo-metric.
     let dd: Vec<Vec<Dist>> = (0..g.n() as NodeId)
@@ -175,7 +191,14 @@ pub fn exp_triangle() -> Table {
 pub fn exp_oracle_work() -> Table {
     let mut t = Table::new(
         "E5 (Theorem 5.2): oracle vs explicit H — identical LE lists, sparse work",
-        &["n", "m", "identical", "oracle entries", "explicit-H entries", "n²·SPD(H)"],
+        &[
+            "n",
+            "m",
+            "identical",
+            "oracle entries",
+            "explicit-H entries",
+            "n²·SPD(H)",
+        ],
     );
     // n caps at 384: the dense explicit-H baseline needs minutes beyond
     // that (n−1 entries per row to merge — the cost the oracle avoids).
@@ -188,8 +211,7 @@ pub fn exp_oracle_work() -> Table {
         let (via_oracle, h_iters, oracle_work) = le_lists_oracle(&sim, &ranks, Some(4 * n));
         let h = sim.explicit_h();
         let (via_h, _, h_work) = le_lists_direct(&h, &ranks);
-        let identical =
-            mte_core::frt::le_list::le_lists_approx_eq(&via_oracle, &via_h, 1e-9);
+        let identical = mte_core::frt::le_list::le_lists_approx_eq(&via_oracle, &via_h, 1e-9);
         t.push(vec![
             n.to_string(),
             g.m().to_string(),
@@ -212,7 +234,15 @@ pub fn exp_hopset() -> Table {
     let exact = apsp(&g);
     for (d, eps) in [(17, 0.0), (33, 0.0), (65, 0.0), (129, 0.0), (33, 0.25)] {
         let mut r = rng(9);
-        let hs = Hopset::build(&g, &HopsetConfig { d, epsilon: eps, oversample: 1.0 }, &mut r);
+        let hs = Hopset::build(
+            &g,
+            &HopsetConfig {
+                d,
+                epsilon: eps,
+                oversample: 1.0,
+            },
+            &mut r,
+        );
         let aug = hs.augment(&g);
         let mut max_ratio: f64 = 1.0;
         for s in (0..g.n() as NodeId).step_by(4) {
@@ -311,13 +341,23 @@ pub fn exp_frt_stretch() -> Table {
     let mut t = Table::new(
         "E8 (Thm 7.9/Cor 7.10): per-pair expected stretch vs log₂ n (32 trees; \
          'pipeline' = hop set + H + oracle, 8 trees)",
-        &["family", "n", "sampler", "mean E[stretch]", "max E[stretch]", "log2 n"],
+        &[
+            "family",
+            "n",
+            "sampler",
+            "mean E[stretch]",
+            "max E[stretch]",
+            "log2 n",
+        ],
     );
     let mut families: Vec<(&str, Graph)> = vec![
         ("gnm m=4n", gnm_graph(256, 1024, 1.0..20.0, &mut rng(11))),
         ("grid 16×16", grid_graph(16, 16, 1.0..5.0, &mut rng(12))),
         ("cycle", cycle_graph(128, 1.0)),
-        ("expander d=4", expander_graph(256, 4, 1.0..3.0, &mut rng(13))),
+        (
+            "expander d=4",
+            expander_graph(256, 4, 1.0..3.0, &mut rng(13)),
+        ),
     ];
     for (name, g) in families.drain(..) {
         let dist = apsp(&g);
@@ -340,7 +380,11 @@ pub fn exp_frt_stretch() -> Table {
     let g = gnm_graph(256, 1024, 1.0..20.0, &mut rng(11));
     let dist = apsp(&g);
     let config = FrtConfig {
-        hopset: HopsetConfig { d: 65, epsilon: 0.0, oversample: 2.0 },
+        hopset: HopsetConfig {
+            d: 65,
+            epsilon: 0.0,
+            oversample: 2.0,
+        },
         eps_hat: 0.05,
         spanner_k: None,
         max_iterations: None,
@@ -365,7 +409,13 @@ pub fn exp_frt_stretch() -> Table {
 pub fn exp_spanner_frt() -> Table {
     let mut t = Table::new(
         "E9 (Cor 7.11): Baswana–Sen preprocessing — edges & work down, stretch ×(2k−1)",
-        &["k", "input edges", "LE work (entries)", "mean E[stretch]", "log2 n"],
+        &[
+            "k",
+            "input edges",
+            "LE work (entries)",
+            "mean E[stretch]",
+            "log2 n",
+        ],
     );
     let g = gnm_graph(256, 4096, 1.0..10.0, &mut rng(14));
     let dist = apsp(&g);
@@ -399,12 +449,23 @@ pub fn exp_spanner_frt() -> Table {
 pub fn exp_metric() -> Table {
     let mut t = Table::new(
         "E10 (Thm 6.1/6.2): approximate metric quality and work",
-        &["variant", "n", "max ratio", "triangle ok", "oracle entries", "naive n²·SPD"],
+        &[
+            "variant",
+            "n",
+            "max ratio",
+            "triangle ok",
+            "oracle entries",
+            "naive n²·SPD",
+        ],
     );
     let g = gnm_graph(160, 480, 1.0..10.0, &mut rng(15));
     let exact = apsp(&g);
     let cfg = MetricConfig {
-        hopset: HopsetConfig { d: 33, epsilon: 0.0, oversample: 2.0 },
+        hopset: HopsetConfig {
+            d: 33,
+            epsilon: 0.0,
+            oversample: 2.0,
+        },
         eps_hat: 0.05,
         max_iterations: None,
     };
@@ -419,9 +480,8 @@ pub fn exp_metric() -> Table {
         for u in 0..g.n() {
             for v in 0..g.n() {
                 if u != v {
-                    max_ratio = max_ratio.max(
-                        metric.dist(u as NodeId, v as NodeId).value() / exact[u][v].value(),
-                    );
+                    max_ratio = max_ratio
+                        .max(metric.dist(u as NodeId, v as NodeId).value() / exact[u][v].value());
                 }
             }
         }
@@ -455,14 +515,26 @@ pub fn exp_metric() -> Table {
 pub fn exp_congest() -> Table {
     let mut t = Table::new(
         "E11/E12 (Sec. 8): simulated Congest rounds — Khan et al. vs skeleton",
-        &["graph", "n", "SPD", "D", "√n", "khan rounds", "skel rounds", "winner"],
+        &[
+            "graph",
+            "n",
+            "SPD",
+            "D",
+            "√n",
+            "khan rounds",
+            "skel rounds",
+            "winner",
+        ],
     );
     let mut r = rng(17);
     let cases: Vec<(&str, Graph)> = vec![
         ("gnm m=3n", gnm_graph(768, 2304, 1.0..10.0, &mut r)),
         ("grid 24×32", grid_graph(24, 32, 1.0..5.0, &mut r)),
         ("highway", highway_graph(2500, 1e5)),
-        ("caterpillar", caterpillar_graph(2000, 500, 1.0, 1.0..3.0, &mut r)),
+        (
+            "caterpillar",
+            caterpillar_graph(2000, 500, 1.0, 1.0..3.0, &mut r),
+        ),
     ];
     for (name, g) in cases {
         let spd = shortest_path_diameter(&g);
@@ -478,7 +550,11 @@ pub fn exp_congest() -> Table {
             spanner_k: 3,
         };
         let skel = mte_congest::skeleton::skeleton_frt(&g, &config, &mut r);
-        let winner = if skel.cost.rounds < khan.rounds { "skeleton" } else { "khan" };
+        let winner = if skel.cost.rounds < khan.rounds {
+            "skeleton"
+        } else {
+            "khan"
+        };
         t.push(vec![
             name.into(),
             g.n().to_string(),
@@ -498,13 +574,24 @@ pub fn exp_kmedian() -> Table {
     use mte_apps::kmedian::*;
     let mut t = Table::new(
         "E13 (Thm 9.2): k-median — FRT+DP vs local search and random centers",
-        &["graph", "n", "k", "FRT+DP", "local search", "random", "ratio vs LS"],
+        &[
+            "graph",
+            "n",
+            "k",
+            "FRT+DP",
+            "local search",
+            "random",
+            "ratio vs LS",
+        ],
     );
     let mut r = rng(18);
     let cases: Vec<(&str, Graph)> = vec![
         ("grid 10×10", grid_graph(10, 10, 1.0..5.0, &mut r)),
         ("gnm m=3n", gnm_graph(200, 600, 1.0..10.0, &mut r)),
-        ("geometric", random_geometric_graph(200, 0.11, 100.0, &mut r)),
+        (
+            "geometric",
+            random_geometric_graph(200, 0.11, 100.0, &mut r),
+        ),
     ];
     for (name, g) in cases {
         for k in [2usize, 4, 8] {
@@ -531,7 +618,14 @@ pub fn exp_buyatbulk() -> Table {
     use mte_apps::buyatbulk::*;
     let mut t = Table::new(
         "E14 (Thm 10.2): buy-at-bulk — tree aggregation vs per-demand routing",
-        &["instance", "demands", "ours (best of 5)", "direct", "lower bound", "ours/LB"],
+        &[
+            "instance",
+            "demands",
+            "ours (best of 5)",
+            "direct",
+            "lower bound",
+            "ours/LB",
+        ],
     );
     let mut r = rng(19);
     // Mesh with random demands.
@@ -547,15 +641,31 @@ pub fn exp_buyatbulk() -> Table {
     // Trunk-heavy path instance.
     let g2 = path_graph(40, 1.0);
     let demands2: Vec<Demand> = (0..16)
-        .map(|i| Demand { s: (i % 4) as NodeId, t: (39 - (i % 4)) as NodeId, amount: 1.0 })
+        .map(|i| Demand {
+            s: (i % 4) as NodeId,
+            t: (39 - (i % 4)) as NodeId,
+            amount: 1.0,
+        })
         .collect();
     let cables = vec![
-        CableType { capacity: 1.0, cost: 1.0 },
-        CableType { capacity: 10.0, cost: 4.0 },
-        CableType { capacity: 100.0, cost: 14.0 },
+        CableType {
+            capacity: 1.0,
+            cost: 1.0,
+        },
+        CableType {
+            capacity: 10.0,
+            cost: 4.0,
+        },
+        CableType {
+            capacity: 100.0,
+            cost: 14.0,
+        },
     ];
     for (name, g, demands) in [("mesh 8×8", g1, demands1), ("trunk path", g2, demands2)] {
-        let inst = BuyAtBulkInstance { cables: cables.clone(), demands };
+        let inst = BuyAtBulkInstance {
+            cables: cables.clone(),
+            demands,
+        };
         let mut best = f64::INFINITY;
         for seed in 0..5 {
             let mut rr = rng(800 + seed);
@@ -583,7 +693,13 @@ pub fn exp_baseline() -> Table {
     let mut t = Table::new(
         "E16 (Sec. 1.1): work, wall time & depth — metric baseline vs direct vs oracle \
          pipeline (highway graphs: SPD = n−1, the regime the pipeline targets)",
-        &["n", "sampler", "entries processed", "wall ms", "depth proxy (rounds)"],
+        &[
+            "n",
+            "sampler",
+            "entries processed",
+            "wall ms",
+            "depth proxy (rounds)",
+        ],
     );
     for n in [256usize, 512, 1024] {
         let mut r = rng(20 + n as u64);
@@ -623,7 +739,11 @@ pub fn exp_baseline() -> Table {
         // pays d ≈ n/√m — see DESIGN.md §3.)
         let d = (2.0 * (n as f64).sqrt()) as usize | 1;
         let config = FrtConfig {
-            hopset: HopsetConfig { d, epsilon: 0.0, oversample: 1.0 },
+            hopset: HopsetConfig {
+                d,
+                epsilon: 0.0,
+                oversample: 1.0,
+            },
             eps_hat: 0.05,
             spanner_k: None,
             max_iterations: None,
@@ -698,22 +818,62 @@ pub fn exp_catalog() -> Table {
     let cap = n + 1;
 
     let run1 = run_to_fixpoint(&SourceDetection::sssp(n, 0), &g, cap);
-    t.push(vec!["SSSP (Ex. 3.3)".into(), "min-plus".into(), run1.iterations.to_string(), run1.work.entries_processed.to_string()]);
+    t.push(vec![
+        "SSSP (Ex. 3.3)".into(),
+        "min-plus".into(),
+        run1.iterations.to_string(),
+        run1.work.entries_processed.to_string(),
+    ]);
     let run2 = run_to_fixpoint(&SourceDetection::k_ssp(n, 4), &g, cap);
-    t.push(vec!["4-SSP (Ex. 3.4)".into(), "min-plus".into(), run2.iterations.to_string(), run2.work.entries_processed.to_string()]);
+    t.push(vec![
+        "4-SSP (Ex. 3.4)".into(),
+        "min-plus".into(),
+        run2.iterations.to_string(),
+        run2.work.entries_processed.to_string(),
+    ]);
     let run3 = run_to_fixpoint(&SourceDetection::apsp(n), &g, cap);
-    t.push(vec!["APSP (Ex. 3.5)".into(), "min-plus".into(), run3.iterations.to_string(), run3.work.entries_processed.to_string()]);
+    t.push(vec![
+        "APSP (Ex. 3.5)".into(),
+        "min-plus".into(),
+        run3.iterations.to_string(),
+        run3.work.entries_processed.to_string(),
+    ]);
     let run4 = run_to_fixpoint(&ForestFire::new(n, &[0, 1, 2], Dist::new(8.0)), &g, cap);
-    t.push(vec!["forest fire (Ex. 3.7)".into(), "min-plus".into(), run4.iterations.to_string(), run4.work.entries_processed.to_string()]);
+    t.push(vec![
+        "forest fire (Ex. 3.7)".into(),
+        "min-plus".into(),
+        run4.iterations.to_string(),
+        run4.work.entries_processed.to_string(),
+    ]);
     let run5 = run_to_fixpoint(&WidestPaths::apwp(n), &g, cap);
-    t.push(vec!["APWP (Ex. 3.14)".into(), "max-min".into(), run5.iterations.to_string(), run5.work.entries_processed.to_string()]);
+    t.push(vec![
+        "APWP (Ex. 3.14)".into(),
+        "max-min".into(),
+        run5.iterations.to_string(),
+        run5.work.entries_processed.to_string(),
+    ]);
     let run6 = run_to_fixpoint(&Connectivity::all_pairs(n), &g, cap);
-    t.push(vec!["connectivity (Ex. 3.25)".into(), "boolean".into(), run6.iterations.to_string(), run6.work.entries_processed.to_string()]);
+    t.push(vec![
+        "connectivity (Ex. 3.25)".into(),
+        "boolean".into(),
+        run6.iterations.to_string(),
+        run6.work.entries_processed.to_string(),
+    ]);
     let small = gnm_graph(32, 64, 1.0..5.0, &mut r);
     let run7 = run_to_fixpoint(&KShortestDistances::new(0, 3), &small, 4 * small.n());
-    t.push(vec!["3-SDP on n=32 (Ex. 3.23)".into(), "all-paths".into(), run7.iterations.to_string(), run7.work.entries_processed.to_string()]);
+    t.push(vec![
+        "3-SDP on n=32 (Ex. 3.23)".into(),
+        "all-paths".into(),
+        run7.iterations.to_string(),
+        run7.work.entries_processed.to_string(),
+    ]);
     let ranks = Arc::new(Ranks::sample(n, &mut r));
     let run8 = run_to_fixpoint(&mte_core::frt::LeListAlgorithm::new(ranks), &g, cap);
-    t.push(vec!["LE lists (Def. 7.3)".into(), "min-plus".into(), run8.iterations.to_string(), run8.work.entries_processed.to_string()]);
+    t.push(vec![
+        "LE lists (Def. 7.3)".into(),
+        "min-plus".into(),
+        run8.iterations.to_string(),
+        run8.work.entries_processed.to_string(),
+    ]);
     t
 }

@@ -49,8 +49,20 @@ mod tests {
 
     #[test]
     fn accumulation() {
-        let mut a = CongestCost { rounds: 2, messages: 7 };
-        a += CongestCost { rounds: 1, messages: 3 };
-        assert_eq!(a, CongestCost { rounds: 3, messages: 10 });
+        let mut a = CongestCost {
+            rounds: 2,
+            messages: 7,
+        };
+        a += CongestCost {
+            rounds: 1,
+            messages: 3,
+        };
+        assert_eq!(
+            a,
+            CongestCost {
+                rounds: 3,
+                messages: 10
+            }
+        );
     }
 }

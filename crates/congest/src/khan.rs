@@ -11,7 +11,7 @@
 
 use crate::cost::CongestCost;
 use mte_algebra::{Dist, NodeId};
-use mte_core::frt::le_list::{le_filter_entries, LeList, Ranks};
+use mte_core::frt::le_list::{le_filter_entries, le_filter_in_place, LeList, Ranks};
 use mte_core::frt::tree::FrtTree;
 use mte_graph::Graph;
 use rand::Rng;
@@ -105,9 +105,9 @@ pub fn pipelined_le_lists(
             if inbox[v].is_empty() {
                 continue;
             }
-            let mut candidate = nodes[v].list.clone();
-            candidate.extend(inbox[v].iter().map(|&(w, d, _)| (w, d)));
-            let merged = le_filter_entries(&candidate, ranks);
+            let mut merged = nodes[v].list.clone();
+            merged.extend(inbox[v].iter().map(|&(w, d, _)| (w, d)));
+            le_filter_in_place(&mut merged, ranks);
             if merged != nodes[v].list {
                 for &(w, d) in &merged {
                     let had = nodes[v].list.iter().any(|&(x, dx)| x == w && dx <= d);
@@ -148,10 +148,7 @@ pub fn khan_le_lists(g: &Graph, ranks: &Ranks) -> (Vec<LeList>, CongestCost) {
 /// [`khan_le_lists`], then the tree via Lemma 7.2 (the tree construction
 /// is local postprocessing: every node knows its own list; `β` and the
 /// permutation seed are broadcast in `O(D(G))` extra rounds, accounted).
-pub fn khan_frt(
-    g: &Graph,
-    rng: &mut impl Rng,
-) -> (FrtTree, Arc<Ranks>, CongestCost) {
+pub fn khan_frt(g: &Graph, rng: &mut impl Rng) -> (FrtTree, Arc<Ranks>, CongestCost) {
     let ranks = Arc::new(Ranks::sample(g.n(), rng));
     let beta = rng.gen_range(1.0..2.0);
     let (lists, mut cost) = khan_le_lists(g, &ranks);
@@ -164,7 +161,7 @@ pub fn khan_frt(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mte_core::frt::le_list::{le_lists_direct, le_lists_approx_eq};
+    use mte_core::frt::le_list::{le_lists_approx_eq, le_lists_direct};
     use mte_graph::algorithms::shortest_path_diameter;
     use mte_graph::generators::{gnm_graph, path_graph};
     use rand::rngs::StdRng;
@@ -190,7 +187,11 @@ mod tests {
         let (_, cost) = khan_le_lists(&g, &ranks);
         let spd = shortest_path_diameter(&g) as u64;
         let logn = (g.n() as f64).log2().ceil() as u64;
-        assert!(cost.rounds >= spd / 2, "rounds {} suspiciously low", cost.rounds);
+        assert!(
+            cost.rounds >= spd / 2,
+            "rounds {} suspiciously low",
+            cost.rounds
+        );
         assert!(
             cost.rounds <= 4 * spd * logn,
             "rounds {} above O(SPD log n)",

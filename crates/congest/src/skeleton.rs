@@ -46,7 +46,11 @@ pub struct SkeletonConfig {
 
 impl Default for SkeletonConfig {
     fn default() -> Self {
-        SkeletonConfig { ell: None, oversample: 2.0, spanner_k: 2 }
+        SkeletonConfig {
+            ell: None,
+            oversample: 2.0,
+            spanner_k: 2,
+        }
     }
 }
 
@@ -138,7 +142,10 @@ fn pipelined_source_detection(
 /// Runs the full skeleton-based distributed FRT construction.
 pub fn skeleton_frt(g: &Graph, config: &SkeletonConfig, rng: &mut impl Rng) -> SkeletonResult {
     let n = g.n();
-    let ell = config.ell.unwrap_or_else(|| (n as f64).sqrt().ceil() as usize).max(1);
+    let ell = config
+        .ell
+        .unwrap_or_else(|| (n as f64).sqrt().ceil() as usize)
+        .max(1);
     let diameter = hop_diameter(g) as u64;
     let mut cost = CongestCost::new();
 
@@ -155,9 +162,7 @@ pub fn skeleton_frt(g: &Graph, config: &SkeletonConfig, rng: &mut impl Rng) -> S
     {
         use rand::seq::SliceRandom;
         order.shuffle(rng);
-        let mut rest: Vec<NodeId> = (0..n as NodeId)
-            .filter(|v| !skeleton.contains(v))
-            .collect();
+        let mut rest: Vec<NodeId> = (0..n as NodeId).filter(|v| !skeleton.contains(v)).collect();
         rest.shuffle(rng);
         order.extend(rest);
     }
@@ -239,7 +244,13 @@ pub fn skeleton_frt(g: &Graph, config: &SkeletonConfig, rng: &mut impl Rng) -> S
 
     let beta = rng.gen_range(1.0..2.0);
     let tree = FrtTree::from_le_lists(&le_lists, &ranks, beta, g.min_weight());
-    SkeletonResult { tree, ranks, le_lists, skeleton, cost }
+    SkeletonResult {
+        tree,
+        ranks,
+        le_lists,
+        skeleton,
+        cost,
+    }
 }
 
 #[cfg(test)]
@@ -288,7 +299,11 @@ mod tests {
         let g = mte_graph::generators::highway_graph(2500, 1e5);
         let ranks = Arc::new(Ranks::sample(g.n(), &mut rng));
         let (_, khan_cost) = crate::khan::khan_le_lists(&g, &ranks);
-        let config = SkeletonConfig { ell: Some(250), oversample: 1.0, spanner_k: 3 };
+        let config = SkeletonConfig {
+            ell: Some(250),
+            oversample: 1.0,
+            spanner_k: 3,
+        };
         let res = skeleton_frt(&g, &config, &mut rng);
         assert!(
             res.cost.rounds < khan_cost.rounds,

@@ -24,7 +24,9 @@ impl Connectivity {
 
     /// All-pairs connectivity.
     pub fn all_pairs(n: usize) -> Self {
-        Connectivity { is_source: vec![true; n] }
+        Connectivity {
+            is_source: vec![true; n],
+        }
     }
 }
 
@@ -47,6 +49,16 @@ impl MbfAlgorithm for Connectivity {
             NodeSet::singleton(v)
         } else {
             NodeSet::new()
+        }
+    }
+
+    /// `1 ⊙ x = x`: union the neighbor state directly instead of
+    /// materializing the scaled copy the default would clone.
+    #[inline]
+    fn propagate_into(&self, acc: &mut NodeSet, state: &NodeSet, coeff: &Bool) {
+        if coeff.0 {
+            use mte_algebra::Semimodule;
+            acc.add_assign(state);
         }
     }
 

@@ -26,12 +26,20 @@ pub struct KShortestDistances {
 impl KShortestDistances {
     /// k-SDP towards target `s` (Example 3.23).
     pub fn new(target: NodeId, k: usize) -> Self {
-        KShortestDistances { target, k, distinct: false }
+        KShortestDistances {
+            target,
+            k,
+            distinct: false,
+        }
     }
 
     /// k-DSDP: `k` distinct shortest distances (Example 3.24).
     pub fn distinct(target: NodeId, k: usize) -> Self {
-        KShortestDistances { target, k, distinct: true }
+        KShortestDistances {
+            target,
+            k,
+            distinct: true,
+        }
     }
 
     /// The representative projection of Equations (3.24)/(3.26)/(3.27):
@@ -92,7 +100,11 @@ fn count_start(kept: &[(Path, Dist)], k: usize) -> bool {
     let Some(start) = kept.last().map(|(p, _)| p.first()) else {
         return false;
     };
-    kept.iter().rev().take_while(|(p, _)| p.first() == start).count() >= k
+    kept.iter()
+        .rev()
+        .take_while(|(p, _)| p.first() == start)
+        .count()
+        >= k
 }
 
 impl MbfAlgorithm for KShortestDistances {

@@ -26,12 +26,20 @@ impl SourceDetection {
         for &s in sources {
             is_source[s as usize] = true;
         }
-        SourceDetection { is_source, k, max_dist }
+        SourceDetection {
+            is_source,
+            k,
+            max_dist,
+        }
     }
 
     /// All nodes as sources.
     fn all_sources(n: usize, k: usize, max_dist: Dist) -> Self {
-        SourceDetection { is_source: vec![true; n], k, max_dist }
+        SourceDetection {
+            is_source: vec![true; n],
+            k,
+            max_dist,
+        }
     }
 
     /// APSP = `(V, h, ∞, n)`-source detection (Example 3.5).
@@ -60,10 +68,13 @@ impl SourceDetection {
     fn project(&self, x: &mut DistanceMap) {
         x.retain(|v, d| self.is_source[v as usize] && d <= self.max_dist);
         if x.len() > self.k {
-            let mut entries = x.entries().to_vec();
-            entries.sort_unstable_by_key(|&(v, d)| (d, v));
-            entries.truncate(self.k);
-            *x = DistanceMap::from_entries(entries);
+            // Select the k smallest (dist, node) pairs inside the map's
+            // own buffer; `edit_entries` restores node order afterwards.
+            let k = self.k;
+            x.edit_entries(|entries| {
+                entries.sort_unstable_by_key(|&(v, d)| (d, v));
+                entries.truncate(k);
+            });
         }
     }
 }
@@ -142,7 +153,11 @@ mod tests {
         for s in 0..g.n() as NodeId {
             let exact = sssp(&g, s);
             for v in 0..g.n() as NodeId {
-                assert_eq!(res.states[v as usize].get(s), exact.dist(v), "pair ({s},{v})");
+                assert_eq!(
+                    res.states[v as usize].get(s),
+                    exact.dist(v),
+                    "pair ({s},{v})"
+                );
             }
         }
     }

@@ -24,7 +24,9 @@ impl WidestPaths {
 
     /// All-pairs widest paths (APWP, Example 3.14).
     pub fn apwp(n: usize) -> Self {
-        WidestPaths { is_source: vec![true; n] }
+        WidestPaths {
+            is_source: vec![true; n],
+        }
     }
 
     /// Single-source widest paths (SSWP, Example 3.13).
@@ -54,6 +56,11 @@ impl MbfAlgorithm for WidestPaths {
         } else {
             WidthMap::new()
         }
+    }
+
+    #[inline]
+    fn propagate_into(&self, acc: &mut WidthMap, state: &WidthMap, coeff: &Width) {
+        acc.merge_scaled(state, *coeff);
     }
 
     #[inline]
@@ -138,10 +145,7 @@ mod tests {
     #[test]
     fn bottleneck_picks_wider_detour() {
         // 0-1 capacity 1; 0-2 capacity 10, 2-1 capacity 9: widest 0→1 is 9.
-        let g = mte_graph::Graph::from_edges(
-            3,
-            vec![(0, 1, 1.0), (0, 2, 10.0), (2, 1, 9.0)],
-        );
+        let g = mte_graph::Graph::from_edges(3, vec![(0, 1, 1.0), (0, 2, 10.0), (2, 1, 9.0)]);
         let alg = WidestPaths::sswp(g.n(), 0);
         let res = run_to_fixpoint(&alg, &g, g.n() + 1);
         assert_eq!(res.states[1].get(0), Width::new(9.0));

@@ -1,4 +1,7 @@
-//! The MBF-like iteration engine (paper Sections 2.3–2.4).
+//! The MBF-like iteration engine (paper Sections 2.3–2.4), with a
+//! frontier-driven sparse core.
+//!
+//! # The model
 //!
 //! An MBF-like algorithm `A` (Definition 2.11) is given by a semiring `S`,
 //! a zero-preserving semimodule `M` over `S`, a congruence relation with
@@ -9,10 +12,43 @@
 //! Corollary 2.17 the interleaved filtering never changes the output
 //! class, so `h` iterations compute `r^V A^h x⁽⁰⁾`.
 //!
-//! The engine parallelizes each iteration over destination vertices with
-//! rayon — the "implicit parallelism of the MBF algorithm" the paper
-//! leverages (cf. its comparison with Mohri's inherently sequential
-//! framework).
+//! # Frontier/dense hybrid
+//!
+//! The paper's efficiency argument (Lemmas 7.6–7.8) charges each
+//! iteration `O(Σ_v |x_v|)` work because filtered states stay small — but
+//! it also observes that iterations *converge*: after a few hops most
+//! vertices are quiescent. [`MbfEngine`] exploits this. It tracks the
+//! **frontier** — the set of vertices whose state changed in the previous
+//! hop — and recomputes only vertices with a frontier vertex in their
+//! closed neighborhood. Everything else provably cannot change:
+//! `x⁽ⁱ⁺¹⁾_v = r(x⁽ⁱ⁾_v ⊕ ⊕_w a_vw x⁽ⁱ⁾_w)` depends only on `v`'s closed
+//! in-neighborhood, and if none of those states moved since the hop that
+//! produced `x⁽ⁱ⁾_v`, recomputation would reproduce `x⁽ⁱ⁾_v` verbatim.
+//! The skip is therefore **bit-identical** to the dense sweep — no
+//! approximation is involved — which the equivalence suite asserts
+//! state-for-state.
+//!
+//! Recomputed vertices re-aggregate their whole neighborhood (a *pull*);
+//! incremental *push*-style accumulation is unsound here because a filter
+//! may shrink a neighbor's state, and `⊕` has no inverse to retract the
+//! stale contribution. When the frontier's incident-edge count exceeds a
+//! density threshold, [`EngineStrategy::Hybrid`] falls back to the dense
+//! sweep for that hop (Ligra-style direction switching): scanning the
+//! whole CSR row block is cheaper than chasing a frontier that covers
+//! most of the graph.
+//!
+//! States are **double-buffered**: the engine owns a shadow vector and
+//! writes hop `i+1` into it via `clone_from` (which reuses each state's
+//! heap buffer), then swaps only the vertices that changed. Combined with
+//! the zero-allocation merge kernels of [`mte_algebra::merge`] and the
+//! engine-owned stats buffer, a steady-state hop performs no allocation;
+//! what remains per hop is an `O(n)` bookkeeping scan of the mark
+//! vectors (a frontier-list schedule that avoids it is a possible
+//! follow-up for extremely sparse waves).
+//!
+//! The engine parallelizes each hop over destination vertices with rayon
+//! — the "implicit parallelism of the MBF algorithm" the paper leverages
+//! (cf. its comparison with Mohri's inherently sequential framework).
 
 use crate::work::WorkStats;
 use mte_algebra::{Filter, NodeId, Semimodule, Semiring};
@@ -53,6 +89,38 @@ pub trait MbfAlgorithm: Send + Sync {
     }
 }
 
+/// How the engine schedules one hop's relaxations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EngineStrategy {
+    /// Re-relax every vertex's full neighborhood each hop — the paper's
+    /// literal `r^V A x` and the reference the sparse paths are
+    /// differential-tested against.
+    Dense,
+    /// Always recompute only the closed neighborhood of the frontier,
+    /// however large it is.
+    Frontier,
+    /// Frontier-driven, but fall back to the dense sweep for hops whose
+    /// frontier touches more than `dense_threshold · 2m` directed edges
+    /// (Ligra-style push/pull direction switching).
+    Hybrid {
+        /// Fraction of the graph's directed edges above which a hop goes
+        /// dense. `0.0` is effectively [`EngineStrategy::Dense`] after
+        /// the first change, `1.0`-plus effectively
+        /// [`EngineStrategy::Frontier`].
+        dense_threshold: f64,
+    },
+}
+
+impl Default for EngineStrategy {
+    /// Hybrid with a 25% density threshold: sparse once convergence sets
+    /// in, dense while the wave still covers most of the graph.
+    fn default() -> Self {
+        EngineStrategy::Hybrid {
+            dense_threshold: 0.25,
+        }
+    }
+}
+
 /// Result of running an MBF-like algorithm: final states and work tally.
 #[derive(Clone, Debug)]
 pub struct MbfRun<M> {
@@ -78,10 +146,178 @@ pub fn initial_states<A: MbfAlgorithm>(alg: &A, n: usize) -> Vec<A::M> {
         .collect()
 }
 
+/// The reusable iteration state of the frontier engine: shadow buffer,
+/// dirty flags, and recompute marks. One engine serves arbitrarily many
+/// hops (and state vectors of the same length) without reallocating.
+#[derive(Clone, Debug)]
+pub struct MbfEngine<A: MbfAlgorithm> {
+    strategy: EngineStrategy,
+    /// Shadow state vector written during a hop, swapped element-wise.
+    next: Vec<A::M>,
+    /// `dirty[v]` ⇔ `v`'s state changed in the previous hop.
+    dirty: Vec<bool>,
+    /// Per-hop recompute marks (closed neighborhood of the frontier).
+    touched: Vec<bool>,
+    /// Per-vertex `(entries, relaxations, changed)` of the current hop,
+    /// reused across hops so stepping allocates nothing.
+    per_vertex: Vec<(u64, u64, bool)>,
+    /// `Σ deg(v)` over dirty vertices, the hybrid switch statistic.
+    frontier_degree: usize,
+    /// Number of dirty vertices.
+    frontier_len: usize,
+}
+
+impl<A: MbfAlgorithm> MbfEngine<A> {
+    /// A fresh engine with the given scheduling strategy. Buffers are
+    /// sized lazily on first use.
+    pub fn new(strategy: EngineStrategy) -> Self {
+        MbfEngine {
+            strategy,
+            next: Vec::new(),
+            dirty: Vec::new(),
+            touched: Vec::new(),
+            per_vertex: Vec::new(),
+            frontier_degree: 0,
+            frontier_len: 0,
+        }
+    }
+
+    /// The engine's scheduling strategy.
+    pub fn strategy(&self) -> EngineStrategy {
+        self.strategy
+    }
+
+    /// Number of vertices currently on the frontier.
+    pub fn frontier_len(&self) -> usize {
+        self.frontier_len
+    }
+
+    /// Declares every vertex dirty. Call after the state vector was
+    /// modified outside the engine (initialization, projections) — the
+    /// next hop is then a full sweep, after which convergence narrows the
+    /// frontier again.
+    pub fn mark_all_dirty(&mut self, g: &Graph) {
+        let n = g.n();
+        self.dirty.clear();
+        self.dirty.resize(n, true);
+        self.touched.clear();
+        self.touched.resize(n, false);
+        self.frontier_degree = 2 * g.m();
+        self.frontier_len = n;
+    }
+
+    /// One hop `x ← r^V A x` with all edge weights multiplied by
+    /// `weight_scale` (the oracle's `A_λ`, Lemma 5.1). Returns the work
+    /// spent and whether **any** state changed; once this reports
+    /// `false`, the fixpoint is reached and further hops are no-ops.
+    pub fn step(
+        &mut self,
+        alg: &A,
+        g: &Graph,
+        states: &mut [A::M],
+        weight_scale: f64,
+    ) -> (WorkStats, bool) {
+        let n = g.n();
+        assert_eq!(n, states.len(), "state vector / graph size mismatch");
+        if self.dirty.len() != n {
+            // First use (or a different graph size): treat as all-dirty.
+            self.mark_all_dirty(g);
+        }
+        if self.next.len() != n {
+            self.next.clear();
+            self.next.extend((0..n).map(|_| A::M::zero()));
+        }
+
+        let go_dense = match self.strategy {
+            EngineStrategy::Dense => true,
+            EngineStrategy::Frontier => self.frontier_len == n,
+            EngineStrategy::Hybrid { dense_threshold } => {
+                self.frontier_len == n
+                    || (self.frontier_degree as f64) > dense_threshold * (2 * g.m()) as f64
+            }
+        };
+
+        // Mark the closed neighborhood of the frontier for recomputation.
+        if go_dense {
+            self.touched.clear();
+            self.touched.resize(n, true);
+        } else {
+            self.touched.clear();
+            self.touched.resize(n, false);
+            for v in 0..n {
+                if self.dirty[v] {
+                    self.touched[v] = true;
+                    for &(w, _) in g.neighbors(v as NodeId) {
+                        self.touched[w as usize] = true;
+                    }
+                }
+            }
+        }
+
+        // Pull-style recomputation of all touched vertices into the
+        // shadow buffer. `clone_from` reuses each shadow state's heap
+        // allocation, the overridden `propagate_into` kernels merge
+        // through reusable scratch, and the stats land in the reused
+        // `per_vertex` buffer — a steady-state hop allocates nothing
+        // (the remaining per-hop cost is the O(n) bookkeeping scan).
+        self.per_vertex.clear();
+        self.per_vertex.resize(n, (0, 0, false));
+        let states_ref: &[A::M] = states;
+        let touched = &self.touched;
+        self.next
+            .par_iter_mut()
+            .zip(self.per_vertex.par_iter_mut())
+            .enumerate()
+            .for_each(|(v, (shadow, stats))| {
+                if !touched[v] {
+                    return;
+                }
+                // a_vv = 1: keep the node's own state.
+                shadow.clone_from(&states_ref[v]);
+                let mut entries = alg.state_size(shadow) as u64;
+                let mut relaxations = 0u64;
+                for &(w, ew) in g.neighbors(v as NodeId) {
+                    let coeff = alg.edge_coeff(v as NodeId, w, ew * weight_scale);
+                    alg.propagate_into(shadow, &states_ref[w as usize], &coeff);
+                    entries += alg.state_size(&states_ref[w as usize]) as u64;
+                    relaxations += 1;
+                }
+                alg.filter(shadow);
+                let changed = *shadow != states_ref[v];
+                *stats = (entries, relaxations, changed);
+            });
+
+        // Commit: swap in changed states, refresh the frontier.
+        let mut work = WorkStats {
+            iterations: 1,
+            ..WorkStats::default()
+        };
+        self.frontier_degree = 0;
+        self.frontier_len = 0;
+        let mut any_changed = false;
+        for v in 0..n {
+            let (entries, relaxations, changed) = self.per_vertex[v];
+            work.entries_processed += entries;
+            work.edge_relaxations += relaxations;
+            if self.touched[v] {
+                work.touched_vertices += 1;
+            }
+            self.dirty[v] = changed;
+            if changed {
+                std::mem::swap(&mut states[v], &mut self.next[v]);
+                self.frontier_degree += g.degree(v as NodeId);
+                self.frontier_len += 1;
+                any_changed = true;
+            }
+        }
+        (work, any_changed)
+    }
+}
+
 /// One MBF-like iteration `x ← r^V A x` on `g`, with all edge weights
-/// multiplied by `weight_scale` (the oracle's `A_λ`, Lemma 5.1, scales the
-/// adjacency matrix of `G'` level by level). Returns the new states and
-/// the work spent.
+/// multiplied by `weight_scale`. One-shot dense kernel kept as the
+/// differential-testing reference; iterated workloads should hold an
+/// [`MbfEngine`] instead and let it track the frontier across hops.
 pub fn iterate_scaled<A: MbfAlgorithm>(
     alg: &A,
     g: &Graph,
@@ -108,7 +344,11 @@ pub fn iterate_scaled<A: MbfAlgorithm>(
         .collect();
 
     let mut states = Vec::with_capacity(results.len());
-    let mut work = WorkStats { iterations: 1, ..WorkStats::default() };
+    let mut work = WorkStats {
+        iterations: 1,
+        ..WorkStats::default()
+    };
+    work.touched_vertices = g.n() as u64;
     for (s, e, r) in results {
         work.entries_processed += e;
         work.edge_relaxations += r;
@@ -117,44 +357,80 @@ pub fn iterate_scaled<A: MbfAlgorithm>(
     (states, work)
 }
 
-/// One MBF-like iteration `x ← r^V A x` on `g`.
+/// One MBF-like iteration `x ← r^V A x` on `g` (dense one-shot kernel;
+/// see [`iterate_scaled`]).
 pub fn iterate<A: MbfAlgorithm>(alg: &A, g: &Graph, x: &[A::M]) -> (Vec<A::M>, WorkStats) {
     iterate_scaled(alg, g, x, 1.0)
 }
 
-/// Runs exactly `h` iterations: `A^h(G) = r^V A^h x⁽⁰⁾` (Equation (2.17)).
-pub fn run<A: MbfAlgorithm>(alg: &A, g: &Graph, h: usize) -> MbfRun<A::M> {
+/// Runs exactly `h` iterations under the given strategy:
+/// `A^h(G) = r^V A^h x⁽⁰⁾` (Equation (2.17)).
+pub fn run_with<A: MbfAlgorithm>(
+    alg: &A,
+    g: &Graph,
+    h: usize,
+    strategy: EngineStrategy,
+) -> MbfRun<A::M> {
     let mut states = initial_states(alg, g.n());
+    let mut engine = MbfEngine::new(strategy);
+    engine.mark_all_dirty(g);
     let mut work = WorkStats::new();
     for _ in 0..h {
-        let (next, w) = iterate(alg, g, &states);
+        let (w, _) = engine.step(alg, g, &mut states, 1.0);
         work += w;
-        states = next;
     }
-    MbfRun { states, iterations: h, fixpoint: false, work }
+    MbfRun {
+        states,
+        iterations: h,
+        fixpoint: false,
+        work,
+    }
 }
 
-/// Iterates until the fixpoint `x⁽ⁱ⁺¹⁾ = x⁽ⁱ⁾`, reached after at most
-/// `SPD(G) < n` iterations (Definition 2.11), or until `cap` iterations.
-pub fn run_to_fixpoint<A: MbfAlgorithm>(alg: &A, g: &Graph, cap: usize) -> MbfRun<A::M>
-where
-    A::M: PartialEq,
-{
+/// Runs exactly `h` iterations under the default hybrid strategy.
+pub fn run<A: MbfAlgorithm>(alg: &A, g: &Graph, h: usize) -> MbfRun<A::M> {
+    run_with(alg, g, h, EngineStrategy::default())
+}
+
+/// Iterates until the fixpoint `x⁽ⁱ⁺¹⁾ = x⁽ⁱ⁾` under the given strategy,
+/// reached after at most `SPD(G) < n` iterations (Definition 2.11), or
+/// until `cap` iterations. The confirming hop (the one that changes
+/// nothing) is counted, matching the dense reference semantics.
+pub fn run_to_fixpoint_with<A: MbfAlgorithm>(
+    alg: &A,
+    g: &Graph,
+    cap: usize,
+    strategy: EngineStrategy,
+) -> MbfRun<A::M> {
     let mut states = initial_states(alg, g.n());
+    let mut engine = MbfEngine::new(strategy);
+    engine.mark_all_dirty(g);
     let mut work = WorkStats::new();
     let mut iterations = 0;
     let mut fixpoint = false;
     while iterations < cap {
-        let (next, w) = iterate(alg, g, &states);
+        let (w, changed) = engine.step(alg, g, &mut states, 1.0);
         work += w;
         iterations += 1;
-        if next == states {
+        if !changed {
             fixpoint = true;
             break;
         }
-        states = next;
     }
-    MbfRun { states, iterations, fixpoint, work }
+    MbfRun {
+        states,
+        iterations,
+        fixpoint,
+        work,
+    }
+}
+
+/// Iterates to the fixpoint under the default hybrid strategy.
+pub fn run_to_fixpoint<A: MbfAlgorithm>(alg: &A, g: &Graph, cap: usize) -> MbfRun<A::M>
+where
+    A::M: PartialEq,
+{
+    run_to_fixpoint_with(alg, g, cap, EngineStrategy::default())
 }
 
 /// Applies a [`Filter`] component-wise to a state vector: the paper's
@@ -215,13 +491,67 @@ mod tests {
     }
 
     #[test]
-    fn work_is_counted() {
+    fn dense_work_is_counted() {
         let g = path_graph(4, 1.0);
         let alg = PlainSssp { source: 0 };
-        let r = run(&alg, &g, 3);
+        let r = run_with(&alg, &g, 3, EngineStrategy::Dense);
         assert_eq!(r.work.iterations, 3);
-        // 2m relaxations per iteration.
+        // 2m relaxations per dense iteration.
         assert_eq!(r.work.edge_relaxations, 3 * 2 * g.m() as u64);
+        assert_eq!(r.work.touched_vertices, 3 * g.n() as u64);
+    }
+
+    #[test]
+    fn frontier_relaxes_fewer_edges_than_dense() {
+        let g = path_graph(64, 1.0);
+        let alg = PlainSssp { source: 0 };
+        let cap = g.n() + 1;
+        let dense = run_to_fixpoint_with(&alg, &g, cap, EngineStrategy::Dense);
+        let frontier = run_to_fixpoint_with(&alg, &g, cap, EngineStrategy::Frontier);
+        assert!(dense.fixpoint && frontier.fixpoint);
+        assert_eq!(dense.states, frontier.states);
+        assert_eq!(dense.iterations, frontier.iterations);
+        // On a path, the SSSP wave touches O(1) vertices per hop while
+        // the dense sweep re-relaxes all 2m edge directions every hop.
+        assert!(
+            frontier.work.edge_relaxations * 4 < dense.work.edge_relaxations,
+            "frontier {} vs dense {}",
+            frontier.work.edge_relaxations,
+            dense.work.edge_relaxations
+        );
+    }
+
+    #[test]
+    fn hybrid_switches_to_dense_on_wide_frontiers() {
+        // Threshold 0 forces dense sweeps whenever anything is dirty, so
+        // the work matches the dense engine exactly.
+        let g = path_graph(16, 1.0);
+        let alg = PlainSssp { source: 0 };
+        let cap = g.n() + 1;
+        let always_dense = run_to_fixpoint_with(
+            &alg,
+            &g,
+            cap,
+            EngineStrategy::Hybrid {
+                dense_threshold: 0.0,
+            },
+        );
+        let dense = run_to_fixpoint_with(&alg, &g, cap, EngineStrategy::Dense);
+        assert_eq!(always_dense.work, dense.work);
+        assert_eq!(always_dense.states, dense.states);
+    }
+
+    #[test]
+    fn steps_after_fixpoint_are_free() {
+        let g = path_graph(8, 1.0);
+        let alg = PlainSssp { source: 0 };
+        let r = run_with(&alg, &g, 50, EngineStrategy::Frontier);
+        // Fixpoint after 7 productive + 1 confirming hop; the remaining
+        // 42 hops have an empty frontier and cost only the O(n)
+        // bookkeeping scan.
+        let dense = run_with(&alg, &g, 50, EngineStrategy::Dense);
+        assert_eq!(r.states, dense.states);
+        assert!(r.work.edge_relaxations < dense.work.edge_relaxations / 4);
     }
 
     #[test]
@@ -231,5 +561,18 @@ mod tests {
         let x = initial_states(&alg, g.n());
         let (y, _) = iterate_scaled(&alg, &g, &x, 3.0);
         assert_eq!(y[1], MinPlus::new(3.0));
+    }
+
+    #[test]
+    fn engine_step_matches_iterate() {
+        let g = path_graph(6, 1.5);
+        let alg = PlainSssp { source: 2 };
+        let mut states = initial_states(&alg, g.n());
+        let mut engine = MbfEngine::new(EngineStrategy::Frontier);
+        engine.mark_all_dirty(&g);
+        let (reference, _) = iterate(&alg, &g, &states);
+        let (_, changed) = engine.step(&alg, &g, &mut states, 1.0);
+        assert!(changed);
+        assert_eq!(states, reference);
     }
 }

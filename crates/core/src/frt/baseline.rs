@@ -43,7 +43,13 @@ pub fn sample_from_metric(
     let beta = rng.gen_range(1.0..2.0);
     let (le_lists, work) = le_lists_from_metric(dist, &ranks);
     let tree = FrtTree::from_le_lists(&le_lists, &ranks, beta, omega_min);
-    BaselineSample { tree, ranks, le_lists, iterations: 1, work }
+    BaselineSample {
+        tree,
+        ranks,
+        le_lists,
+        iterations: 1,
+        work,
+    }
 }
 
 /// Samples an FRT tree of the exact metric of `G` by direct LE-list
@@ -53,7 +59,13 @@ pub fn sample_direct(g: &Graph, rng: &mut impl Rng) -> BaselineSample {
     let beta = rng.gen_range(1.0..2.0);
     let (le_lists, iterations, work) = le_lists_direct(g, &ranks);
     let tree = FrtTree::from_le_lists(&le_lists, &ranks, beta, g.min_weight());
-    BaselineSample { tree, ranks, le_lists, iterations, work }
+    BaselineSample {
+        tree,
+        ranks,
+        le_lists,
+        iterations,
+        work,
+    }
 }
 
 #[cfg(test)]
@@ -83,7 +95,10 @@ mod tests {
         for u in 0..g.n() as u32 {
             for v in 0..g.n() as u32 {
                 let (x, y) = (a.tree.leaf_distance(u, v), b.tree.leaf_distance(u, v));
-                assert!((x - y).abs() <= 1e-9 * x.max(y).max(1.0), "({u},{v}): {x} vs {y}");
+                assert!(
+                    (x - y).abs() <= 1e-9 * x.max(y).max(1.0),
+                    "({u},{v}): {x} vs {y}"
+                );
             }
         }
         // The metric baseline pays Θ(n²) reads; direct pays per-iteration

@@ -84,7 +84,11 @@ impl FrtForest {
     /// Mean embedded distance over the forest — an estimator of the
     /// expected tree distance `E_T[dist(u, v, T)]` (Definition 7.1).
     pub fn mean_distance(&self, u: NodeId, v: NodeId) -> f64 {
-        self.trees.iter().map(|t| t.leaf_distance(u, v)).sum::<f64>() / self.trees.len() as f64
+        self.trees
+            .iter()
+            .map(|t| t.leaf_distance(u, v))
+            .sum::<f64>()
+            / self.trees.len() as f64
     }
 
     /// Index of the tree minimizing an application-supplied objective —
@@ -129,7 +133,10 @@ mod tests {
             }
         }
         // Expected stretch O(log n); 16 samples tame the variance.
-        assert!(worst <= 10.0 * (g.n() as f64).log2(), "worst mean stretch {worst}");
+        assert!(
+            worst <= 10.0 * (g.n() as f64).log2(),
+            "worst mean stretch {worst}"
+        );
     }
 
     #[test]
@@ -150,7 +157,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(503);
         let g = gnm_graph(36, 90, 1.0..8.0, &mut rng);
         let config = FrtConfig {
-            hopset: HopsetConfig { d: 7, epsilon: 0.0, oversample: 3.0 },
+            hopset: HopsetConfig {
+                d: 7,
+                epsilon: 0.0,
+                oversample: 3.0,
+            },
             eps_hat: 0.05,
             spanner_k: None,
             max_iterations: None,

@@ -13,8 +13,8 @@
 //! Lemma 7.6 bounds every intermediate filtered list by `O(log n)` w.h.p.,
 //! which is what makes each iteration cheap (Lemma 7.8).
 
-use crate::engine::{run_to_fixpoint, MbfAlgorithm};
-use crate::oracle::{default_iteration_cap, oracle_run_to_fixpoint};
+use crate::engine::{run_to_fixpoint_with, EngineStrategy, MbfAlgorithm};
+use crate::oracle::{default_iteration_cap, oracle_run_to_fixpoint_with};
 use crate::simgraph::SimulatedGraph;
 use crate::work::WorkStats;
 use mte_algebra::{Dist, DistanceMap, Filter, MinPlus, NodeId};
@@ -71,20 +71,38 @@ impl Ranks {
     }
 }
 
-/// Core LE filtering: keep only non-dominated entries. Returns entries
-/// sorted by ascending distance (hence strictly decreasing rank).
-pub fn le_filter_entries(entries: &[(NodeId, Dist)], ranks: &Ranks) -> Vec<(NodeId, Dist)> {
-    let mut sorted = entries.to_vec();
-    sorted.sort_unstable_by_key(|&(v, d)| (d, ranks.rank(v)));
-    let mut kept = Vec::new();
+/// Core LE filtering **in place**: keeps only non-dominated entries,
+/// leaving them sorted by ascending distance (hence strictly decreasing
+/// rank). The entry vector is its own workspace — already
+/// `(dist, rank)`-sorted inputs (the common case: LE lists stay sorted
+/// between hops) skip the sort entirely, and survivors are compacted by
+/// a two-pointer pass, so no scratch vector is ever allocated.
+pub fn le_filter_in_place(entries: &mut Vec<(NodeId, Dist)>, ranks: &Ranks) {
+    let sorted = entries
+        .windows(2)
+        .all(|w| (w[0].1, ranks.rank(w[0].0)) <= (w[1].1, ranks.rank(w[1].0)));
+    if !sorted {
+        entries.sort_unstable_by_key(|&(v, d)| (d, ranks.rank(v)));
+    }
     let mut best_rank = u32::MAX;
-    for (v, d) in sorted {
+    let mut kept = 0;
+    for i in 0..entries.len() {
+        let (v, d) = entries[i];
         let r = ranks.rank(v);
         if r < best_rank {
-            kept.push((v, d));
+            entries[kept] = (v, d);
+            kept += 1;
             best_rank = r;
         }
     }
+    entries.truncate(kept);
+}
+
+/// Core LE filtering into a fresh vector (see [`le_filter_in_place`] for
+/// the allocation-free variant used on hot paths).
+pub fn le_filter_entries(entries: &[(NodeId, Dist)], ranks: &Ranks) -> Vec<(NodeId, Dist)> {
+    let mut kept = entries.to_vec();
+    le_filter_in_place(&mut kept, ranks);
     kept
 }
 
@@ -107,8 +125,10 @@ impl Filter<MinPlus, DistanceMap> for LeFilter {
         if x.len() <= 1 {
             return;
         }
-        let kept = le_filter_entries(x.entries(), &self.ranks);
-        *x = DistanceMap::from_entries(kept);
+        // Filter inside the map's own entry buffer; `edit_entries`
+        // restores the node-sorted invariant afterwards.
+        let ranks = &self.ranks;
+        x.edit_entries(|entries| le_filter_in_place(entries, ranks));
     }
 }
 
@@ -138,8 +158,8 @@ impl MbfAlgorithm for LeListAlgorithm {
         if x.len() <= 1 {
             return;
         }
-        let kept = le_filter_entries(x.entries(), &self.ranks);
-        *x = DistanceMap::from_entries(kept);
+        let ranks = &self.ranks;
+        x.edit_entries(|entries| le_filter_in_place(entries, ranks));
     }
 
     /// Equation (7.5): `x⁽⁰⁾_{vv} = 0`, `∞` elsewhere.
@@ -169,7 +189,9 @@ pub struct LeList {
 impl LeList {
     /// Builds a list from a (filtered) distance map.
     pub fn from_distance_map(x: &DistanceMap, ranks: &Ranks) -> LeList {
-        LeList { entries: le_filter_entries(x.entries(), ranks) }
+        LeList {
+            entries: le_filter_entries(x.entries(), ranks),
+        }
     }
 
     /// Wraps entries that are already LE-filtered and sorted by ascending
@@ -235,16 +257,16 @@ pub fn le_lists_approx_eq(a: &[LeList], b: &[LeList], rel: f64) -> bool {
 }
 
 /// LE lists via the **oracle on `H`** — the paper's main pipeline
-/// (Section 7.3/7.4). Returns the lists, the number of simulated
-/// `H`-iterations, and the work.
-pub fn le_lists_oracle(
+/// (Section 7.3/7.4) — with the given inner-engine strategy.
+pub fn le_lists_oracle_with(
     sim: &SimulatedGraph,
     ranks: &Arc<Ranks>,
     cap: Option<usize>,
+    strategy: EngineStrategy,
 ) -> (Vec<LeList>, usize, WorkStats) {
     let alg = LeListAlgorithm::new(Arc::clone(ranks));
     let cap = cap.unwrap_or_else(|| default_iteration_cap(sim.base().n()));
-    let run = oracle_run_to_fixpoint(&alg, sim, cap);
+    let run = oracle_run_to_fixpoint_with(&alg, sim, cap, strategy);
     let lists = run
         .states
         .iter()
@@ -253,12 +275,27 @@ pub fn le_lists_oracle(
     (lists, run.h_iterations, run.work)
 }
 
+/// LE lists via the oracle under the default hybrid engine. Returns the
+/// lists, the number of simulated `H`-iterations, and the work.
+pub fn le_lists_oracle(
+    sim: &SimulatedGraph,
+    ranks: &Arc<Ranks>,
+    cap: Option<usize>,
+) -> (Vec<LeList>, usize, WorkStats) {
+    le_lists_oracle_with(sim, ranks, cap, EngineStrategy::default())
+}
+
 /// LE lists by **direct iteration on `G`** (the algorithm of Khan et
-/// al. \[26\], Section 8.1): `SPD(G) + 1` filtered MBF iterations. Exact
-/// w.r.t. `dist(·,·,G)`; the baseline the oracle is measured against.
-pub fn le_lists_direct(g: &Graph, ranks: &Arc<Ranks>) -> (Vec<LeList>, usize, WorkStats) {
+/// al. \[26\], Section 8.1) with the given engine strategy:
+/// `SPD(G) + 1` filtered MBF iterations. Exact w.r.t. `dist(·,·,G)`; the
+/// baseline the oracle is measured against.
+pub fn le_lists_direct_with(
+    g: &Graph,
+    ranks: &Arc<Ranks>,
+    strategy: EngineStrategy,
+) -> (Vec<LeList>, usize, WorkStats) {
     let alg = LeListAlgorithm::new(Arc::clone(ranks));
-    let run = run_to_fixpoint(&alg, g, g.n() + 1);
+    let run = run_to_fixpoint_with(&alg, g, g.n() + 1, strategy);
     let lists = run
         .states
         .iter()
@@ -267,13 +304,21 @@ pub fn le_lists_direct(g: &Graph, ranks: &Arc<Ranks>) -> (Vec<LeList>, usize, Wo
     (lists, run.iterations, run.work)
 }
 
+/// LE lists by direct iteration under the default hybrid engine.
+pub fn le_lists_direct(g: &Graph, ranks: &Arc<Ranks>) -> (Vec<LeList>, usize, WorkStats) {
+    le_lists_direct_with(g, ranks, EngineStrategy::default())
+}
+
 /// LE lists from an **explicit metric** (the Blelloch et al. \[10\]
 /// baseline): a metric is a complete graph of SPD 1, so a single MBF-like
 /// iteration — here computed directly per node in `Θ(n)` work each after
 /// an `O(n log n)` sort — reproduces their result.
 pub fn le_lists_from_metric(dist: &[Vec<Dist>], ranks: &Ranks) -> (Vec<LeList>, WorkStats) {
     let n = dist.len();
-    let mut work = WorkStats { iterations: 1, ..WorkStats::default() };
+    let mut work = WorkStats {
+        iterations: 1,
+        ..WorkStats::default()
+    };
     let lists: Vec<LeList> = (0..n)
         .map(|v| {
             let entries: Vec<(NodeId, Dist)> = (0..n)
@@ -281,7 +326,9 @@ pub fn le_lists_from_metric(dist: &[Vec<Dist>], ranks: &Ranks) -> (Vec<LeList>, 
                 .map(|w| (w as NodeId, dist[v][w]))
                 .collect();
             work.entries_processed += entries.len() as u64;
-            LeList { entries: le_filter_entries(&entries, ranks) }
+            LeList {
+                entries: le_filter_entries(&entries, ranks),
+            }
         })
         .collect();
     (lists, work)
@@ -304,9 +351,8 @@ mod tests {
             if !dw.is_finite() {
                 continue;
             }
-            let dominated = (0..n as NodeId).any(|u| {
-                ranks.rank(u) < ranks.rank(w) && dist_row[u as usize] <= dw
-            });
+            let dominated = (0..n as NodeId)
+                .any(|u| ranks.rank(u) < ranks.rank(w) && dist_row[u as usize] <= dw);
             if !dominated {
                 kept.push((w, dw));
             }
@@ -323,7 +369,9 @@ mod tests {
         let (lists, _, _) = le_lists_direct(&g, &ranks);
         let exact = apsp(&g);
         for v in 0..g.n() {
-            let expect = LeList { entries: reference_le_list(&exact[v], &ranks) };
+            let expect = LeList {
+                entries: reference_le_list(&exact[v], &ranks),
+            };
             assert!(lists[v].approx_eq(&expect, 1e-9), "node {v}");
         }
     }
@@ -401,7 +449,10 @@ mod tests {
         let (lists, _, _) = le_lists_direct(&g, &ranks);
         let max_len = lists.iter().map(LeList::len).max().unwrap();
         // E[len] = H_n ≈ ln n ≈ 6; 6·ln n is a conservative w.h.p. bound.
-        assert!(max_len as f64 <= 6.0 * (g.n() as f64).ln(), "max length {max_len}");
+        assert!(
+            max_len as f64 <= 6.0 * (g.n() as f64).ln(),
+            "max length {max_len}"
+        );
     }
 
     #[test]
@@ -412,14 +463,8 @@ mod tests {
         let (lists, _, _) = le_lists_direct(&g, &ranks);
         // Node 0: itself at 0, then node 4 at distance 4 (nothing between
         // dominates since 0 has rank 1).
-        assert_eq!(
-            lists[0].entries(),
-            &[(0, Dist::ZERO), (4, Dist::new(4.0))]
-        );
+        assert_eq!(lists[0].entries(), &[(0, Dist::ZERO), (4, Dist::new(4.0))]);
         // Node 3: itself, then 4 (rank 0) at distance 1 dominates 0,1,2.
-        assert_eq!(
-            lists[3].entries(),
-            &[(3, Dist::ZERO), (4, Dist::new(1.0))]
-        );
+        assert_eq!(lists[3].entries(), &[(3, Dist::ZERO), (4, Dist::new(1.0))]);
     }
 }

@@ -97,18 +97,20 @@ impl FrtEmbedding {
     /// Samples one tree on a pre-built simulated graph (lets callers
     /// amortize the hop-set construction across samples; only the cheap
     /// randomness — permutation, `β`, levels baked into `sim` — varies).
-    pub fn sample_on(
-        sim: &SimulatedGraph,
-        config: &FrtConfig,
-        rng: &mut impl Rng,
-    ) -> FrtEmbedding {
+    pub fn sample_on(sim: &SimulatedGraph, config: &FrtConfig, rng: &mut impl Rng) -> FrtEmbedding {
         let n = sim.base().n();
         let ranks = Arc::new(Ranks::sample(n, rng));
         let beta = rng.gen_range(1.0..2.0);
-        let (le_lists, h_iterations, work) =
-            le_lists_oracle(sim, &ranks, config.max_iterations);
+        let (le_lists, h_iterations, work) = le_lists_oracle(sim, &ranks, config.max_iterations);
         let tree = FrtTree::from_le_lists(&le_lists, &ranks, beta, sim.base().min_weight());
-        FrtEmbedding { tree, ranks, le_lists, beta, h_iterations, work }
+        FrtEmbedding {
+            tree,
+            ranks,
+            le_lists,
+            beta,
+            h_iterations,
+            work,
+        }
     }
 
     /// The sampled tree.
@@ -169,7 +171,11 @@ mod tests {
         let g = gnm_graph(60, 150, 1.0..20.0, &mut rng);
         let dist = apsp(&g);
         let config = FrtConfig {
-            hopset: HopsetConfig { d: 7, epsilon: 0.0, oversample: 3.0 },
+            hopset: HopsetConfig {
+                d: 7,
+                epsilon: 0.0,
+                oversample: 3.0,
+            },
             eps_hat: 0.05,
             spanner_k: None,
             max_iterations: None,
@@ -201,7 +207,11 @@ mod tests {
         let g = gnm_graph(50, 300, 1.0..10.0, &mut rng);
         let dist = apsp(&g);
         let config = FrtConfig {
-            hopset: HopsetConfig { d: 7, epsilon: 0.0, oversample: 3.0 },
+            hopset: HopsetConfig {
+                d: 7,
+                epsilon: 0.0,
+                oversample: 3.0,
+            },
             eps_hat: 0.05,
             spanner_k: Some(2),
             max_iterations: None,

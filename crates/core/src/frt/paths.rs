@@ -49,7 +49,12 @@ pub fn embed_tree_edge(g: &Graph, tree: &FrtTree, child: usize) -> EmbeddedTreeE
     let mut path: Vec<NodeId> = to_a.into_iter().rev().collect();
     path.extend(to_b.into_iter().skip(1));
     let weight = (sp.dist(a) + sp.dist(b)).value();
-    EmbeddedTreeEdge { child, parent, path, weight }
+    EmbeddedTreeEdge {
+        child,
+        parent,
+        path,
+        weight,
+    }
 }
 
 /// Maps every tree edge to a `G`-path, reusing one Dijkstra per distinct
@@ -69,7 +74,12 @@ pub fn embed_all_tree_edges(g: &Graph, tree: &FrtTree) -> Vec<EmbeddedTreeEdge> 
             let mut path: Vec<NodeId> = to_a.into_iter().rev().collect();
             path.extend(to_b.into_iter().skip(1));
             let weight = (sp.dist(a) + sp.dist(b)).value();
-            EmbeddedTreeEdge { child, parent: node.parent, path, weight }
+            EmbeddedTreeEdge {
+                child,
+                parent: node.parent,
+                path,
+                weight,
+            }
         })
         .collect()
 }
@@ -112,7 +122,10 @@ mod tests {
                 tree_weight
             );
             // Endpoints are the leaders.
-            assert_eq!(edge.path.first().copied(), Some(tree.nodes()[edge.child].leader));
+            assert_eq!(
+                edge.path.first().copied(),
+                Some(tree.nodes()[edge.child].leader)
+            );
             assert_eq!(
                 edge.path.last().copied(),
                 Some(tree.nodes()[edge.parent].leader)

@@ -67,7 +67,11 @@ pub fn traced_le_lists(g: &Graph, ranks: &Arc<Ranks>) -> Vec<TracedLeList> {
     let n = g.n();
     let mut lists: Vec<TracedLeList> = (0..n as NodeId)
         .map(|v| TracedLeList {
-            entries: vec![TracedEntry { node: v, dist: Dist::ZERO, via: v }],
+            entries: vec![TracedEntry {
+                node: v,
+                dist: Dist::ZERO,
+                via: v,
+            }],
         })
         .collect();
     loop {
@@ -135,9 +139,7 @@ pub fn trace_le_path(
         cur = via;
         // Consistency: the next node's entry must account for the rest.
         let next_entry = lists[cur as usize].get(target)?;
-        if (next_entry.dist.value() - remaining.value()).abs()
-            > 1e-6 * remaining.value().max(1.0)
-        {
+        if (next_entry.dist.value() - remaining.value()).abs() > 1e-6 * remaining.value().max(1.0) {
             return None;
         }
     }
@@ -165,8 +167,11 @@ mod tests {
         let traced = traced_le_lists(&g, &ranks);
         let (plain, _, _) = le_lists_direct(&g, &ranks);
         for v in 0..g.n() {
-            let a: Vec<(NodeId, Dist)> =
-                traced[v].entries().iter().map(|e| (e.node, e.dist)).collect();
+            let a: Vec<(NodeId, Dist)> = traced[v]
+                .entries()
+                .iter()
+                .map(|e| (e.node, e.dist))
+                .collect();
             let b: Vec<(NodeId, Dist)> = plain[v].entries().to_vec();
             assert_eq!(a.len(), b.len(), "node {v}");
             for (x, y) in a.iter().zip(&b) {
@@ -196,9 +201,7 @@ mod tests {
                 // The traced path realizes the entry's distance, which is
                 // the exact shortest distance.
                 assert!((total - e.dist.value()).abs() <= 1e-6 * total.max(1.0));
-                assert!(
-                    (total - exact.dist(e.node).value()).abs() <= 1e-6 * total.max(1.0)
-                );
+                assert!((total - exact.dist(e.node).value()).abs() <= 1e-6 * total.max(1.0));
             }
         }
     }

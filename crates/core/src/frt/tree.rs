@@ -123,7 +123,12 @@ impl FrtTree {
             leaf[v] = parent;
         }
 
-        FrtTree { nodes, leaf, radii, beta }
+        FrtTree {
+            nodes,
+            leaf,
+            radii,
+            beta,
+        }
     }
 
     /// The sampled `β`.

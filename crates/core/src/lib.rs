@@ -28,6 +28,6 @@ pub mod oracle;
 pub mod simgraph;
 pub mod work;
 
-pub use engine::{MbfAlgorithm, MbfRun};
+pub use engine::{EngineStrategy, MbfAlgorithm, MbfEngine, MbfRun};
 pub use simgraph::{LevelAssignment, SimulatedGraph};
 pub use work::WorkStats;

@@ -83,7 +83,9 @@ pub fn approximate_metric(
 /// As [`approximate_metric`], on a pre-built simulated graph.
 pub fn approximate_metric_on(sim: &SimulatedGraph, config: &MetricConfig) -> ApproximateMetric {
     let n = sim.base().n();
-    let cap = config.max_iterations.unwrap_or_else(|| default_iteration_cap(n));
+    let cap = config
+        .max_iterations
+        .unwrap_or_else(|| default_iteration_cap(n));
     let alg = SourceDetection::apsp(n);
     let run = oracle_run_to_fixpoint(&alg, sim, cap);
     let mut dist = vec![vec![Dist::INF; n]; n];
@@ -92,7 +94,11 @@ pub fn approximate_metric_on(sim: &SimulatedGraph, config: &MetricConfig) -> App
             dist[v][w as usize] = d;
         }
     }
-    ApproximateMetric { dist, h_iterations: run.h_iterations, work: run.work }
+    ApproximateMetric {
+        dist,
+        h_iterations: run.h_iterations,
+        work: run.work,
+    }
 }
 
 /// Theorem 6.2: an `O(1)`-approximate metric via Baswana–Sen
@@ -139,7 +145,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(31);
         let g = gnm_graph(60, 150, 1.0..10.0, &mut rng);
         let config = MetricConfig {
-            hopset: HopsetConfig { d: 9, epsilon: 0.0, oversample: 3.0 },
+            hopset: HopsetConfig {
+                d: 9,
+                epsilon: 0.0,
+                oversample: 3.0,
+            },
             eps_hat: 0.02,
             max_iterations: None,
         };
@@ -156,7 +166,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(32);
         let g = gnm_graph(30, 70, 1.0..10.0, &mut rng);
         let config = MetricConfig {
-            hopset: HopsetConfig { d: 7, epsilon: 0.0, oversample: 3.0 },
+            hopset: HopsetConfig {
+                d: 7,
+                epsilon: 0.0,
+                oversample: 3.0,
+            },
             eps_hat: 0.1,
             max_iterations: None,
         };
@@ -182,7 +196,11 @@ mod tests {
         let g = gnm_graph(50, 300, 1.0..5.0, &mut rng);
         let k = 2;
         let config = MetricConfig {
-            hopset: HopsetConfig { d: 7, epsilon: 0.0, oversample: 3.0 },
+            hopset: HopsetConfig {
+                d: 7,
+                epsilon: 0.0,
+                oversample: 3.0,
+            },
             eps_hat: 0.02,
             max_iterations: None,
         };

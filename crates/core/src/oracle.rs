@@ -13,8 +13,17 @@
 //!
 //! using only `G'`'s `O(m)` edges — `Λ·d ∈ polylog n` cheap iterations
 //! instead of one `Ω(n²)` dense product (Theorem 5.2).
+//!
+//! The inner `(r^V A_λ)^d` loops run on a persistent [`MbfEngine`]: each
+//! level's projection `P_λ x` resets the frontier (the state vector was
+//! rewritten wholesale), the first hop sweeps, and the remaining `d − 1`
+//! hops ride the narrowing frontier. Hops after the level's fixpoint are
+//! skipped outright — the iteration map is deterministic, so an unchanged
+//! state vector can never change again, and the result is bit-identical
+//! to running all `d` hops. The level buffer `y` and the engine's shadow
+//! buffers are reused across all levels and all simulated `H`-iterations.
 
-use crate::engine::{initial_states, iterate_scaled, MbfAlgorithm};
+use crate::engine::{initial_states, EngineStrategy, MbfAlgorithm, MbfEngine};
 use crate::simgraph::SimulatedGraph;
 use crate::work::WorkStats;
 use mte_algebra::{MinPlus, NodeId, Semimodule};
@@ -34,12 +43,28 @@ pub struct OracleRun<M> {
     pub work: WorkStats,
 }
 
-/// Simulates **one** iteration of `alg` on `H`:
-/// `x ← r^V (⊕_λ P_λ (r^V A_λ)^d P_λ x)`.
-pub fn oracle_iteration<A>(
+/// Reusable buffers for repeated oracle iterations: the inner engine and
+/// the per-level projected state vector.
+struct OracleScratch<A: MbfAlgorithm> {
+    engine: MbfEngine<A>,
+    y: Vec<A::M>,
+}
+
+impl<A: MbfAlgorithm> OracleScratch<A> {
+    fn new(strategy: EngineStrategy) -> Self {
+        OracleScratch {
+            engine: MbfEngine::new(strategy),
+            y: Vec::new(),
+        }
+    }
+}
+
+/// One iteration of `alg` on `H` through the caller's scratch buffers.
+fn oracle_iteration_with<A>(
     alg: &A,
     sim: &SimulatedGraph,
     x: &[A::M],
+    scratch: &mut OracleScratch<A>,
 ) -> (Vec<A::M>, WorkStats)
 where
     A: MbfAlgorithm<S = MinPlus>,
@@ -49,30 +74,42 @@ where
     let lambda_max = sim.levels().lambda();
     let mut work = WorkStats::new();
     let mut agg: Vec<A::M> = vec![A::M::zero(); n];
+    let zero = A::M::zero();
+    if scratch.y.len() != n {
+        scratch.y.clear();
+        scratch.y.extend((0..n).map(|_| A::M::zero()));
+    }
 
     for lambda in 0..=lambda_max {
         let scale = sim.level_scale(lambda);
-        // y ← P_λ x : discard states below level λ.
-        let mut y: Vec<A::M> = (0..n)
-            .into_par_iter()
-            .map(|v| {
-                if sim.levels().level(v as NodeId) >= lambda {
-                    x[v].clone()
-                } else {
-                    A::M::zero()
-                }
-            })
-            .collect();
-        // y ← (r^V A_λ)^d y : d filtered iterations on the scaled G'.
+        // y ← P_λ x : discard states below level λ. `clone_from` reuses
+        // each slot's heap buffer across levels and iterations.
+        scratch.y.par_iter_mut().enumerate().for_each(|(v, slot)| {
+            if sim.levels().level(v as NodeId) >= lambda {
+                slot.clone_from(&x[v]);
+            } else {
+                slot.clone_from(&zero);
+            }
+        });
+        // y ← (r^V A_λ)^d y : d filtered hops on the scaled G'. The
+        // projection rewrote y wholesale, so the frontier restarts full;
+        // once a hop changes nothing the level is at its fixpoint and the
+        // remaining hops are identity.
+        scratch.engine.mark_all_dirty(sim.augmented());
         for _ in 0..sim.d() {
-            let (next, w) = iterate_scaled(alg, sim.augmented(), &y, scale);
+            let (w, changed) = scratch
+                .engine
+                .step(alg, sim.augmented(), &mut scratch.y, scale);
             work += w;
-            y = next;
+            if !changed {
+                break;
+            }
         }
         // agg ← agg ⊕ P_λ y.
+        let y_ref: &[A::M] = &scratch.y;
         agg.par_iter_mut().enumerate().for_each(|(v, a)| {
             if sim.levels().level(v as NodeId) >= lambda {
-                a.add_assign(&y[v]);
+                a.add_assign(&y_ref[v]);
             }
         });
     }
@@ -82,36 +119,71 @@ where
     (agg, work)
 }
 
+/// Simulates **one** iteration of `alg` on `H`:
+/// `x ← r^V (⊕_λ P_λ (r^V A_λ)^d P_λ x)`.
+pub fn oracle_iteration<A>(alg: &A, sim: &SimulatedGraph, x: &[A::M]) -> (Vec<A::M>, WorkStats)
+where
+    A: MbfAlgorithm<S = MinPlus>,
+{
+    let mut scratch = OracleScratch::new(EngineStrategy::default());
+    oracle_iteration_with(alg, sim, x, &mut scratch)
+}
+
 /// Runs `h` iterations of `alg` on `H` starting from `r^V x⁽⁰⁾`
-/// (Theorem 5.2 (1)).
-pub fn oracle_run<A>(alg: &A, sim: &SimulatedGraph, h: usize) -> OracleRun<A::M>
+/// (Theorem 5.2 (1)), with the given inner-engine strategy.
+pub fn oracle_run_with<A>(
+    alg: &A,
+    sim: &SimulatedGraph,
+    h: usize,
+    strategy: EngineStrategy,
+) -> OracleRun<A::M>
 where
     A: MbfAlgorithm<S = MinPlus>,
 {
     let mut states = initial_states(alg, sim.augmented().n());
+    let mut scratch = OracleScratch::new(strategy);
     let mut work = WorkStats::new();
     for _ in 0..h {
-        let (next, w) = oracle_iteration(alg, sim, &states);
+        let (next, w) = oracle_iteration_with(alg, sim, &states, &mut scratch);
         work += w;
         states = next;
     }
-    OracleRun { states, h_iterations: h, fixpoint: false, work }
+    OracleRun {
+        states,
+        h_iterations: h,
+        fixpoint: false,
+        work,
+    }
 }
 
-/// Iterates `alg` on `H` until a fixpoint, capped at `cap` iterations.
-/// W.h.p. the fixpoint arrives after `SPD(H) ∈ O(log² n)` iterations
-/// (Theorems 4.5 and 5.2 (2)).
-pub fn oracle_run_to_fixpoint<A>(alg: &A, sim: &SimulatedGraph, cap: usize) -> OracleRun<A::M>
+/// Runs `h` iterations of `alg` on `H` under the default hybrid engine.
+pub fn oracle_run<A>(alg: &A, sim: &SimulatedGraph, h: usize) -> OracleRun<A::M>
+where
+    A: MbfAlgorithm<S = MinPlus>,
+{
+    oracle_run_with(alg, sim, h, EngineStrategy::default())
+}
+
+/// Iterates `alg` on `H` until a fixpoint, capped at `cap` iterations,
+/// with the given inner-engine strategy. W.h.p. the fixpoint arrives
+/// after `SPD(H) ∈ O(log² n)` iterations (Theorems 4.5 and 5.2 (2)).
+pub fn oracle_run_to_fixpoint_with<A>(
+    alg: &A,
+    sim: &SimulatedGraph,
+    cap: usize,
+    strategy: EngineStrategy,
+) -> OracleRun<A::M>
 where
     A: MbfAlgorithm<S = MinPlus>,
     A::M: PartialEq,
 {
     let mut states = initial_states(alg, sim.augmented().n());
+    let mut scratch = OracleScratch::new(strategy);
     let mut work = WorkStats::new();
     let mut h = 0;
     let mut fixpoint = false;
     while h < cap {
-        let (next, w) = oracle_iteration(alg, sim, &states);
+        let (next, w) = oracle_iteration_with(alg, sim, &states, &mut scratch);
         work += w;
         h += 1;
         if next == states {
@@ -120,7 +192,21 @@ where
         }
         states = next;
     }
-    OracleRun { states, h_iterations: h, fixpoint, work }
+    OracleRun {
+        states,
+        h_iterations: h,
+        fixpoint,
+        work,
+    }
+}
+
+/// Iterates `alg` on `H` to a fixpoint under the default hybrid engine.
+pub fn oracle_run_to_fixpoint<A>(alg: &A, sim: &SimulatedGraph, cap: usize) -> OracleRun<A::M>
+where
+    A: MbfAlgorithm<S = MinPlus>,
+    A::M: PartialEq,
+{
+    oracle_run_to_fixpoint_with(alg, sim, cap, EngineStrategy::default())
 }
 
 /// Default iteration cap: `SPD(H) ∈ O(log² n)` w.h.p. (Theorem 4.5), with
@@ -201,6 +287,26 @@ mod tests {
         );
         // SPD(H) ∈ O(log² n): far fewer than the 64 iterations plain MBF
         // would need on this path.
-        assert!(run.h_iterations < 40, "took {} iterations", run.h_iterations);
+        assert!(
+            run.h_iterations < 40,
+            "took {} iterations",
+            run.h_iterations
+        );
+    }
+
+    #[test]
+    fn oracle_strategies_agree() {
+        // Dense and frontier inner engines must produce identical oracle
+        // results (the skip is exact, not approximate).
+        let mut rng = StdRng::seed_from_u64(24);
+        let g = gnm_graph(24, 50, 1.0..5.0, &mut rng);
+        let spd = shortest_path_diameter(&g) as usize;
+        let sim = SimulatedGraph::without_hopset(&g, spd.max(1), 0.15, &mut rng);
+        let alg = SourceDetection::apsp(g.n());
+        let dense = oracle_run_to_fixpoint_with(&alg, &sim, 4 * g.n(), EngineStrategy::Dense);
+        let frontier = oracle_run_to_fixpoint_with(&alg, &sim, 4 * g.n(), EngineStrategy::Frontier);
+        assert_eq!(dense.states, frontier.states);
+        assert_eq!(dense.h_iterations, frontier.h_iterations);
+        assert!(frontier.work.edge_relaxations <= dense.work.edge_relaxations);
     }
 }

@@ -15,7 +15,8 @@
 //! `H` explicitly for testing and for the SPD/stretch experiments on
 //! small inputs.
 
-use mte_algebra::{Dist, NodeId};
+use crate::engine::{run_to_fixpoint_with, EngineStrategy, MbfAlgorithm};
+use mte_algebra::{Dist, MinPlus, NodeId};
 use mte_graph::hopset::{Hopset, HopsetConfig};
 use mte_graph::Graph;
 use rand::Rng;
@@ -44,7 +45,10 @@ impl LevelAssignment {
     /// (cheaper oracle) but weaker shortcutting (larger SPD(H)); large
     /// `p` the reverse.
     pub fn sample_with_p(n: usize, p: f64, rng: &mut impl Rng) -> LevelAssignment {
-        assert!(p > 0.0 && p < 1.0, "promotion probability must be in (0, 1)");
+        assert!(
+            p > 0.0 && p < 1.0,
+            "promotion probability must be in (0, 1)"
+        );
         let mut levels = vec![0u32; n];
         let mut alive: Vec<usize> = (0..n).collect();
         let mut lambda = 0;
@@ -119,26 +123,44 @@ impl SimulatedGraph {
         let hopset = Hopset::build(g, hopset_config, rng);
         let aug = hopset.augment(g);
         let levels = LevelAssignment::sample(g.n(), rng);
-        SimulatedGraph { base: g.clone(), aug, d: hopset.d, eps_hat, levels }
+        SimulatedGraph {
+            base: g.clone(),
+            aug,
+            d: hopset.d,
+            eps_hat,
+            levels,
+        }
     }
 
     /// Builds `H` without a hop set (`G' = G`); the caller supplies the
     /// hop budget `d` (use `d ≥ SPD(G)` for exact behaviour). Used by
     /// tests and by inputs that are already of small SPD.
-    pub fn without_hopset(
-        g: &Graph,
-        d: usize,
-        eps_hat: f64,
-        rng: &mut impl Rng,
-    ) -> SimulatedGraph {
+    pub fn without_hopset(g: &Graph, d: usize, eps_hat: f64, rng: &mut impl Rng) -> SimulatedGraph {
         let levels = LevelAssignment::sample(g.n(), rng);
-        SimulatedGraph { base: g.clone(), aug: g.clone(), d, eps_hat, levels }
+        SimulatedGraph {
+            base: g.clone(),
+            aug: g.clone(),
+            d,
+            eps_hat,
+            levels,
+        }
     }
 
     /// As [`SimulatedGraph::without_hopset`] but with fixed levels (tests).
-    pub fn with_levels(g: &Graph, d: usize, eps_hat: f64, levels: LevelAssignment) -> SimulatedGraph {
+    pub fn with_levels(
+        g: &Graph,
+        d: usize,
+        eps_hat: f64,
+        levels: LevelAssignment,
+    ) -> SimulatedGraph {
         assert_eq!(levels.levels.len(), g.n());
-        SimulatedGraph { base: g.clone(), aug: g.clone(), d, eps_hat, levels }
+        SimulatedGraph {
+            base: g.clone(),
+            aug: g.clone(),
+            d,
+            eps_hat,
+            levels,
+        }
     }
 
     /// The original graph `G`.
@@ -176,14 +198,22 @@ impl SimulatedGraph {
         (1.0 + self.eps_hat).powi((self.levels.lambda() - lambda) as i32)
     }
 
-    /// Materializes `H` explicitly (Definition 4.2) — `Θ(n·d·m)` work and
-    /// `Θ(n²)` space; only for tests and small-scale experiments.
+    /// Materializes `H` explicitly (Definition 4.2) — `Θ(n·d·m)` work in
+    /// the worst case and `Θ(n²)` space; only for tests and small-scale
+    /// experiments. Each row is a hop-limited SSSP computed by the
+    /// frontier engine, so a source whose ball stops growing before hop
+    /// `d` pays only for the hops that actually move (bit-identical to
+    /// the dense sweep, Definition 2.11).
     pub fn explicit_h(&self) -> Graph {
         let n = self.aug.n();
-        // dist^d from every node on G' via hop-limited MBF.
+        // dist^d from every node on G' via frontier-driven MBF.
         let rows: Vec<Vec<Dist>> = (0..n as NodeId)
             .into_par_iter()
-            .map(|s| mte_graph::algorithms::sssp_hop_limited(&self.aug, s, self.d))
+            .map(|s| {
+                let alg = HopSssp { source: s };
+                let run = run_to_fixpoint_with(&alg, &self.aug, self.d, EngineStrategy::Frontier);
+                run.states.into_iter().map(|x| x.0).collect()
+            })
             .collect();
         let mut edges = Vec::new();
         for u in 0..n as NodeId {
@@ -196,6 +226,33 @@ impl SimulatedGraph {
             }
         }
         Graph::from_edges(n, edges)
+    }
+}
+
+/// Unfiltered single-source MBF over `S = M = S_{min,+}` (Example 3.3):
+/// `h` engine hops compute `dist^h(source, ·)` exactly, which is all
+/// [`SimulatedGraph::explicit_h`] needs per row.
+struct HopSssp {
+    source: NodeId,
+}
+
+impl MbfAlgorithm for HopSssp {
+    type S = MinPlus;
+    type M = MinPlus;
+
+    #[inline]
+    fn edge_coeff(&self, _v: NodeId, _w: NodeId, weight: f64) -> MinPlus {
+        MinPlus::new(weight)
+    }
+
+    fn filter(&self, _x: &mut MinPlus) {}
+
+    fn init(&self, v: NodeId) -> MinPlus {
+        if v == self.source {
+            MinPlus(Dist::ZERO)
+        } else {
+            MinPlus(Dist::INF)
+        }
     }
 }
 
@@ -248,7 +305,10 @@ mod tests {
                 let a = dg[u][v].value();
                 let b = dh[u][v].value();
                 assert!(b >= a - 1e-9, "H must not shorten distances ({u},{v})");
-                assert!(b <= a * bound, "H stretch violated ({u},{v}): {b} > {bound}·{a}");
+                assert!(
+                    b <= a * bound,
+                    "H stretch violated ({u},{v}): {b} > {bound}·{a}"
+                );
             }
         }
     }

@@ -22,6 +22,10 @@ pub struct WorkStats {
     pub entries_processed: u64,
     /// Edge relaxations (semiring `⊙` applications attributed to edges).
     pub edge_relaxations: u64,
+    /// Vertices whose state was recomputed across all rounds. Dense
+    /// sweeps recompute `n` per round; the frontier engine only the
+    /// closed neighborhood of the previous hop's changes.
+    pub touched_vertices: u64,
 }
 
 impl WorkStats {
@@ -36,6 +40,7 @@ impl AddAssign for WorkStats {
         self.iterations += rhs.iterations;
         self.entries_processed += rhs.entries_processed;
         self.edge_relaxations += rhs.edge_relaxations;
+        self.touched_vertices += rhs.touched_vertices;
     }
 }
 
@@ -45,11 +50,26 @@ mod tests {
 
     #[test]
     fn accumulation() {
-        let mut a = WorkStats { iterations: 1, entries_processed: 10, edge_relaxations: 5 };
-        a += WorkStats { iterations: 2, entries_processed: 1, edge_relaxations: 1 };
+        let mut a = WorkStats {
+            iterations: 1,
+            entries_processed: 10,
+            edge_relaxations: 5,
+            touched_vertices: 2,
+        };
+        a += WorkStats {
+            iterations: 2,
+            entries_processed: 1,
+            edge_relaxations: 1,
+            touched_vertices: 3,
+        };
         assert_eq!(
             a,
-            WorkStats { iterations: 3, entries_processed: 11, edge_relaxations: 6 }
+            WorkStats {
+                iterations: 3,
+                entries_processed: 11,
+                edge_relaxations: 6,
+                touched_vertices: 5,
+            }
         );
     }
 }

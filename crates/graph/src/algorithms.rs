@@ -75,7 +75,11 @@ pub fn sssp(g: &Graph, s: NodeId) -> ShortestPaths {
             }
         }
     }
-    ShortestPaths { source: s, dist, pred }
+    ShortestPaths {
+        source: s,
+        dist,
+        pred,
+    }
 }
 
 /// Multi-source Dijkstra: for every node, the distance to the nearest
@@ -207,13 +211,7 @@ pub fn sssp_with_hops(g: &Graph, s: NodeId) -> (Vec<Dist>, Vec<u32>) {
 pub fn shortest_path_diameter(g: &Graph) -> u32 {
     (0..g.n() as NodeId)
         .into_par_iter()
-        .map(|s| {
-            sssp_with_hops(g, s)
-                .1
-                .into_iter()
-                .max()
-                .unwrap_or(0)
-        })
+        .map(|s| sssp_with_hops(g, s).1.into_iter().max().unwrap_or(0))
         .max()
         .unwrap_or(0)
 }
@@ -224,7 +222,7 @@ pub fn shortest_path_diameter(g: &Graph) -> u32 {
 /// sparse graphs. Returns the distance matrix and the number of
 /// squarings (`≤ ⌈log₂ SPD(G)⌉ + 1`).
 pub fn apsp_by_squaring(g: &Graph) -> (Vec<Vec<Dist>>, usize) {
-    use mte_algebra::{MinPlus, SemiringMatrix, Semiring};
+    use mte_algebra::{MinPlus, Semiring, SemiringMatrix};
     let n = g.n();
     let mut a = SemiringMatrix::<MinPlus>::zeros(n);
     for i in 0..n {
@@ -280,12 +278,7 @@ mod tests {
 
     #[test]
     fn hop_limited_matches_dijkstra_at_n_hops() {
-        let g = crate::generators::gnm_graph(
-            40,
-            100,
-            1.0..10.0,
-            &mut rand_rng(3),
-        );
+        let g = crate::generators::gnm_graph(40, 100, 1.0..10.0, &mut rand_rng(3));
         let exact = sssp(&g, 0);
         let mbf = sssp_hop_limited(&g, 0, g.n());
         for v in 0..g.n() {

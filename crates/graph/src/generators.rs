@@ -124,7 +124,11 @@ pub fn caterpillar_graph(
         .collect();
     for l in 0..legs {
         let attach = rng.gen_range(0..spine) as NodeId;
-        edges.push((attach, (spine + l) as NodeId, rand_weight(&leg_weights, rng)));
+        edges.push((
+            attach,
+            (spine + l) as NodeId,
+            rand_weight(&leg_weights, rng),
+        ));
     }
     Graph::from_edges(spine + legs, edges)
 }
@@ -137,7 +141,10 @@ pub fn caterpillar_graph(
 /// `√n + D(G) ≪ SPD(G)`.
 pub fn highway_graph(spine: usize, hub_weight: f64) -> Graph {
     assert!(spine >= 3);
-    assert!(hub_weight > spine as f64, "hub edges must never shortcut the spine");
+    assert!(
+        hub_weight > spine as f64,
+        "hub edges must never shortcut the spine"
+    );
     let mut edges: Vec<(NodeId, NodeId, f64)> = (0..spine - 1)
         .map(|i| (i as NodeId, (i + 1) as NodeId, 1.0))
         .collect();
@@ -231,8 +238,16 @@ mod tests {
         assert!(is_connected(&grid_graph(4, 6, 1.0..2.0, &mut r)));
         assert!(is_connected(&star_graph(9, 1.0..2.0, &mut r)));
         assert!(is_connected(&tree_graph(20, 1.0..2.0, &mut r)));
-        assert!(is_connected(&caterpillar_graph(8, 12, 1.0, 1.0..2.0, &mut r)));
-        assert!(is_connected(&random_geometric_graph(40, 0.2, 100.0, &mut r)));
+        assert!(is_connected(&caterpillar_graph(
+            8,
+            12,
+            1.0,
+            1.0..2.0,
+            &mut r
+        )));
+        assert!(is_connected(&random_geometric_graph(
+            40, 0.2, 100.0, &mut r
+        )));
         assert!(is_connected(&expander_graph(30, 4, 1.0..2.0, &mut r)));
     }
 

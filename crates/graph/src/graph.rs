@@ -33,7 +33,10 @@ impl Graph {
                     w > 0.0 && w.is_finite(),
                     "edge weights must be positive and finite, got {w}"
                 );
-                assert!((u as usize) < n && (v as usize) < n, "edge endpoint out of range");
+                assert!(
+                    (u as usize) < n && (v as usize) < n,
+                    "edge endpoint out of range"
+                );
                 if u < v {
                     (u, v, w)
                 } else {
@@ -68,10 +71,13 @@ impl Graph {
         // Sort each row by neighbor id for deterministic iteration and
         // binary-searchable `weight` lookups.
         for v in 0..n {
-            adjacency[offsets[v]..offsets[v + 1]]
-                .sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            adjacency[offsets[v]..offsets[v + 1]].sort_unstable_by_key(|a| a.0);
         }
-        Graph { offsets, adjacency, m }
+        Graph {
+            offsets,
+            adjacency,
+            m,
+        }
     }
 
     /// Number of nodes `n = |V|`.

@@ -41,7 +41,11 @@ pub struct HopsetConfig {
 
 impl Default for HopsetConfig {
     fn default() -> Self {
-        HopsetConfig { d: 17, epsilon: 0.0, oversample: 2.0 }
+        HopsetConfig {
+            d: 17,
+            epsilon: 0.0,
+            oversample: 2.0,
+        }
     }
 }
 
@@ -53,10 +57,14 @@ impl HopsetConfig {
     /// constructor picks the sweet spot for concrete instance sizes.
     pub fn for_scale(n: usize, m: usize) -> HopsetConfig {
         let c = 2.0;
-        let d_star = 2.0 * c * (n.max(2) as f64) * (n.max(2) as f64).ln()
-            / (m.max(1) as f64).sqrt();
+        let d_star =
+            2.0 * c * (n.max(2) as f64) * (n.max(2) as f64).ln() / (m.max(1) as f64).sqrt();
         let d = (d_star as usize).clamp(9, n.max(9));
-        HopsetConfig { d, epsilon: 0.0, oversample: c }
+        HopsetConfig {
+            d,
+            epsilon: 0.0,
+            oversample: c,
+        }
     }
 }
 
@@ -101,7 +109,12 @@ impl Hopset {
                 }
             }
         }
-        Hopset { edges, d: config.d, epsilon: config.epsilon, hubs }
+        Hopset {
+            edges,
+            d: config.d,
+            epsilon: config.epsilon,
+            hubs,
+        }
     }
 
     /// Number of shortcut edges `|E'|`.
@@ -127,7 +140,12 @@ impl Hopset {
 /// edges and sets `d = SPD(G)` supplied by the caller. Useful for tests
 /// and for dense inputs that are "metric-like" already.
 pub fn trivial_hopset(d: usize) -> Hopset {
-    Hopset { edges: Vec::new(), d, epsilon: 0.0, hubs: Vec::new() }
+    Hopset {
+        edges: Vec::new(),
+        d,
+        epsilon: 0.0,
+        hubs: Vec::new(),
+    }
 }
 
 #[cfg(test)]
@@ -162,7 +180,15 @@ mod tests {
         // SPD = n−1 without shortcuts; the hop set must compress it.
         let g = path_graph(64, 1.0);
         let mut rng = StdRng::seed_from_u64(5);
-        let hs = Hopset::build(&g, &HopsetConfig { d: 9, epsilon: 0.0, oversample: 3.0 }, &mut rng);
+        let hs = Hopset::build(
+            &g,
+            &HopsetConfig {
+                d: 9,
+                epsilon: 0.0,
+                oversample: 3.0,
+            },
+            &mut rng,
+        );
         check_hopset_property(&g, &hs);
     }
 
@@ -170,7 +196,15 @@ mod tests {
     fn random_graph_hopset_exact() {
         let mut rng = StdRng::seed_from_u64(6);
         let g = gnm_graph(80, 160, 1.0..20.0, &mut rng);
-        let hs = Hopset::build(&g, &HopsetConfig { d: 7, epsilon: 0.0, oversample: 3.0 }, &mut rng);
+        let hs = Hopset::build(
+            &g,
+            &HopsetConfig {
+                d: 7,
+                epsilon: 0.0,
+                oversample: 3.0,
+            },
+            &mut rng,
+        );
         check_hopset_property(&g, &hs);
     }
 
@@ -180,7 +214,11 @@ mod tests {
         let g = gnm_graph(60, 150, 1.0..10.0, &mut rng);
         let hs = Hopset::build(
             &g,
-            &HopsetConfig { d: 7, epsilon: 0.25, oversample: 3.0 },
+            &HopsetConfig {
+                d: 7,
+                epsilon: 0.25,
+                oversample: 3.0,
+            },
             &mut rng,
         );
         check_hopset_property(&g, &hs);

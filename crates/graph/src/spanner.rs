@@ -83,7 +83,7 @@ pub fn baswana_sen_spanner(g: &Graph, k: usize, rng: &mut impl Rng) -> Graph {
                 None => {
                     // Not adjacent to any sampled cluster: add the lightest
                     // edge to every neighboring cluster, then retire v.
-                    for (_, &(u, w)) in &lightest {
+                    for &(u, w) in lightest.values() {
                         spanner.push((v.min(u), v.max(u), w));
                     }
                     discard_all[v as usize] = true;
@@ -150,7 +150,7 @@ pub fn baswana_sen_spanner(g: &Graph, k: usize, rng: &mut impl Rng) -> Graph {
                 *e = (u, w);
             }
         }
-        for (_, &(u, w)) in &lightest {
+        for &(u, w) in lightest.values() {
             spanner.push((v.min(u), v.max(u), w));
         }
     }

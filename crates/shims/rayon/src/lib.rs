@@ -1,0 +1,148 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon)
+//! crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the `par_iter`/`par_iter_mut`/`into_par_iter` entry points it uses and
+//! executes them **sequentially**: each adaptor simply returns the
+//! corresponding [`std::iter`] iterator, which supports the same `map`,
+//! `for_each`, `enumerate`, `zip` and `collect` combinators downstream
+//! code calls. Data-parallel speedups return the moment the real rayon is
+//! substituted back in — call sites compile unchanged against either.
+
+/// The drop-in prelude, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+/// Sequential re-implementations of the parallel iterator entry points.
+pub mod iter {
+    /// Marker alias: in this shim a "parallel iterator" *is* a standard
+    /// iterator, so every adaptor chain type-checks identically. Also
+    /// carries the rayon-only combinator names downstream code uses,
+    /// forwarded to their sequential `std::iter` equivalents.
+    pub trait ParallelIterator: Iterator + Sized {
+        /// rayon's `flat_map_iter` (sequential-iterator flat map).
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+
+        /// rayon's order-insensitive `reduce` with an identity factory.
+        fn reduce<ID, OP>(mut self, identity: ID, op: OP) -> Self::Item
+        where
+            ID: Fn() -> Self::Item,
+            OP: Fn(Self::Item, Self::Item) -> Self::Item,
+        {
+            let first = self.next().unwrap_or_else(&identity);
+            Iterator::fold(self, first, op)
+        }
+    }
+
+    impl<I: Iterator + Sized> ParallelIterator for I {}
+
+    /// `self.into_par_iter()` — sequential stand-in for
+    /// `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Consumes `self`, yielding its (sequential) iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `self.par_iter()` — sequential stand-in for
+    /// `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The borrowed iterator type.
+        type Iter: Iterator;
+
+        /// Borrows `self`, yielding its (sequential) iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `self.par_iter_mut()` — sequential stand-in for
+    /// `rayon::iter::IntoParallelRefMutIterator`.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The mutably borrowed iterator type.
+        type Iter: Iterator;
+
+        /// Mutably borrows `self`, yielding its (sequential) iterator.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoIterator,
+    {
+        type Iter = <&'data mut C as IntoIterator>::IntoIter;
+
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+/// Runs two closures "in parallel" (sequentially here), mirroring
+/// `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_into_par_iter_collects() {
+        let squares: Vec<u32> = (0u32..5).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn slice_par_iter_and_mut() {
+        let mut v = vec![1, 2, 3];
+        let sum: i32 = v.par_iter().sum();
+        assert_eq!(sum, 6);
+        v.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(v, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate_zip() {
+        let mut out = vec![0usize; 4];
+        let src = [10usize, 20, 30, 40];
+        out.par_iter_mut()
+            .zip(src.par_iter())
+            .enumerate()
+            .for_each(|(i, (o, s))| *o = i + s);
+        assert_eq!(out, vec![10, 21, 32, 43]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+}

@@ -39,7 +39,10 @@ fn main() {
     let fire = ForestFire::new(g.n(), &[2, 17], Dist::new(6.0));
     let res = run_to_fixpoint(&fire, &g, g.n() + 1);
     let alerted = res.states.iter().filter(|x| x.0.is_finite()).count();
-    println!("forest fire: {alerted}/{} nodes within distance 6 of a fire", g.n());
+    println!(
+        "forest fire: {alerted}/{} nodes within distance 6 of a fire",
+        g.n()
+    );
 
     // 4. Widest paths over S_{max,min} (Example 3.13): trust propagation.
     let widest = WidestPaths::sswp(g.n(), 0);

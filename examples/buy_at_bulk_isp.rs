@@ -25,9 +25,18 @@ fn main() {
 
     // Fiber products: unit leases, 10G bundles, 100G wavelengths.
     let cables = vec![
-        CableType { capacity: 1.0, cost: 1.0 },
-        CableType { capacity: 10.0, cost: 4.0 },
-        CableType { capacity: 100.0, cost: 14.0 },
+        CableType {
+            capacity: 1.0,
+            cost: 1.0,
+        },
+        CableType {
+            capacity: 10.0,
+            cost: 4.0,
+        },
+        CableType {
+            capacity: 100.0,
+            cost: 14.0,
+        },
     ];
 
     // Traffic matrix: 40 west↔east city pairs with skewed volumes —
@@ -37,11 +46,18 @@ fn main() {
         .map(|_| {
             let s = rng.gen_range(0..10) as NodeId; // west column region
             let t = (g.n() - 1 - rng.gen_range(0..10)) as NodeId; // east
-            Demand { s, t, amount: (1.5f64).powi(rng.gen_range(0..8)) }
+            Demand {
+                s,
+                t,
+                amount: (1.5f64).powi(rng.gen_range(0..8)),
+            }
         })
         .collect();
     let total_traffic: f64 = demands.iter().map(|d| d.amount).sum();
-    println!("demands: {} pairs, {total_traffic:.0} Gbit/s total", demands.len());
+    println!(
+        "demands: {} pairs, {total_traffic:.0} Gbit/s total",
+        demands.len()
+    );
 
     let instance = BuyAtBulkInstance { cables, demands };
 

@@ -20,10 +20,16 @@ use std::sync::Arc;
 fn main() {
     let mut rng = StdRng::seed_from_u64(8);
     let cases: Vec<(&str, Graph)> = vec![
-        ("gnm n=800 m=2400", gnm_graph(800, 2400, 1.0..10.0, &mut rng)),
+        (
+            "gnm n=800 m=2400",
+            gnm_graph(800, 2400, 1.0..10.0, &mut rng),
+        ),
         ("grid 25×32", grid_graph(25, 32, 1.0..5.0, &mut rng)),
         ("highway n=2500", highway_graph(2500, 1e5)),
-        ("caterpillar 2000+500", caterpillar_graph(2000, 500, 1.0, 1.0..3.0, &mut rng)),
+        (
+            "caterpillar 2000+500",
+            caterpillar_graph(2000, 500, 1.0, 1.0..3.0, &mut rng),
+        ),
     ];
 
     println!(

@@ -20,7 +20,11 @@ fn main() {
     // A "city": random geometric graph in the unit square, edge weights =
     // Euclidean street lengths in meters.
     let g = random_geometric_graph(300, 0.09, 1000.0, &mut rng);
-    println!("road network: n = {} intersections, m = {} streets", g.n(), g.m());
+    println!(
+        "road network: n = {} intersections, m = {} streets",
+        g.n(),
+        g.m()
+    );
 
     for k in [2, 4, 8] {
         let ours = solve_kmedian(&g, &KMedianConfig::new(k), &mut rng);

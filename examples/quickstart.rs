@@ -35,7 +35,10 @@ fn main() {
 
     // LE lists are short (Lemma 7.6): report the maximum.
     let max_le = embedding.le_lists().iter().map(|l| l.len()).max().unwrap();
-    println!("longest LE list: {max_le} entries (ln n ≈ {:.1})", (g.n() as f64).ln());
+    println!(
+        "longest LE list: {max_le} entries (ln n ≈ {:.1})",
+        (g.n() as f64).ln()
+    );
 
     // Verify dominance and measure the stretch on sampled pairs.
     let mut worst: f64 = 0.0;

@@ -19,6 +19,38 @@
 //!   algorithms (§8),
 //! * [`apps`] — k-median (§9) and buy-at-bulk network design (§10).
 //!
+//! ## Engine architecture
+//!
+//! Every algorithm in the workspace — the Section 3 catalog, LE lists,
+//! the `H`-oracle, approximate metrics, FRT sampling, and both
+//! applications — bottoms out in the same iteration core,
+//! [`core::engine`]. One hop computes `x ← r^V A x`: propagate states
+//! over edges (`⊙`), aggregate (`⊕`), filter (`r`). The engine schedules
+//! hops under an [`core::engine::EngineStrategy`]:
+//!
+//! * **Dense** — re-relax every vertex's full neighborhood, the paper's
+//!   literal iteration and the differential-testing reference;
+//! * **Frontier** — recompute only vertices whose closed neighborhood
+//!   contains a state that changed in the previous hop. The skip is
+//!   *bit-identical*, not approximate: an MBF-like hop is a deterministic
+//!   function of the closed in-neighborhood, so unchanged inputs imply an
+//!   unchanged output. Work per hop shrinks from `Θ(m)` to the size of
+//!   the active wave, complementing the paper's `|x|`-bounded cost per
+//!   relaxation (Lemmas 7.6–7.8) with an `|active|`-bounded number of
+//!   relaxations;
+//! * **Hybrid** (default) — frontier-driven with a Ligra-style fallback
+//!   to the dense sweep while the frontier covers most of the graph.
+//!
+//! Under the engine sit zero-allocation merge kernels
+//! ([`algebra::merge`]): sparse state aggregation ping-pongs between the
+//! accumulator and a per-thread scratch buffer, and the engine
+//! double-buffers whole state vectors, so a steady-state hop allocates
+//! nothing. `cargo run --release -p mte-bench --bin exp_baseline` runs
+//! the engine suite (dense vs frontier vs hybrid on the standard
+//! catalog) and writes the `BENCH_engine.json` trajectory artifact;
+//! `cargo bench -p mte-bench --bench bench_engine` times the same
+//! workloads under criterion.
+//!
 //! ## Quickstart
 //!
 //! ```

@@ -1,0 +1,219 @@
+//! Differential tests for the engine strategies: the frontier-driven
+//! sparse engine must be **bit-identical** to the dense reference sweep
+//! on every workload — the skip criterion ("no input of `v` changed, so
+//! `x_v` cannot change") is exact, not approximate — while doing
+//! strictly less relaxation work whenever convergence leaves vertices
+//! quiescent before the run ends.
+
+use metric_tree_embedding::algebra::NodeId;
+use metric_tree_embedding::core::catalog::{Connectivity, SourceDetection, WidestPaths};
+use metric_tree_embedding::core::engine::{
+    run_to_fixpoint_with, run_with, EngineStrategy, MbfAlgorithm, MbfRun,
+};
+use metric_tree_embedding::core::frt::le_list::{LeListAlgorithm, Ranks};
+use metric_tree_embedding::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Strategies under differential test, dense reference first.
+const STRATEGIES: [EngineStrategy; 4] = [
+    EngineStrategy::Dense,
+    EngineStrategy::Frontier,
+    EngineStrategy::Hybrid {
+        dense_threshold: 0.25,
+    },
+    EngineStrategy::Hybrid {
+        dense_threshold: 0.75,
+    },
+];
+
+/// Runs `alg` to the fixpoint under every strategy and asserts exact
+/// state equality (plus identical iteration counts) against the dense
+/// reference. Returns (dense work, frontier work) for work assertions.
+fn assert_all_strategies_agree<A>(
+    alg: &A,
+    g: &Graph,
+    cap: usize,
+) -> (
+    MbfRun<<A as MbfAlgorithm>::M>,
+    MbfRun<<A as MbfAlgorithm>::M>,
+)
+where
+    A: MbfAlgorithm,
+    A::M: PartialEq + std::fmt::Debug,
+{
+    let dense = run_to_fixpoint_with(alg, g, cap, EngineStrategy::Dense);
+    let mut frontier_run = None;
+    for strategy in STRATEGIES {
+        let run = run_to_fixpoint_with(alg, g, cap, strategy);
+        assert_eq!(
+            run.states, dense.states,
+            "strategy {strategy:?} diverged from the dense engine"
+        );
+        assert_eq!(
+            run.iterations, dense.iterations,
+            "iteration count under {strategy:?}"
+        );
+        assert_eq!(
+            run.fixpoint, dense.fixpoint,
+            "fixpoint flag under {strategy:?}"
+        );
+        if strategy == EngineStrategy::Frontier {
+            frontier_run = Some(run);
+        }
+    }
+    (
+        dense,
+        frontier_run.expect("frontier strategy is in STRATEGIES"),
+    )
+}
+
+/// The workload families named by the engine issue: sparse random
+/// graphs, grids, and disconnected graphs.
+fn workload_graphs() -> Vec<(&'static str, Graph)> {
+    let mut rng = StdRng::seed_from_u64(0xEF11);
+    let mut disconnected: Vec<(NodeId, NodeId, f64)> =
+        gnm_graph(20, 40, 1.0..8.0, &mut rng).edges().collect();
+    // A second component, offset by 20, plus two isolated vertices.
+    disconnected.extend(
+        gnm_graph(14, 25, 1.0..8.0, &mut rng)
+            .edges()
+            .map(|(u, v, w)| (u + 20, v + 20, w)),
+    );
+    vec![
+        ("gnm sparse", gnm_graph(60, 140, 1.0..10.0, &mut rng)),
+        ("grid 8x8", grid_graph(8, 8, 1.0..5.0, &mut rng)),
+        ("path", path_graph(48, 1.0)),
+        ("disconnected", Graph::from_edges(36, disconnected)),
+    ]
+}
+
+#[test]
+fn sssp_strategies_bit_identical_on_workloads() {
+    for (name, g) in workload_graphs() {
+        let alg = SourceDetection::sssp(g.n(), 0);
+        let (dense, frontier) = assert_all_strategies_agree(&alg, &g, g.n() + 1);
+        // Convergent instances must see strictly fewer relaxations.
+        assert!(
+            frontier.work.edge_relaxations < dense.work.edge_relaxations,
+            "{name}: frontier {} !< dense {}",
+            frontier.work.edge_relaxations,
+            dense.work.edge_relaxations
+        );
+    }
+}
+
+#[test]
+fn apsp_restricted_strategies_bit_identical_on_workloads() {
+    for (name, g) in workload_graphs() {
+        // k-SSP: APSP restricted to the 4 closest sources per node.
+        let alg = SourceDetection::k_ssp(g.n(), 4);
+        let (dense, frontier) = assert_all_strategies_agree(&alg, &g, g.n() + 1);
+        assert!(
+            frontier.work.edge_relaxations < dense.work.edge_relaxations,
+            "{name}: frontier {} !< dense {}",
+            frontier.work.edge_relaxations,
+            dense.work.edge_relaxations
+        );
+    }
+}
+
+#[test]
+fn le_list_strategies_bit_identical_on_workloads() {
+    let mut rng = StdRng::seed_from_u64(0xEF12);
+    for (name, g) in workload_graphs() {
+        let ranks = Arc::new(Ranks::sample(g.n(), &mut rng));
+        let alg = LeListAlgorithm::new(ranks);
+        let (dense, frontier) = assert_all_strategies_agree(&alg, &g, g.n() + 1);
+        assert!(
+            frontier.work.edge_relaxations < dense.work.edge_relaxations,
+            "{name}: frontier {} !< dense {}",
+            frontier.work.edge_relaxations,
+            dense.work.edge_relaxations
+        );
+    }
+}
+
+#[test]
+fn widest_paths_and_connectivity_strategies_agree() {
+    // Non-min-plus semirings exercise the generic pull-recompute path.
+    for (_, g) in workload_graphs() {
+        assert_all_strategies_agree(&WidestPaths::apwp(g.n()), &g, g.n() + 1);
+        assert_all_strategies_agree(&Connectivity::all_pairs(g.n()), &g, g.n() + 1);
+    }
+}
+
+#[test]
+fn fixed_iteration_runs_agree_before_convergence() {
+    // run_with (exact h hops, no fixpoint shortcut for the result) must
+    // also match hop for hop, including h far beyond convergence.
+    let g = grid_graph(6, 6, 1.0..4.0, &mut StdRng::seed_from_u64(0xEF13));
+    let alg = SourceDetection::apsp(g.n());
+    for h in [0, 1, 2, 5, 40] {
+        let dense = run_with(&alg, &g, h, EngineStrategy::Dense);
+        for strategy in STRATEGIES {
+            let run = run_with(&alg, &g, h, strategy);
+            assert_eq!(run.states, dense.states, "h = {h}, strategy {strategy:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random-graph differential fuzz: SSSP, 3-SSP, and LE lists under
+    /// all strategies on arbitrary (possibly disconnected) graphs.
+    #[test]
+    fn random_graphs_all_strategies_agree(
+        n in 2usize..28,
+        extra in 0usize..40,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Two independent components (the second offset past the first)
+        // keep the disconnected case — the degenerate one worth fuzzing —
+        // in every batch.
+        let n2 = 1 + n / 3;
+        let mut edges: Vec<(NodeId, NodeId, f64)> =
+            gnm_graph(n, (n - 1 + extra).min(n * (n - 1) / 2), 1.0..9.0, &mut rng)
+                .edges()
+                .collect();
+        if n2 >= 2 {
+            edges.extend(
+                gnm_graph(n2, n2 - 1, 1.0..9.0, &mut rng)
+                    .edges()
+                    .map(|(u, v, w)| (u + n as NodeId, v + n as NodeId, w)),
+            );
+        }
+        let g = Graph::from_edges(n + n2, edges);
+        let cap = g.n() + 1;
+
+        let sssp = SourceDetection::sssp(g.n(), (seed % n as u64) as NodeId);
+        assert_all_strategies_agree(&sssp, &g, cap);
+
+        let kssp = SourceDetection::k_ssp(g.n(), 3);
+        assert_all_strategies_agree(&kssp, &g, cap);
+
+        let ranks = Arc::new(Ranks::sample(g.n(), &mut rng));
+        assert_all_strategies_agree(&LeListAlgorithm::new(ranks), &g, cap);
+    }
+
+    /// The frontier engine's relaxation count never exceeds the dense
+    /// engine's, on any random graph.
+    #[test]
+    fn frontier_work_never_exceeds_dense(
+        n in 2usize..24,
+        extra in 0usize..30,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gnm_graph(n, (n - 1 + extra).min(n * (n - 1) / 2), 1.0..9.0, &mut rng);
+        let alg = SourceDetection::apsp(g.n());
+        let dense = run_to_fixpoint_with(&alg, &g, g.n() + 1, EngineStrategy::Dense);
+        let frontier = run_to_fixpoint_with(&alg, &g, g.n() + 1, EngineStrategy::Frontier);
+        prop_assert!(frontier.work.edge_relaxations <= dense.work.edge_relaxations);
+        prop_assert!(frontier.work.touched_vertices <= dense.work.touched_vertices);
+    }
+}

@@ -16,7 +16,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn small_hopset() -> HopsetConfig {
-    HopsetConfig { d: 7, epsilon: 0.0, oversample: 3.0 }
+    HopsetConfig {
+        d: 7,
+        epsilon: 0.0,
+        oversample: 3.0,
+    }
 }
 
 /// G → hop set → H → oracle LE lists → FRT tree: dominance against exact
@@ -124,7 +128,10 @@ fn pipeline_expected_stretch_grid() {
         }
     }
     // O(log n) with a generous constant (single-digit trials).
-    assert!(worst <= 10.0 * (g.n() as f64).log2(), "max expected stretch {worst}");
+    assert!(
+        worst <= 10.0 * (g.n() as f64).log2(),
+        "max expected stretch {worst}"
+    );
 }
 
 /// The distributed pipelines agree with the guarantees: Khan's tree and
@@ -154,9 +161,22 @@ fn kmedian_end_to_end_quality() {
     let mut rng = StdRng::seed_from_u64(206);
     let g = grid_graph(4, 5, 1.0..3.0, &mut rng);
     let opt = kmedian_exhaustive(&g, 3);
-    let sol = solve_kmedian(&g, &KMedianConfig { k: 3, oversample: 4.0, trees: 6 }, &mut rng);
+    let sol = solve_kmedian(
+        &g,
+        &KMedianConfig {
+            k: 3,
+            oversample: 4.0,
+            trees: 6,
+        },
+        &mut rng,
+    );
     assert!(sol.centers.len() <= 3);
-    assert!(sol.cost <= 3.0 * opt.cost + 1e-9, "{} vs opt {}", sol.cost, opt.cost);
+    assert!(
+        sol.cost <= 3.0 * opt.cost + 1e-9,
+        "{} vs opt {}",
+        sol.cost,
+        opt.cost
+    );
 }
 
 /// Buy-at-bulk through the full stack: feasible, above the lower bound,
@@ -167,13 +187,31 @@ fn buyatbulk_end_to_end_quality() {
     let g = grid_graph(5, 5, 2.0..10.0, &mut rng);
     let inst = BuyAtBulkInstance {
         cables: vec![
-            CableType { capacity: 1.0, cost: 1.0 },
-            CableType { capacity: 8.0, cost: 3.0 },
+            CableType {
+                capacity: 1.0,
+                cost: 1.0,
+            },
+            CableType {
+                capacity: 8.0,
+                cost: 3.0,
+            },
         ],
         demands: vec![
-            Demand { s: 0, t: 24, amount: 2.0 },
-            Demand { s: 4, t: 20, amount: 5.0 },
-            Demand { s: 2, t: 22, amount: 1.0 },
+            Demand {
+                s: 0,
+                t: 24,
+                amount: 2.0,
+            },
+            Demand {
+                s: 4,
+                t: 20,
+                amount: 5.0,
+            },
+            Demand {
+                s: 2,
+                t: 22,
+                amount: 1.0,
+            },
         ],
     };
     let sol = solve_buy_at_bulk(&g, &inst, &mut rng);
@@ -214,7 +252,11 @@ fn frt_from_approximate_metric_composes() {
     let mut rng = StdRng::seed_from_u64(210);
     let g = gnm_graph(40, 160, 1.0..8.0, &mut rng);
     let exact = apsp(&g);
-    let cfg = MetricConfig { hopset: small_hopset(), eps_hat: 0.03, max_iterations: None };
+    let cfg = MetricConfig {
+        hopset: small_hopset(),
+        eps_hat: 0.03,
+        max_iterations: None,
+    };
     let metric = approximate_metric_with_spanner(&g, 2, &cfg, &mut rng);
     let sample = sample_from_metric(metric.matrix(), g.min_weight(), &mut rng);
     for u in 0..g.n() as NodeId {

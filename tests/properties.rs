@@ -6,9 +6,7 @@
 use metric_tree_embedding::algebra::allpaths::{AllPaths, Path};
 use metric_tree_embedding::algebra::laws::{check_congruence, check_semimodule, check_semiring};
 use metric_tree_embedding::algebra::node_set::NodeSet;
-use metric_tree_embedding::algebra::{
-    Bool, Dist, DistanceMap, MinPlus, NodeId, Width, WidthMap,
-};
+use metric_tree_embedding::algebra::{Bool, Dist, DistanceMap, MinPlus, NodeId, Width, WidthMap};
 use metric_tree_embedding::core::catalog::forest_fire::ThresholdFilter;
 use metric_tree_embedding::core::catalog::ksdp::KsdpFilter;
 use metric_tree_embedding::core::catalog::source_detection::{
@@ -38,13 +36,11 @@ fn arb_width() -> impl Strategy<Value = Width> {
 }
 
 fn arb_distance_map() -> impl Strategy<Value = DistanceMap> {
-    proptest::collection::vec((0..UNIVERSE, arb_dist()), 0..8)
-        .prop_map(DistanceMap::from_entries)
+    proptest::collection::vec((0..UNIVERSE, arb_dist()), 0..8).prop_map(DistanceMap::from_entries)
 }
 
 fn arb_width_map() -> impl Strategy<Value = WidthMap> {
-    proptest::collection::vec((0..UNIVERSE, arb_width()), 0..8)
-        .prop_map(WidthMap::from_entries)
+    proptest::collection::vec((0..UNIVERSE, arb_width()), 0..8).prop_map(WidthMap::from_entries)
 }
 
 fn arb_node_set() -> impl Strategy<Value = NodeSet> {
