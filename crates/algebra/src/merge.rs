@@ -11,9 +11,11 @@
 //! **zero** allocations: the two buffers ping-pong and keep their
 //! capacity.
 //!
-//! A thread-local scratch ([`with_scratch`]) serves callers without their
-//! own buffer (each rayon worker gets one); hot loops that want explicit
-//! control pass a caller-owned scratch instead.
+//! A thread-local scratch ([`with_dist_scratch`] / [`with_width_scratch`])
+//! serves callers without their own buffer (each rayon worker thread gets
+//! its own, so the layer is Send-clean under the thread-parallel
+//! backend); hot loops that want explicit control pass a caller-owned
+//! scratch instead.
 
 use crate::NodeId;
 use std::cell::RefCell;
@@ -94,6 +96,46 @@ pub fn with_width_scratch<R>(f: impl FnOnce(&mut Vec<(NodeId, crate::maxmin::Wid
 mod tests {
     use super::*;
     use crate::dist::Dist;
+
+    /// The merge layer must be Send-clean: with the thread-parallel
+    /// rayon backend, every engine worker merges through its *own*
+    /// thread-local scratch, and the map semimodules cross thread
+    /// boundaries freely. Compile-time assertion plus a cross-thread
+    /// smoke test against the sequential reference.
+    #[test]
+    fn merge_layer_is_send_clean_across_worker_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::DistanceMap>();
+        assert_send_sync::<crate::WidthMap>();
+        assert_send_sync::<crate::NodeSet>();
+        assert_send_sync::<(NodeId, Dist)>();
+
+        use rayon::prelude::*;
+        let a: Vec<(u32, Dist)> = (0..500).map(|i| (2 * i, Dist::new(i as f64))).collect();
+        let b: Vec<(u32, Dist)> = (0..500)
+            .map(|i| (3 * i, Dist::new(1.5 * i as f64)))
+            .collect();
+        let mut sequential = Vec::new();
+        merge_sorted_into(&a, &b, |d| d, Dist::min, &mut sequential);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let merged: Vec<Vec<(u32, Dist)>> = pool.install(|| {
+            (0..256u32)
+                .into_par_iter()
+                .map(|_| {
+                    with_dist_scratch(|scratch| {
+                        merge_sorted_into(&a, &b, |d| d, Dist::min, scratch);
+                        scratch.clone()
+                    })
+                })
+                .collect()
+        });
+        for m in merged {
+            assert_eq!(m, sequential);
+        }
+    }
 
     #[test]
     fn merge_combines_and_maps() {

@@ -1,11 +1,14 @@
 //! Experiment driver. See DESIGN.md §4 and EXPERIMENTS.md.
 //!
-//! Runs the Section 1.1 sampler comparison (E16) plus the engine suite
+//! Runs the Section 1.1 sampler comparison (E16), the engine suite
 //! (dense vs frontier vs hybrid scheduling on the standard catalog), and
-//! writes the machine-readable `BENCH_engine.json` that tracks the
-//! engine's performance trajectory across PRs.
+//! the thread-scaling sweep (the same dense workload across
+//! `MTE_THREADS`-style pool sizes {1, 2, 4, max}), and writes the
+//! machine-readable `BENCH_engine.json` / `BENCH_parallel.json` pair
+//! that tracks the engine's performance trajectory across PRs.
 
 use mte_bench::engine_suite::{engine_suite, engine_suite_json, engine_suite_table};
+use mte_bench::parallel_suite::{parallel_suite, parallel_suite_json, parallel_suite_table};
 
 fn main() {
     mte_bench::suite::exp_baseline().print();
@@ -16,6 +19,15 @@ fn main() {
     let path = "BENCH_engine.json";
     match std::fs::write(path, engine_suite_json(&cases)) {
         Ok(()) => println!("wrote {path} ({} cases)", cases.len()),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+
+    let parallel_cases = parallel_suite();
+    parallel_suite_table(&parallel_cases).print();
+
+    let path = "BENCH_parallel.json";
+    match std::fs::write(path, parallel_suite_json(&parallel_cases)) {
+        Ok(()) => println!("wrote {path} ({} cases)", parallel_cases.len()),
         Err(e) => eprintln!("failed to write {path}: {e}"),
     }
 }

@@ -157,7 +157,7 @@ pub fn engine_suite_table(cases: &[EngineCase]) -> Table {
     t
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
             '"' => "\\\"".chars().collect::<Vec<_>>(),

@@ -22,5 +22,6 @@
 //! | `exp_baseline`    | Sec. 1.1 (oracle pipeline vs Ω(n²) metric baseline) |
 
 pub mod engine_suite;
+pub mod parallel_suite;
 pub mod suite;
 pub mod tables;

@@ -41,14 +41,22 @@
 //! writes hop `i+1` into it via `clone_from` (which reuses each state's
 //! heap buffer), then swaps only the vertices that changed. Combined with
 //! the zero-allocation merge kernels of [`mte_algebra::merge`] and the
-//! engine-owned stats buffer, a steady-state hop performs no allocation;
-//! what remains per hop is an `O(n)` bookkeeping scan of the mark
-//! vectors (a frontier-list schedule that avoids it is a possible
-//! follow-up for extremely sparse waves).
+//! engine-owned stats buffer, a steady-state hop performs no per-vertex
+//! allocation; what remains per hop is an `O(n)` bookkeeping pass over
+//! the mark vectors plus `O(#chunks)` scheduling bookkeeping (a
+//! frontier-list schedule that avoids the former is a possible follow-up
+//! for extremely sparse waves).
 //!
-//! The engine parallelizes each hop over destination vertices with rayon
+//! The engine parallelizes each hop over destination vertices with
+//! rayon's thread pool (`MTE_THREADS` workers; see the shim's crate docs)
 //! — the "implicit parallelism of the MBF algorithm" the paper leverages
 //! (cf. its comparison with Mohri's inherently sequential framework).
+//! Both the pull-recompute sweep and the commit pass partition the node
+//! range into chunks whose layout depends only on `n`; per-chunk
+//! `WorkStats` and changed-flags merge through a fixed-shape reduction
+//! tree, so every output — states, work counters, frontier bookkeeping —
+//! is bit-identical across thread counts (asserted by the determinism
+//! suite in `tests/engine_equivalence.rs`).
 
 use crate::work::WorkStats;
 use mte_algebra::{Filter, NodeId, Semimodule, Semiring};
@@ -287,29 +295,55 @@ impl<A: MbfAlgorithm> MbfEngine<A> {
                 *stats = (entries, relaxations, changed);
             });
 
-        // Commit: swap in changed states, refresh the frontier.
-        let mut work = WorkStats {
+        // Commit: swap in changed states, refresh the frontier. The node
+        // range is partitioned into chunks; each chunk swaps its own
+        // vertices and tallies `(WorkStats, frontier degree/len, changed)`,
+        // merged through the fixed-shape reduction tree — bit-identical
+        // for every thread count.
+        let per_vertex: &[(u64, u64, bool)] = &self.per_vertex;
+        let touched: &[bool] = &self.touched;
+        let (entries, relaxations, touched_vertices, frontier_degree, frontier_len, any_changed) =
+            states
+                .par_iter_mut()
+                .zip(self.next.par_iter_mut())
+                .zip(self.dirty.par_iter_mut())
+                .enumerate()
+                .map(|(v, ((state, shadow), dirty))| {
+                    let (entries, relaxations, changed) = per_vertex[v];
+                    *dirty = changed;
+                    if changed {
+                        std::mem::swap(state, shadow);
+                    }
+                    (
+                        entries,
+                        relaxations,
+                        touched[v] as u64,
+                        if changed { g.degree(v as NodeId) } else { 0 },
+                        changed as usize,
+                        changed,
+                    )
+                })
+                .reduce(
+                    || (0u64, 0u64, 0u64, 0usize, 0usize, false),
+                    |a, b| {
+                        (
+                            a.0 + b.0,
+                            a.1 + b.1,
+                            a.2 + b.2,
+                            a.3 + b.3,
+                            a.4 + b.4,
+                            a.5 || b.5,
+                        )
+                    },
+                );
+        let work = WorkStats {
             iterations: 1,
-            ..WorkStats::default()
+            entries_processed: entries,
+            edge_relaxations: relaxations,
+            touched_vertices,
         };
-        self.frontier_degree = 0;
-        self.frontier_len = 0;
-        let mut any_changed = false;
-        for v in 0..n {
-            let (entries, relaxations, changed) = self.per_vertex[v];
-            work.entries_processed += entries;
-            work.edge_relaxations += relaxations;
-            if self.touched[v] {
-                work.touched_vertices += 1;
-            }
-            self.dirty[v] = changed;
-            if changed {
-                std::mem::swap(&mut states[v], &mut self.next[v]);
-                self.frontier_degree += g.degree(v as NodeId);
-                self.frontier_len += 1;
-                any_changed = true;
-            }
-        }
+        self.frontier_degree = frontier_degree;
+        self.frontier_len = frontier_len;
         (work, any_changed)
     }
 }

@@ -47,14 +47,41 @@ pub struct FrtTree {
 impl FrtTree {
     /// Builds the tree from LE lists (Lemma 7.2).
     ///
-    /// `omega_min` must lower-bound the minimum pairwise distance of the
-    /// underlying metric (the minimum edge weight of `G` works: every
-    /// path has at least one edge, and `H` only stretches distances).
+    /// `omega_min` must lower-bound the minimum **positive** pairwise
+    /// distance of the underlying metric (the minimum edge weight of `G`
+    /// works: every path has at least one edge, and `H` only stretches
+    /// distances). Metrics with duplicate points (zero-distance pairs)
+    /// may pass `omega_min = 0`: the radius computation then floors at
+    /// the smallest positive distance occurring in the LE lists, and
+    /// zero-distance pairs collapse into a shared leaf (their embedded
+    /// distance is 0, which is exact).
     pub fn from_le_lists(lists: &[LeList], ranks: &Ranks, beta: f64, omega_min: f64) -> FrtTree {
         assert!((1.0..2.0).contains(&beta), "β must lie in [1, 2)");
-        assert!(omega_min > 0.0 && omega_min.is_finite());
+        assert!(omega_min >= 0.0, "ω_min must be non-negative");
         let n = lists.len();
         assert!(n > 0, "cannot embed the empty graph");
+
+        // Guard against duplicate/zero-distance point pairs: ω_min = 0
+        // would make `log2` yield −∞ and poison every radius with
+        // NaN/−∞ levels. Any positive lower bound on the positive
+        // distances is sound — zero-distance pairs end up inside the
+        // innermost ball together, i.e. in the same leaf.
+        let omega_min = if omega_min > 0.0 && omega_min.is_finite() {
+            omega_min
+        } else {
+            let smallest_positive = lists
+                .iter()
+                .flat_map(|l| l.entries().iter())
+                .map(|&(_, d)| d.value())
+                .filter(|&d| d > 0.0 && d.is_finite())
+                .fold(f64::INFINITY, f64::min);
+            if smallest_positive.is_finite() {
+                smallest_positive
+            } else {
+                // All points coincide (or n = 1): any radius works.
+                1.0
+            }
+        };
 
         // r_0 = β·2^{i0} with 2^{i0+1} ≤ ω_min  ⇒  r_0 < ω_min.
         let i0 = (omega_min.log2() - 1.0).floor();
@@ -338,6 +365,42 @@ mod tests {
         // O(log n) with a moderate constant; log₂ 24 ≈ 4.6.
         assert!(avg < 8.0 * 4.6, "average stretch {avg} too large");
         assert!(avg >= 1.0);
+    }
+
+    #[test]
+    fn duplicate_points_embed_without_nan_levels() {
+        // Regression: a metric with duplicate points has ω_min = 0, and
+        // the root-radius computation `ω_min.log2()` used to produce
+        // −∞/NaN radii (and the old assert rejected ω_min = 0 outright).
+        // Duplicates must instead collapse into a shared leaf.
+        use crate::frt::le_list::le_lists_from_metric;
+        let d = |x: f64| Dist::new(x);
+        // Points 0 and 1 coincide; 2 and 3 are genuinely distinct.
+        let metric = vec![
+            vec![d(0.0), d(0.0), d(1.0), d(4.0)],
+            vec![d(0.0), d(0.0), d(1.0), d(4.0)],
+            vec![d(1.0), d(1.0), d(0.0), d(3.0)],
+            vec![d(4.0), d(4.0), d(3.0), d(0.0)],
+        ];
+        let ranks = Ranks::from_order(vec![2, 0, 3, 1]);
+        let (lists, _) = le_lists_from_metric(&metric, &ranks);
+        let tree = FrtTree::from_le_lists(&lists, &ranks, 1.5, 0.0);
+
+        for &r in tree.radii() {
+            assert!(r.is_finite() && r > 0.0, "bad radius {r}");
+        }
+        // The zero-distance pair shares a leaf and embeds at distance 0.
+        assert_eq!(tree.leaf(0), tree.leaf(1));
+        assert_eq!(tree.leaf_distance(0, 1), 0.0);
+        // Distinct points keep dominating the metric.
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                let dt = tree.leaf_distance(u, v);
+                let dg = metric[u as usize][v as usize].value();
+                assert!(dt.is_finite());
+                assert!(dt >= dg - 1e-9, "dominance violated at ({u},{v})");
+            }
+        }
     }
 
     #[test]

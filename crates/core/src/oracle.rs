@@ -14,14 +14,26 @@
 //! using only `G'`'s `O(m)` edges — `Λ·d ∈ polylog n` cheap iterations
 //! instead of one `Ω(n²)` dense product (Theorem 5.2).
 //!
-//! The inner `(r^V A_λ)^d` loops run on a persistent [`MbfEngine`]: each
+//! The inner `(r^V A_λ)^d` loops run on persistent [`MbfEngine`]s: each
 //! level's projection `P_λ x` resets the frontier (the state vector was
 //! rewritten wholesale), the first hop sweeps, and the remaining `d − 1`
 //! hops ride the narrowing frontier. Hops after the level's fixpoint are
 //! skipped outright — the iteration map is deterministic, so an unchanged
 //! state vector can never change again, and the result is bit-identical
-//! to running all `d` hops. The level buffer `y` and the engine's shadow
-//! buffers are reused across all levels and all simulated `H`-iterations.
+//! to running all `d` hops.
+//!
+//! # Parallel structure
+//!
+//! The `Λ + 1` level contributions `P_λ (r^V A_λ)^d P_λ x` are mutually
+//! independent — they all read the same input vector `x` — so the level
+//! loop runs **in parallel** (one task per level, each with its own
+//! engine and level buffer `y_λ`, all reused across simulated
+//! `H`-iterations). The aggregation `⊕_λ P_λ y_λ` then runs parallel
+//! over *vertices*, each folding its level contributions in ascending-`λ`
+//! order — a fixed combination order independent of the thread count, so
+//! oracle outputs are bit-identical for every `MTE_THREADS` (asserted by
+//! the determinism suite). Per-level `WorkStats` merge through the same
+//! fixed-shape reduction tree.
 
 use crate::engine::{initial_states, EngineStrategy, MbfAlgorithm, MbfEngine};
 use crate::simgraph::SimulatedGraph;
@@ -43,18 +55,43 @@ pub struct OracleRun<M> {
     pub work: WorkStats,
 }
 
-/// Reusable buffers for repeated oracle iterations: the inner engine and
-/// the per-level projected state vector.
-struct OracleScratch<A: MbfAlgorithm> {
+/// Reusable per-level buffers: one engine (shadow vectors, frontier
+/// marks) and one projected state vector per level task.
+struct LevelScratch<A: MbfAlgorithm> {
     engine: MbfEngine<A>,
     y: Vec<A::M>,
+}
+
+/// Reusable buffers for repeated oracle iterations: one [`LevelScratch`]
+/// per level, so the independent level tasks can run in parallel while
+/// still reusing their heap buffers across simulated `H`-iterations.
+struct OracleScratch<A: MbfAlgorithm> {
+    strategy: EngineStrategy,
+    levels: Vec<LevelScratch<A>>,
 }
 
 impl<A: MbfAlgorithm> OracleScratch<A> {
     fn new(strategy: EngineStrategy) -> Self {
         OracleScratch {
-            engine: MbfEngine::new(strategy),
-            y: Vec::new(),
+            strategy,
+            levels: Vec::new(),
+        }
+    }
+
+    /// Sizes the per-level buffers for `num_levels` levels of `n` nodes.
+    fn ensure(&mut self, num_levels: usize, n: usize) {
+        while self.levels.len() < num_levels {
+            self.levels.push(LevelScratch {
+                engine: MbfEngine::new(self.strategy),
+                y: Vec::new(),
+            });
+        }
+        self.levels.truncate(num_levels);
+        for level in &mut self.levels {
+            if level.y.len() != n {
+                level.y.clear();
+                level.y.extend((0..n).map(|_| A::M::zero()));
+            }
         }
     }
 }
@@ -72,50 +109,69 @@ where
     let n = sim.augmented().n();
     debug_assert_eq!(n, x.len());
     let lambda_max = sim.levels().lambda();
-    let mut work = WorkStats::new();
-    let mut agg: Vec<A::M> = vec![A::M::zero(); n];
+    scratch.ensure(lambda_max as usize + 1, n);
     let zero = A::M::zero();
-    if scratch.y.len() != n {
-        scratch.y.clear();
-        scratch.y.extend((0..n).map(|_| A::M::zero()));
-    }
 
-    for lambda in 0..=lambda_max {
-        let scale = sim.level_scale(lambda);
-        // y ← P_λ x : discard states below level λ. `clone_from` reuses
-        // each slot's heap buffer across levels and iterations.
-        scratch.y.par_iter_mut().enumerate().for_each(|(v, slot)| {
-            if sim.levels().level(v as NodeId) >= lambda {
-                slot.clone_from(&x[v]);
-            } else {
-                slot.clone_from(&zero);
+    // The Λ+1 level contributions are independent: one parallel task per
+    // level (`with_min_len(1)`: Λ is small but each task is heavy), each
+    // leaving `(r^V A_λ)^d P_λ x` in its own `y` buffer. Per-level work
+    // tallies merge through the fixed-shape reduction tree.
+    let work = scratch
+        .levels
+        .par_iter_mut()
+        .with_min_len(1)
+        .enumerate()
+        .map(|(lambda, level)| {
+            let lambda = lambda as u32;
+            let scale = sim.level_scale(lambda);
+            // y ← P_λ x : discard states below level λ. `clone_from`
+            // reuses each slot's heap buffer across iterations.
+            level.y.par_iter_mut().enumerate().for_each(|(v, slot)| {
+                if sim.levels().level(v as NodeId) >= lambda {
+                    slot.clone_from(&x[v]);
+                } else {
+                    slot.clone_from(&zero);
+                }
+            });
+            // y ← (r^V A_λ)^d y : d filtered hops on the scaled G'. The
+            // projection rewrote y wholesale, so the frontier restarts
+            // full; once a hop changes nothing the level is at its
+            // fixpoint and the remaining hops are identity.
+            level.engine.mark_all_dirty(sim.augmented());
+            let mut work = WorkStats::new();
+            for _ in 0..sim.d() {
+                let (w, changed) = level.engine.step(alg, sim.augmented(), &mut level.y, scale);
+                work += w;
+                if !changed {
+                    break;
+                }
             }
+            work
+        })
+        .reduce(WorkStats::new, |mut a, b| {
+            a += b;
+            a
         });
-        // y ← (r^V A_λ)^d y : d filtered hops on the scaled G'. The
-        // projection rewrote y wholesale, so the frontier restarts full;
-        // once a hop changes nothing the level is at its fixpoint and the
-        // remaining hops are identity.
-        scratch.engine.mark_all_dirty(sim.augmented());
-        for _ in 0..sim.d() {
-            let (w, changed) = scratch
-                .engine
-                .step(alg, sim.augmented(), &mut scratch.y, scale);
-            work += w;
-            if !changed {
-                break;
-            }
-        }
-        // agg ← agg ⊕ P_λ y.
-        let y_ref: &[A::M] = &scratch.y;
-        agg.par_iter_mut().enumerate().for_each(|(v, a)| {
-            if sim.levels().level(v as NodeId) >= lambda {
-                a.add_assign(&y_ref[v]);
-            }
-        });
-    }
 
-    // Final component-wise filter r^V.
-    agg.par_iter_mut().for_each(|a| alg.filter(a));
+    // agg_v ← r(⊕_λ [level(v) ≥ λ] y_λ[v]), parallel over vertices; the
+    // per-vertex fold runs in ascending-λ order — a fixed combination
+    // order independent of the thread count — with the final filter r^V
+    // fused in.
+    let levels: &[LevelScratch<A>] = &scratch.levels;
+    let agg: Vec<A::M> = (0..n as NodeId)
+        .into_par_iter()
+        .map(|v| {
+            let node_level = sim.levels().level(v);
+            let mut acc = A::M::zero();
+            for (lambda, level) in levels.iter().enumerate() {
+                if node_level >= lambda as u32 {
+                    acc.add_assign(&level.y[v as usize]);
+                }
+            }
+            alg.filter(&mut acc);
+            acc
+        })
+        .collect();
     (agg, work)
 }
 
@@ -129,8 +185,15 @@ where
     oracle_iteration_with(alg, sim, x, &mut scratch)
 }
 
-/// Runs `h` iterations of `alg` on `H` starting from `r^V x⁽⁰⁾`
+/// Runs up to `h` iterations of `alg` on `H` starting from `r^V x⁽⁰⁾`
 /// (Theorem 5.2 (1)), with the given inner-engine strategy.
+///
+/// The iteration map is deterministic, so a simulated `H`-iteration that
+/// changes nothing proves every later iteration is the identity: the run
+/// stops there, reports `fixpoint: true`, and `h_iterations` counts the
+/// iterations actually executed (including the confirming one) — it may
+/// be less than `h`. The returned states are bit-identical to burning
+/// all `h` iterations.
 pub fn oracle_run_with<A>(
     alg: &A,
     sim: &SimulatedGraph,
@@ -143,15 +206,22 @@ where
     let mut states = initial_states(alg, sim.augmented().n());
     let mut scratch = OracleScratch::new(strategy);
     let mut work = WorkStats::new();
-    for _ in 0..h {
+    let mut executed = 0;
+    let mut fixpoint = false;
+    while executed < h {
         let (next, w) = oracle_iteration_with(alg, sim, &states, &mut scratch);
         work += w;
+        executed += 1;
+        if next == states {
+            fixpoint = true;
+            break;
+        }
         states = next;
     }
     OracleRun {
         states,
-        h_iterations: h,
-        fixpoint: false,
+        h_iterations: executed,
+        fixpoint,
         work,
     }
 }
@@ -177,27 +247,9 @@ where
     A: MbfAlgorithm<S = MinPlus>,
     A::M: PartialEq,
 {
-    let mut states = initial_states(alg, sim.augmented().n());
-    let mut scratch = OracleScratch::new(strategy);
-    let mut work = WorkStats::new();
-    let mut h = 0;
-    let mut fixpoint = false;
-    while h < cap {
-        let (next, w) = oracle_iteration_with(alg, sim, &states, &mut scratch);
-        work += w;
-        h += 1;
-        if next == states {
-            fixpoint = true;
-            break;
-        }
-        states = next;
-    }
-    OracleRun {
-        states,
-        h_iterations: h,
-        fixpoint,
-        work,
-    }
+    // `oracle_run_with` detects the fixpoint and stops early, so the
+    // capped run *is* the run-to-fixpoint.
+    oracle_run_with(alg, sim, cap, strategy)
 }
 
 /// Iterates `alg` on `H` to a fixpoint under the default hybrid engine.
@@ -292,6 +344,32 @@ mod tests {
             "took {} iterations",
             run.h_iterations
         );
+    }
+
+    #[test]
+    fn fixed_iteration_budget_stops_at_fixpoint() {
+        // Regression: `oracle_run_with` used to hardcode `fixpoint: false`
+        // and burn the whole budget even after the states stopped
+        // changing. It must stop at the confirming iteration, report the
+        // fixpoint, and still return the exact `A^h(H)` states.
+        let mut rng = StdRng::seed_from_u64(25);
+        let g = path_graph(32, 1.0);
+        let sim = SimulatedGraph::without_hopset(&g, 31, 0.1, &mut rng);
+        let alg = SourceDetection::sssp(g.n(), 0);
+        let budget = 10_000;
+        let run = oracle_run(&alg, &sim, budget);
+        assert!(run.fixpoint, "fixpoint not reported");
+        assert!(
+            run.h_iterations < budget,
+            "burned all {budget} iterations past the fixpoint"
+        );
+        let fix = oracle_run_to_fixpoint(&alg, &sim, budget);
+        assert_eq!(run.states, fix.states);
+        assert_eq!(run.h_iterations, fix.h_iterations);
+        // A budget too small to converge reports honestly.
+        let short = oracle_run(&alg, &sim, 1);
+        assert!(!short.fixpoint);
+        assert_eq!(short.h_iterations, 1);
     }
 
     #[test]

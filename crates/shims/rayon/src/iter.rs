@@ -1,0 +1,718 @@
+//! Chunk-splitting parallel iterators over slices, ranges and vectors,
+//! with a **deterministic reduction tree**.
+//!
+//! # Execution model
+//!
+//! Every parallel iterator here is *indexed*: it knows its length and can
+//! be split at an index. A consumer (`for_each`, `collect`, `reduce`,
+//! `sum`, `max`, `count`) decomposes the iterator into `k` contiguous
+//! chunks with boundaries `⌊i·len/k⌋` and hands them to the worker pool
+//! (the private `pool` module); which *thread* runs which chunk is dynamic
+//! (load-balanced by an atomic claim counter), but the chunk layout and
+//! the combination order are functions of `len` alone.
+//!
+//! # Determinism guarantee
+//!
+//! `k = clamp(len / min_chunk_len, 1, 64)` depends only on the input
+//! length (and the optional [`ParallelIterator::with_min_len`] override —
+//! rayon's API for the same knob), never on the thread count. Reductions
+//! fold each chunk sequentially left-to-right and then combine the chunk
+//! results **in chunk order** — a fixed-shape reduction tree. Outputs are
+//! therefore bit-identical for every `MTE_THREADS` value, including
+//! non-associative floating-point folds; for associative operations they
+//! also equal the plain sequential fold.
+
+use crate::pool;
+use std::cell::UnsafeCell;
+use std::ops::Range;
+
+/// Hard cap on chunks per operation: bounds per-call bookkeeping while
+/// allowing up to 64-way parallelism.
+const MAX_CHUNKS: usize = 64;
+
+/// Default minimum elements per chunk; below `2 ×` this, an operation
+/// runs inline on the caller. Override per call with
+/// [`ParallelIterator::with_min_len`].
+const DEFAULT_MIN_CHUNK_LEN: usize = 64;
+
+/// Writable once-per-slot result cells shared across worker threads.
+///
+/// Soundness: the pool's claim counter hands each index to exactly one
+/// thread, so `take`/`put` accesses to a given slot never race; the
+/// submitting thread reads results only after the job completed.
+struct Slots<T>(Vec<UnsafeCell<Option<T>>>);
+
+unsafe impl<T: Send> Sync for Slots<T> {}
+
+impl<T> Slots<T> {
+    fn filled(items: Vec<T>) -> Self {
+        Slots(
+            items
+                .into_iter()
+                .map(|x| UnsafeCell::new(Some(x)))
+                .collect(),
+        )
+    }
+
+    fn empty(len: usize) -> Self {
+        Slots((0..len).map(|_| UnsafeCell::new(None)).collect())
+    }
+
+    /// Caller contract: index `i` is owned by the calling thread.
+    fn take(&self, i: usize) -> Option<T> {
+        unsafe { (*self.0[i].get()).take() }
+    }
+
+    /// Caller contract: index `i` is owned by the calling thread.
+    fn put(&self, i: usize, value: T) {
+        unsafe { *self.0[i].get() = Some(value) };
+    }
+
+    fn into_vec(self) -> Vec<T> {
+        self.0
+            .into_iter()
+            .map(|cell| cell.into_inner().expect("missing chunk result"))
+            .collect()
+    }
+}
+
+/// Splits `iter` into the chunks covering `[⌊i·len/k⌋, ⌊(i+1)·len/k⌋)`
+/// for chunk indices `lo..hi`, appending them to `out` in index order.
+fn split_into<P: ParallelIterator>(
+    iter: P,
+    lo: usize,
+    hi: usize,
+    len: usize,
+    k: usize,
+    out: &mut Vec<P>,
+) {
+    if hi - lo == 1 {
+        out.push(iter);
+        return;
+    }
+    let mid = lo.midpoint(hi);
+    let (left, right) = iter.split_at(mid * len / k - lo * len / k);
+    split_into(left, lo, mid, len, k, out);
+    split_into(right, mid, hi, len, k, out);
+}
+
+/// Evaluates `eval` over the fixed chunk decomposition of `iter`,
+/// returning the per-chunk results **in chunk order**.
+fn drive<P: ParallelIterator, R: Send>(iter: P, eval: &(dyn Fn(P) -> R + Sync)) -> Vec<R> {
+    let len = iter.split_len();
+    let k = (len / iter.min_chunk_len().max(1)).clamp(1, MAX_CHUNKS);
+    if k == 1 {
+        return vec![eval(iter)];
+    }
+    let mut parts = Vec::with_capacity(k);
+    split_into(iter, 0, k, len, k, &mut parts);
+    let parts = Slots::filled(parts);
+    let results: Slots<R> = Slots::empty(k);
+    pool::execute(&pool::current(), k, &|i| {
+        let part = parts.take(i).expect("chunk claimed twice");
+        results.put(i, eval(part));
+    });
+    results.into_vec()
+}
+
+/// An indexed, splittable parallel iterator (the drop-in subset of
+/// `rayon::iter::ParallelIterator` + `IndexedParallelIterator` this
+/// workspace uses). See the module docs for the execution model and the
+/// determinism guarantee.
+pub trait ParallelIterator: Send + Sized {
+    /// The element type.
+    type Item: Send;
+    /// The sequential iterator a chunk decays to on its worker.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Number of elements (splitting granularity for length-expanding
+    /// adaptors like [`flat_map_iter`](Self::flat_map_iter)).
+    #[doc(hidden)]
+    fn split_len(&self) -> usize;
+
+    /// Splits into `[0, mid)` and `[mid, len)`.
+    #[doc(hidden)]
+    fn split_at(self, mid: usize) -> (Self, Self);
+
+    /// Decays into a sequential iterator over this part's elements.
+    #[doc(hidden)]
+    fn into_seq(self) -> Self::Seq;
+
+    /// Minimum elements per chunk (see [`with_min_len`](Self::with_min_len)).
+    #[doc(hidden)]
+    fn min_chunk_len(&self) -> usize {
+        DEFAULT_MIN_CHUNK_LEN
+    }
+
+    /// Sets the minimum number of elements a chunk may hold, trading
+    /// scheduling overhead for parallelism on short-but-heavy inputs
+    /// (e.g. `with_min_len(1)` for "one task per item"). The chunk
+    /// layout remains a pure function of `(len, min)` — never of the
+    /// thread count — so determinism is unaffected.
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen { base: self, min }
+    }
+
+    /// Maps each element through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Clone + Send + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs elements with their global index, like [`Iterator::enumerate`].
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Zips with another indexed parallel iterator, truncating to the
+    /// shorter length.
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Maps each element to a *sequential* iterator and flattens —
+    /// rayon's `flat_map_iter`. Splitting happens on the outer elements;
+    /// produced lengths may vary per element.
+    fn flat_map_iter<U, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(Self::Item) -> U + Clone + Send + Sync,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    /// Calls `f` on every element, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        drive(self, &|chunk: Self| chunk.into_seq().for_each(&f));
+    }
+
+    /// Order-insensitive reduction with an identity factory, executed as
+    /// a fixed-shape reduction tree: each chunk folds left-to-right, the
+    /// chunk results combine in chunk order — bit-identical for every
+    /// thread count.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Send + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        drive(self, &|chunk: Self| chunk.into_seq().reduce(&op))
+            .into_iter()
+            .flatten()
+            .reduce(op)
+            .unwrap_or_else(identity)
+    }
+
+    /// Sums the elements (per-chunk sums combined in chunk order).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        drive(self, &|chunk: Self| chunk.into_seq().sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// The maximum element, `None` if empty.
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        drive(self, &|chunk: Self| chunk.into_seq().max())
+            .into_iter()
+            .flatten()
+            .max()
+    }
+
+    /// The minimum element, `None` if empty.
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        drive(self, &|chunk: Self| chunk.into_seq().min())
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    /// Number of elements (counted per chunk; `flat_map_iter` outputs
+    /// are counted after expansion).
+    fn count(self) -> usize {
+        drive(self, &|chunk: Self| chunk.into_seq().count())
+            .into_iter()
+            .sum()
+    }
+
+    /// Collects into `C`, preserving element order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+/// Collection types buildable from a parallel iterator, mirroring
+/// `rayon::iter::FromParallelIterator`.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds `Self` from the iterator's elements, in order.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self {
+        let parts = drive(iter, &|chunk: P| chunk.into_seq().collect::<Vec<T>>());
+        let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adaptors
+// ---------------------------------------------------------------------
+
+/// See [`ParallelIterator::with_min_len`].
+pub struct MinLen<P> {
+    base: P,
+    min: usize,
+}
+
+impl<P: ParallelIterator> ParallelIterator for MinLen<P> {
+    type Item = P::Item;
+    type Seq = P::Seq;
+
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (
+            MinLen {
+                base: l,
+                min: self.min,
+            },
+            MinLen {
+                base: r,
+                min: self.min,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq()
+    }
+
+    fn min_chunk_len(&self) -> usize {
+        self.min
+    }
+}
+
+/// See [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> R + Clone + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+    type Seq = std::iter::Map<P::Seq, F>;
+
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (
+            Map {
+                base: l,
+                f: self.f.clone(),
+            },
+            Map { base: r, f: self.f },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().map(self.f)
+    }
+
+    fn min_chunk_len(&self) -> usize {
+        self.base.min_chunk_len()
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<P> {
+    base: P,
+    offset: usize,
+}
+
+/// Sequential side of [`Enumerate`]: indexes starting from the chunk's
+/// global offset.
+pub struct EnumerateSeq<I> {
+    inner: I,
+    next: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateSeq<I> {
+    type Item = (usize, I::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let i = self.next;
+        self.next += 1;
+        Some((i, item))
+    }
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+    type Seq = EnumerateSeq<P::Seq>;
+
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (
+            Enumerate {
+                base: l,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: r,
+                offset: self.offset + mid,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        EnumerateSeq {
+            inner: self.base.into_seq(),
+            next: self.offset,
+        }
+    }
+
+    fn min_chunk_len(&self) -> usize {
+        self.base.min_chunk_len()
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn split_len(&self) -> usize {
+        self.a.split_len().min(self.b.split_len())
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(mid);
+        let (bl, br) = self.b.split_at(mid);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+
+    fn min_chunk_len(&self) -> usize {
+        self.a.min_chunk_len().min(self.b.min_chunk_len())
+    }
+}
+
+/// See [`ParallelIterator::flat_map_iter`].
+pub struct FlatMapIter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, U> ParallelIterator for FlatMapIter<P, F>
+where
+    P: ParallelIterator,
+    U: IntoIterator,
+    U::Item: Send,
+    F: Fn(P::Item) -> U + Clone + Send + Sync,
+{
+    type Item = U::Item;
+    type Seq = std::iter::FlatMap<P::Seq, U, F>;
+
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (
+            FlatMapIter {
+                base: l,
+                f: self.f.clone(),
+            },
+            FlatMapIter { base: r, f: self.f },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().flat_map(self.f)
+    }
+
+    fn min_chunk_len(&self) -> usize {
+        self.base.min_chunk_len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------
+
+/// Parallel iterator over `&[T]` (`par_iter`).
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn split_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(mid);
+        (SliceIter { slice: l }, SliceIter { slice: r })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+/// Parallel iterator over `&mut [T]` (`par_iter_mut`).
+pub struct SliceIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+
+    fn split_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(mid);
+        (SliceIterMut { slice: l }, SliceIterMut { slice: r })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter_mut()
+    }
+}
+
+/// Parallel iterator over an owned `Vec<T>`.
+pub struct VecIter<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    type Seq = std::vec::IntoIter<T>;
+
+    fn split_len(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn split_at(mut self, mid: usize) -> (Self, Self) {
+        let right = self.vec.split_off(mid);
+        (self, VecIter { vec: right })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.vec.into_iter()
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    range: Range<T>,
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            type Seq = Range<$t>;
+
+            fn split_len(&self) -> usize {
+                if self.range.end > self.range.start {
+                    (self.range.end - self.range.start) as usize
+                } else {
+                    0
+                }
+            }
+
+            fn split_at(self, mid: usize) -> (Self, Self) {
+                let mid = self.range.start + mid as $t;
+                (
+                    RangeIter { range: self.range.start..mid },
+                    RangeIter { range: mid..self.range.end },
+                )
+            }
+
+            fn into_seq(self) -> Self::Seq {
+                self.range
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Iter = RangeIter<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> Self::Iter {
+                RangeIter { range: self }
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(u16, u32, u64, usize, i32, i64, isize);
+
+// ---------------------------------------------------------------------
+// Entry-point traits (the `rayon::prelude` surface)
+// ---------------------------------------------------------------------
+
+/// `self.into_par_iter()` — mirror of `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Its element type.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync, const N: usize> IntoParallelIterator for &'a [T; N] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Iter = SliceIterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut Vec<T> {
+    type Iter = SliceIterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIterMut { slice: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        VecIter { vec: self }
+    }
+}
+
+/// `self.par_iter()` — mirror of `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    /// The borrowed parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Its element type.
+    type Item: Send;
+
+    /// Borrows `self`, yielding a parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoParallelIterator,
+{
+    type Iter = <&'data C as IntoParallelIterator>::Iter;
+    type Item = <&'data C as IntoParallelIterator>::Item;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `self.par_iter_mut()` — mirror of
+/// `rayon::iter::IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The mutably borrowed parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Its element type.
+    type Item: Send;
+
+    /// Mutably borrows `self`, yielding a parallel iterator.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoParallelIterator,
+{
+    type Iter = <&'data mut C as IntoParallelIterator>::Iter;
+    type Item = <&'data mut C as IntoParallelIterator>::Item;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}

@@ -1,0 +1,257 @@
+//! The scoped worker pool behind the parallel iterators.
+//!
+//! # Design
+//!
+//! One lazily-initialized **global pool** serves all parallel operations.
+//! Its size comes from the `MTE_THREADS` environment variable (default:
+//! [`std::thread::available_parallelism`]); a size of `N` means *total*
+//! parallelism `N` — the submitting thread always participates, so the
+//! pool spawns `N − 1` workers and `MTE_THREADS=1` runs everything inline
+//! on the caller with zero synchronization.
+//!
+//! A parallel operation is a **job**: a closure `f(chunk_index)` plus an
+//! atomic claim counter. Workers (and the caller) repeatedly claim the
+//! next unclaimed chunk index and execute it, so chunks are dynamically
+//! load-balanced while the *decomposition* into chunks stays fixed (see
+//! [`crate::iter`] — that is what makes reductions deterministic). The
+//! caller blocks until every chunk has finished, which is also what makes
+//! the lifetime erasure below sound: borrowed data inside `f` outlives
+//! every dereference of `f`.
+//!
+//! Nested parallel calls cannot deadlock: a caller never waits on work it
+//! could do itself — it first claims chunks until none are left, and then
+//! only waits on chunks that some other thread is *actively executing*.
+//!
+//! [`crate::ThreadPool::install`] temporarily overrides the pool used by
+//! the current thread (and workers of a built pool route nested calls
+//! back to their own pool), which is how the determinism test suite runs
+//! the same computation under different thread counts in one process.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Shared state of one worker pool.
+pub(crate) struct PoolInner {
+    /// Total parallelism (participating caller + spawned workers).
+    threads: usize,
+    /// Pending job handles; workers pop and participate.
+    queue: Mutex<VecDeque<Arc<JobCore>>>,
+    /// Signals "queue non-empty or shutting down".
+    available: Condvar,
+    /// Set by [`shutdown`](Self::shutdown); workers exit once the queue
+    /// drains.
+    stop: AtomicBool,
+}
+
+impl PoolInner {
+    /// Total parallelism of this pool.
+    pub(crate) fn threads(&self) -> usize {
+        self.threads
+    }
+
+    pub(crate) fn shutdown(&self) {
+        // Store + notify under the queue mutex: a worker that just saw
+        // the queue empty and `stop == false` holds this lock until it
+        // parks on the condvar, so the notify cannot fall between its
+        // check and its wait (lost wakeup ⇒ `Drop` hanging in `join`).
+        let _queue = self.queue.lock().unwrap();
+        self.stop.store(true, Ordering::Release);
+        self.available.notify_all();
+    }
+}
+
+/// One parallel operation: `total` chunks executed by whoever claims
+/// them first, with completion tracked for the blocking submitter.
+struct JobCore {
+    /// The chunk body, lifetime-erased. Soundness: the submitter does not
+    /// return from [`execute`] until `pending == 0`, and stragglers that
+    /// observe an exhausted claim counter never dereference this.
+    func: &'static (dyn Fn(usize) + Sync),
+    /// Number of chunks.
+    total: usize,
+    /// Next unclaimed chunk index.
+    next: AtomicUsize,
+    /// Chunks claimed but not yet finished + chunks unclaimed.
+    pending: AtomicUsize,
+    /// Guards the completion condvar (see [`JobCore::wait`]).
+    done_lock: Mutex<()>,
+    done: Condvar,
+    /// First panic payload raised by a chunk, re-raised on the submitter.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+impl JobCore {
+    /// Claims and runs chunks until the claim counter is exhausted.
+    fn participate(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.total {
+                return;
+            }
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.func)(i))) {
+                let mut slot = self.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last chunk: take the lock (empty critical section) so a
+                // waiter between its `pending` check and `wait` cannot
+                // miss this wakeup.
+                let _guard = self.done_lock.lock().unwrap();
+                self.done.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every chunk has finished.
+    fn wait(&self) {
+        let mut guard = self.done_lock.lock().unwrap();
+        while self.pending.load(Ordering::Acquire) > 0 {
+            guard = self.done.wait(guard).unwrap();
+        }
+    }
+}
+
+/// Runs `f(0), …, f(total − 1)` with the pool's parallelism, blocking
+/// until all calls complete. Chunk-to-thread assignment is dynamic;
+/// determinism must come from the chunk *contents* (each index touches
+/// disjoint state, combined in index order by the caller).
+pub(crate) fn execute(pool: &Arc<PoolInner>, total: usize, f: &(dyn Fn(usize) + Sync)) {
+    if total == 0 {
+        return;
+    }
+    if pool.threads <= 1 || total == 1 {
+        // Inline fast path: no workers to enlist (or nothing to split).
+        for i in 0..total {
+            f(i);
+        }
+        return;
+    }
+    // Erase the borrow lifetime; sound because this function does not
+    // return until `pending == 0` (see `JobCore::func`).
+    let func: &'static (dyn Fn(usize) + Sync) = unsafe {
+        std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+    };
+    let job = Arc::new(JobCore {
+        func,
+        total,
+        next: AtomicUsize::new(0),
+        pending: AtomicUsize::new(total),
+        done_lock: Mutex::new(()),
+        done: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+    {
+        // One queue entry per worker that could usefully help; entries
+        // arriving after exhaustion see `next >= total` and return.
+        let helpers = (pool.threads - 1).min(total - 1);
+        let mut queue = pool.queue.lock().unwrap();
+        for _ in 0..helpers {
+            queue.push_back(Arc::clone(&job));
+        }
+    }
+    pool.available.notify_all();
+    job.participate();
+    job.wait();
+    let payload = job.panic.lock().unwrap().take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+fn worker_loop(pool: Arc<PoolInner>) {
+    // Nested parallel calls from inside a chunk body stay on this pool.
+    CURRENT.with(|current| *current.borrow_mut() = Some(Arc::clone(&pool)));
+    loop {
+        let job = {
+            let mut queue = pool.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if pool.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = pool.available.wait(queue).unwrap();
+            }
+        };
+        job.participate();
+    }
+}
+
+/// Builds a pool of total parallelism `threads` (spawning `threads − 1`
+/// workers) and returns the shared state plus the worker handles.
+pub(crate) fn build(threads: usize) -> (Arc<PoolInner>, Vec<JoinHandle<()>>) {
+    let threads = threads.max(1);
+    let inner = Arc::new(PoolInner {
+        threads,
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        stop: AtomicBool::new(false),
+    });
+    let handles = (0..threads - 1)
+        .map(|i| {
+            let pool = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name(format!("mte-rayon-{i}"))
+                .spawn(move || worker_loop(pool))
+                .expect("failed to spawn worker thread")
+        })
+        .collect();
+    (inner, handles)
+}
+
+/// Pool size requested by the environment: `MTE_THREADS` if set to a
+/// positive integer, otherwise the machine's available parallelism.
+pub(crate) fn threads_from_env() -> usize {
+    std::env::var("MTE_THREADS")
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+static GLOBAL: OnceLock<Arc<PoolInner>> = OnceLock::new();
+
+thread_local! {
+    /// Per-thread pool override ([`crate::ThreadPool::install`] /
+    /// worker threads); `None` routes to the global pool.
+    static CURRENT: RefCell<Option<Arc<PoolInner>>> = const { RefCell::new(None) };
+}
+
+/// The pool parallel operations on this thread should use.
+pub(crate) fn current() -> Arc<PoolInner> {
+    CURRENT
+        .with(|current| current.borrow().clone())
+        .unwrap_or_else(|| {
+            Arc::clone(GLOBAL.get_or_init(|| {
+                // Global workers live for the process; handles detached.
+                build(threads_from_env()).0
+            }))
+        })
+}
+
+/// Runs `f` with `pool` installed as this thread's current pool,
+/// restoring the previous override afterwards (also on panic).
+pub(crate) fn with_installed<R>(pool: &Arc<PoolInner>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<PoolInner>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let previous = self.0.take();
+            CURRENT.with(|current| *current.borrow_mut() = previous);
+        }
+    }
+    let previous = CURRENT.with(|current| current.borrow_mut().replace(Arc::clone(pool)));
+    let _restore = Restore(previous);
+    f()
+}

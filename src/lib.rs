@@ -41,13 +41,19 @@
 //! * **Hybrid** (default) — frontier-driven with a Ligra-style fallback
 //!   to the dense sweep while the frontier covers most of the graph.
 //!
-//! Under the engine sit zero-allocation merge kernels
-//! ([`algebra::merge`]): sparse state aggregation ping-pongs between the
-//! accumulator and a per-thread scratch buffer, and the engine
-//! double-buffers whole state vectors, so a steady-state hop allocates
-//! nothing. `cargo run --release -p mte-bench --bin exp_baseline` runs
+//! Hops execute **thread-parallel**: the vendored rayon backend runs a
+//! real worker pool (`MTE_THREADS`, default = available parallelism)
+//! with a deterministic reduction tree, so every result — states, work
+//! counters, sampled trees — is bit-identical for every thread count;
+//! only wall time changes. Under the engine sit zero-allocation merge
+//! kernels ([`algebra::merge`]): sparse state aggregation ping-pongs
+//! between the accumulator and a per-worker scratch buffer, and the
+//! engine double-buffers whole state vectors, so a steady-state hop
+//! performs no per-vertex allocation.
+//! `cargo run --release -p mte-bench --bin exp_baseline` runs
 //! the engine suite (dense vs frontier vs hybrid on the standard
-//! catalog) and writes the `BENCH_engine.json` trajectory artifact;
+//! catalog) and the thread-scaling sweep, writing the
+//! `BENCH_engine.json` / `BENCH_parallel.json` trajectory artifacts;
 //! `cargo bench -p mte-bench --bench bench_engine` times the same
 //! workloads under criterion.
 //!

@@ -160,6 +160,98 @@ fn fixed_iteration_runs_agree_before_convergence() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Thread-count determinism: under the real thread-parallel rayon
+// backend, every output must be bit-identical across `MTE_THREADS`
+// values. The shim guarantees this by construction (fixed-shape
+// reduction trees, thread-count-independent chunk layout); these tests
+// pin the guarantee end to end for the engine, the oracle, and the FRT
+// pipeline. Graphs are sized ≥ 2 × the chunking granularity so the
+// multi-threaded runs genuinely split work across chunks.
+// ---------------------------------------------------------------------
+
+/// Runs `f` on a dedicated pool of the given total parallelism.
+fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool build cannot fail")
+        .install(f)
+}
+
+#[test]
+fn engine_outputs_bit_identical_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(0xD371);
+    let g = gnm_graph(400, 1200, 1.0..9.0, &mut rng);
+    let alg = SourceDetection::k_ssp(g.n(), 6);
+    for strategy in STRATEGIES {
+        let r1 = with_threads(1, || run_to_fixpoint_with(&alg, &g, g.n() + 1, strategy));
+        let r4 = with_threads(4, || run_to_fixpoint_with(&alg, &g, g.n() + 1, strategy));
+        assert_eq!(r1.states, r4.states, "states differ under {strategy:?}");
+        assert_eq!(r1.work, r4.work, "work counters differ under {strategy:?}");
+        assert_eq!(r1.iterations, r4.iterations);
+        assert_eq!(r1.fixpoint, r4.fixpoint);
+    }
+}
+
+#[test]
+fn oracle_outputs_bit_identical_across_thread_counts() {
+    use metric_tree_embedding::core::oracle::oracle_run_to_fixpoint_with;
+    use metric_tree_embedding::core::simgraph::SimulatedGraph;
+    let mut rng = StdRng::seed_from_u64(0xD372);
+    let g = gnm_graph(160, 420, 1.0..6.0, &mut rng);
+    let sim = SimulatedGraph::without_hopset(&g, 24, 0.15, &mut rng);
+    let alg = SourceDetection::k_ssp(g.n(), 5);
+    for strategy in [EngineStrategy::Dense, EngineStrategy::Frontier] {
+        let r1 = with_threads(1, || {
+            oracle_run_to_fixpoint_with(&alg, &sim, 4 * g.n(), strategy)
+        });
+        let r4 = with_threads(4, || {
+            oracle_run_to_fixpoint_with(&alg, &sim, 4 * g.n(), strategy)
+        });
+        assert_eq!(r1.states, r4.states, "states differ under {strategy:?}");
+        assert_eq!(r1.work, r4.work, "work counters differ under {strategy:?}");
+        assert_eq!(r1.h_iterations, r4.h_iterations);
+        assert_eq!(r1.fixpoint, r4.fixpoint);
+    }
+}
+
+#[test]
+fn frt_pipeline_bit_identical_across_thread_counts() {
+    use metric_tree_embedding::core::frt::{FrtConfig, FrtEmbedding};
+    let mut rng = StdRng::seed_from_u64(0xD373);
+    let g = gnm_graph(180, 520, 1.0..8.0, &mut rng);
+    let sample = |threads: usize| {
+        with_threads(threads, || {
+            let mut rng = StdRng::seed_from_u64(0xBEE);
+            FrtEmbedding::sample(&g, &FrtConfig::default(), &mut rng)
+        })
+    };
+    let e1 = sample(1);
+    let e4 = sample(4);
+    assert_eq!(e1.beta().to_bits(), e4.beta().to_bits());
+    assert_eq!(e1.h_iterations(), e4.h_iterations());
+    assert_eq!(e1.work(), e4.work());
+    assert_eq!(e1.tree().len(), e4.tree().len());
+    for v in 0..g.n() as NodeId {
+        assert_eq!(
+            e1.le_lists()[v as usize].entries(),
+            e4.le_lists()[v as usize].entries(),
+            "LE list of node {v} differs"
+        );
+        assert_eq!(e1.tree().leaf(v), e4.tree().leaf(v));
+    }
+    for u in (0..g.n() as NodeId).step_by(7) {
+        for v in (0..g.n() as NodeId).step_by(11) {
+            assert_eq!(
+                e1.distance(u, v).to_bits(),
+                e4.distance(u, v).to_bits(),
+                "embedded distance ({u},{v}) differs"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
