@@ -159,6 +159,118 @@ impl DistanceMap {
         std::mem::swap(&mut self.entries, scratch);
     }
 
+    /// [`DistanceMap::merge_scaled`] with an admission predicate:
+    /// `admit(v, x_v + s)` is consulted for every entry of `other` whose
+    /// node is **absent** from `self`; rejected entries are never
+    /// inserted, collisions always take the minimum. See
+    /// [`crate::merge`]'s module docs for the contract a predicate must
+    /// satisfy so a downstream filter makes the prune lossless (the LE
+    /// rank-domination filter is the canonical instance; the FRT hot
+    /// path itself batches its admitted entries and combines them with
+    /// one [`DistanceMap::assign_merged_min`] instead, so these
+    /// per-merge kernels are the general-purpose route for filters —
+    /// e.g. a top-k threshold — that prune incrementally). Unpruned
+    /// [`DistanceMap::merge_scaled`] stays the semantics reference.
+    pub fn merge_scaled_pruned(
+        &mut self,
+        other: &DistanceMap,
+        s: Dist,
+        admit: &mut impl FnMut(NodeId, Dist) -> bool,
+    ) {
+        merge::with_dist_scratch(|scratch| self.merge_scaled_pruned_with(other, s, admit, scratch));
+    }
+
+    /// The explicit-scratch primitive underlying
+    /// [`DistanceMap::merge_scaled_pruned`] (cf.
+    /// [`DistanceMap::merge_scaled_with`]). The append fast paths consult
+    /// the predicate entry-by-entry too, so admission behavior never
+    /// depends on which code path a merge takes.
+    pub fn merge_scaled_pruned_with(
+        &mut self,
+        other: &DistanceMap,
+        s: Dist,
+        admit: &mut impl FnMut(NodeId, Dist) -> bool,
+        scratch: &mut Vec<(NodeId, Dist)>,
+    ) {
+        if !s.is_finite() || other.entries.is_empty() {
+            return; // ∞ ⊙ x = ⊥ (Equation (2.2))
+        }
+        // Disjoint tails (or an empty accumulator) append in place
+        // without touching the scratch.
+        if self
+            .entries
+            .last()
+            .is_none_or(|&(last, _)| last < other.entries[0].0)
+        {
+            self.entries.extend(
+                other
+                    .entries
+                    .iter()
+                    .map(|&(v, d)| (v, d + s))
+                    .filter(|&(v, d)| admit(v, d)),
+            );
+            return;
+        }
+        merge::merge_sorted_pruned_into(
+            &self.entries,
+            &other.entries,
+            |d| d + s,
+            Dist::min,
+            admit,
+            scratch,
+        );
+        std::mem::swap(&mut self.entries, scratch);
+    }
+
+    /// [`DistanceMap::merge_min`] with an admission predicate (see
+    /// [`DistanceMap::merge_scaled_pruned`]): entries of `other` absent
+    /// from `self` are inserted only if admitted, collisions always take
+    /// the minimum.
+    pub fn merge_min_pruned(
+        &mut self,
+        other: &DistanceMap,
+        admit: &mut impl FnMut(NodeId, Dist) -> bool,
+    ) {
+        if other.entries.is_empty() {
+            return;
+        }
+        if self
+            .entries
+            .last()
+            .is_none_or(|&(last, _)| last < other.entries[0].0)
+        {
+            self.entries
+                .extend(other.entries.iter().copied().filter(|&(v, d)| admit(v, d)));
+            return;
+        }
+        merge::with_dist_scratch(|scratch| {
+            merge::merge_sorted_pruned_into(
+                &self.entries,
+                &other.entries,
+                |d| d,
+                Dist::min,
+                admit,
+                scratch,
+            );
+            std::mem::swap(&mut self.entries, scratch);
+        });
+    }
+
+    /// `self ← other ⊕ extra`, overwriting `self`'s previous contents:
+    /// one sorted merge of `other`'s entries with an **already
+    /// node-sorted, key-deduplicated** entry slice, written directly
+    /// into `self`'s buffer (no scratch, no re-sort). Collisions take
+    /// the minimum. The single-merge fast path for callers that batch
+    /// their admitted entries before combining (the LE-list recompute
+    /// gathers all neighbors' surviving entries, then merges once).
+    pub fn assign_merged_min(&mut self, other: &DistanceMap, extra: &[(NodeId, Dist)]) {
+        debug_assert!(
+            extra.windows(2).all(|w| w[0].0 < w[1].0),
+            "extra must be node-sorted with unique keys"
+        );
+        merge::merge_sorted_into(&other.entries, extra, |d| d, Dist::min, &mut self.entries);
+    }
+
     /// In-place `self ← self ⊕ other` where `⊕` is the coordinate-wise
     /// minimum (Equation (2.6)): a sorted merge in `O(|self| + |other|)`
     /// through this thread's scratch buffer (allocation-free in steady
@@ -311,6 +423,77 @@ mod tests {
         acc.merge_scaled_with(&tail, Dist::ZERO, &mut scratch);
         assert!(scratch.is_empty());
         assert_eq!(acc.get(9), Dist::new(1.0));
+    }
+
+    #[test]
+    fn merge_scaled_pruned_always_admit_matches_unpruned() {
+        let cases = [
+            (
+                dm(&[(1, 2.0), (3, 5.0), (7, 1.0)]),
+                dm(&[(1, 0.5), (2, 1.0), (9, 3.0)]),
+            ),
+            (dm(&[]), dm(&[(2, 1.0), (9, 3.0)])), // empty-accumulator fast path
+            (dm(&[(1, 2.0)]), dm(&[(5, 1.0), (9, 3.0)])), // disjoint-tail fast path
+        ];
+        for (acc0, other) in cases {
+            let mut plain = acc0.clone();
+            plain.merge_scaled(&other, Dist::new(1.5));
+            let mut pruned = acc0.clone();
+            pruned.merge_scaled_pruned(&other, Dist::new(1.5), &mut |_, _| true);
+            assert_eq!(plain, pruned);
+        }
+    }
+
+    #[test]
+    fn merge_scaled_pruned_rejects_absent_keys_only() {
+        let mut acc = dm(&[(1, 2.0), (3, 5.0)]);
+        let other = dm(&[(1, 0.5), (2, 1.0), (9, 3.0)]);
+        // Reject everything: collisions still combine, absent keys dropped.
+        acc.merge_scaled_pruned(&other, Dist::new(1.0), &mut |_, _| false);
+        assert_eq!(acc, dm(&[(1, 1.5), (3, 5.0)]));
+    }
+
+    #[test]
+    fn merge_scaled_pruned_fast_paths_consult_predicate() {
+        // Empty accumulator.
+        let mut acc = DistanceMap::new();
+        let other = dm(&[(2, 1.0), (4, 2.0)]);
+        acc.merge_scaled_pruned(&other, Dist::new(1.0), &mut |v, _| v == 4);
+        assert_eq!(acc, dm(&[(4, 3.0)]));
+        // Disjoint tail append.
+        let mut acc = dm(&[(1, 1.0)]);
+        acc.merge_scaled_pruned(&other, Dist::new(1.0), &mut |v, _| v == 2);
+        assert_eq!(acc, dm(&[(1, 1.0), (2, 2.0)]));
+    }
+
+    #[test]
+    fn merge_min_pruned_matches_merge_min_when_all_admitted() {
+        let mut plain = dm(&[(1, 2.0), (3, 5.0)]);
+        let mut pruned = plain.clone();
+        let other = dm(&[(1, 3.0), (2, 1.0), (3, 4.0)]);
+        plain.merge_min(&other);
+        pruned.merge_min_pruned(&other, &mut |_, _| true);
+        assert_eq!(plain, pruned);
+        // And the rejection path only affects absent keys.
+        let mut rejecting = dm(&[(1, 2.0), (3, 5.0)]);
+        rejecting.merge_min_pruned(&other, &mut |_, _| false);
+        assert_eq!(rejecting, dm(&[(1, 2.0), (3, 4.0)]));
+    }
+
+    #[test]
+    fn assign_merged_min_overwrites_with_single_merge() {
+        let base = dm(&[(1, 2.0), (3, 5.0), (7, 1.0)]);
+        let mut out = dm(&[(9, 9.0)]); // stale contents must vanish
+        let extra = [
+            (2, Dist::new(1.5)),
+            (3, Dist::new(4.0)), // collision: min wins
+            (8, Dist::new(0.5)),
+        ];
+        out.assign_merged_min(&base, &extra);
+        assert_eq!(out, dm(&[(1, 2.0), (2, 1.5), (3, 4.0), (7, 1.0), (8, 0.5)]));
+        // Empty extra reproduces `base` exactly.
+        out.assign_merged_min(&base, &[]);
+        assert_eq!(out, base);
     }
 
     #[test]

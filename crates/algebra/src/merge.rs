@@ -16,6 +16,31 @@
 //! its own, so the layer is Send-clean under the thread-parallel
 //! backend); hot loops that want explicit control pass a caller-owned
 //! scratch instead.
+//!
+//! # Admission predicates (pruning at merge time)
+//!
+//! [`merge_sorted_pruned_into`] extends the plain merge with an
+//! **admission predicate**: a `FnMut(NodeId, T) -> bool` consulted for
+//! every entry of `b` whose key is *absent* from `a`. Rejected entries
+//! are dropped before insertion; key collisions always `combine` (the
+//! key is already paid for, and combining cannot grow the output).
+//!
+//! The contract a caller's predicate must satisfy for the pruned merge
+//! to be *semantically* lossless: an entry may be rejected only if the
+//! downstream representative projection (`r`) would discard it anyway —
+//! i.e. rejection must be justified by an entry that is guaranteed to
+//! survive into `r`'s input with at least equal discarding power. The LE
+//! rank-domination filter is the canonical instance (paper Definition
+//! 7.3): an incoming entry `(u, d)` dominated by the accumulator's base
+//! list can never appear in `r`'s output, and since domination is
+//! transitive, dropping it cannot rescue any other entry. Under that
+//! contract `r(merge) = r(pruned merge)` **bit-for-bit**: admitted
+//! entries are transformed by the same `map_b` in the same order, so no
+//! floating-point operation is reordered. The predicate runs `O(1)`–
+//! `O(log |a|)` per entry versus the sort/filter work it saves per
+//! *inserted* entry, which is what makes LE-list construction
+//! work-efficient (Lemma 7.6: filtered lists stay `O(log n)` w.h.p., so
+//! most merged entries are dominated and discardable before insertion).
 
 use crate::NodeId;
 use std::cell::RefCell;
@@ -54,6 +79,54 @@ pub fn merge_sorted_into<T: Copy, U: Copy>(
     }
     out.extend_from_slice(&a[i..]);
     out.extend(b[j..].iter().map(|&(v, u)| (v, map_b(u))));
+}
+
+/// [`merge_sorted_into`] with an admission predicate: entries of `b`
+/// whose key is **absent** from `a` are inserted only if
+/// `admit(key, map_b(value))` returns `true`; key collisions always
+/// `combine` (see the module docs for the admission contract). Still
+/// `O(|a| + |b|)` with no allocation beyond `out`'s growth — the
+/// predicate runs on the already-transformed value, so rejected entries
+/// cost one `map_b` and one predicate call, never an insertion.
+#[inline]
+pub fn merge_sorted_pruned_into<T: Copy, U: Copy>(
+    a: &[(NodeId, T)],
+    b: &[(NodeId, U)],
+    mut map_b: impl FnMut(U) -> T,
+    mut combine: impl FnMut(T, T) -> T,
+    admit: &mut impl FnMut(NodeId, T) -> bool,
+    out: &mut Vec<(NodeId, T)>,
+) {
+    out.clear();
+    out.reserve(a.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                let t = map_b(b[j].1);
+                if admit(b[j].0, t) {
+                    out.push((b[j].0, t));
+                }
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((a[i].0, combine(a[i].1, map_b(b[j].1))));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    for &(v, u) in &b[j..] {
+        let t = map_b(u);
+        if admit(v, t) {
+            out.push((v, t));
+        }
+    }
 }
 
 thread_local! {
@@ -165,6 +238,70 @@ mod tests {
         assert_eq!(out, a);
         merge_sorted_into(&[], &a, |d| d, Dist::min, &mut out);
         assert_eq!(out, a);
+    }
+
+    #[test]
+    fn pruned_merge_rejects_only_absent_keys() {
+        let a = vec![(1u32, Dist::new(2.0)), (3, Dist::new(5.0))];
+        let b = vec![
+            (1u32, Dist::new(0.5)), // collision: combined despite admit = false
+            (2, Dist::new(1.0)),    // absent: rejected
+            (4, Dist::new(7.0)),    // absent: admitted
+            (9, Dist::new(3.0)),    // absent tail: rejected
+        ];
+        let mut out = Vec::new();
+        let mut admit = |v: NodeId, _d: Dist| v == 4;
+        merge_sorted_pruned_into(&a, &b, |d| d, Dist::min, &mut admit, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                (1, Dist::new(0.5)),
+                (3, Dist::new(5.0)),
+                (4, Dist::new(7.0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn pruned_merge_with_always_admit_matches_unpruned() {
+        let a: Vec<(u32, Dist)> = (0..40).map(|i| (3 * i, Dist::new(i as f64))).collect();
+        let b: Vec<(u32, Dist)> = (0..40)
+            .map(|i| (2 * i, Dist::new(0.7 * i as f64)))
+            .collect();
+        let mut plain = Vec::new();
+        merge_sorted_into(&a, &b, |d| d + Dist::new(0.25), Dist::min, &mut plain);
+        let mut pruned = Vec::new();
+        merge_sorted_pruned_into(
+            &a,
+            &b,
+            |d| d + Dist::new(0.25),
+            Dist::min,
+            &mut |_, _| true,
+            &mut pruned,
+        );
+        assert_eq!(plain, pruned);
+    }
+
+    #[test]
+    fn pruned_merge_sees_transformed_values() {
+        let a: Vec<(u32, Dist)> = vec![];
+        let b = vec![(5u32, Dist::new(1.0))];
+        let mut seen = Vec::new();
+        let mut out = Vec::new();
+        let mut admit = |v: NodeId, d: Dist| {
+            seen.push((v, d));
+            false
+        };
+        merge_sorted_pruned_into(
+            &a,
+            &b,
+            |d| d + Dist::new(2.0),
+            Dist::min,
+            &mut admit,
+            &mut out,
+        );
+        assert!(out.is_empty());
+        assert_eq!(seen, vec![(5, Dist::new(3.0))]);
     }
 
     #[test]

@@ -39,6 +39,12 @@ pub struct EngineCase {
     pub iterations: usize,
     /// Work counters of the run.
     pub work: WorkStats,
+    /// Largest final state (`max_v |x_v|`). For LE lists, Lemma 7.6
+    /// bounds this by `O(log n)` w.h.p. — recording it makes the bound
+    /// empirically visible in the perf trajectory.
+    pub max_list_len: usize,
+    /// Mean final state size (`Σ_v |x_v| / n`).
+    pub mean_list_len: f64,
 }
 
 /// The standard catalog the engine suite runs on. The first two are the
@@ -90,6 +96,13 @@ where
             "{graph_label}/{alg_label}: {} diverged from dense",
             strategy_label(strategy)
         );
+        let max_list_len = run
+            .states
+            .iter()
+            .map(|x| alg.state_size(x))
+            .max()
+            .unwrap_or(0);
+        let total_len: usize = run.states.iter().map(|x| alg.state_size(x)).sum();
         out.push(EngineCase {
             graph: graph_label.to_string(),
             n: g.n(),
@@ -99,6 +112,8 @@ where
             wall_ms,
             iterations: run.iterations,
             work: run.work,
+            max_list_len,
+            mean_list_len: total_len as f64 / g.n().max(1) as f64,
         });
     }
 }
@@ -179,7 +194,8 @@ pub fn engine_suite_json(cases: &[EngineCase]) -> String {
                 "\"algorithm\": \"{}\", \"strategy\": \"{}\", ",
                 "\"wall_ms\": {:.3}, \"iterations\": {}, ",
                 "\"entries_processed\": {}, \"edge_relaxations\": {}, ",
-                "\"touched_vertices\": {}}}{}\n"
+                "\"touched_vertices\": {}, ",
+                "\"max_list_len\": {}, \"mean_list_len\": {:.3}}}{}\n"
             ),
             json_escape(&c.graph),
             c.n,
@@ -191,6 +207,8 @@ pub fn engine_suite_json(cases: &[EngineCase]) -> String {
             c.work.entries_processed,
             c.work.edge_relaxations,
             c.work.touched_vertices,
+            c.max_list_len,
+            c.mean_list_len,
             if i + 1 == cases.len() { "" } else { "," },
         ));
     }
@@ -225,6 +243,9 @@ mod tests {
         let json = engine_suite_json(&cases);
         assert!(json.contains("\"suite\": \"engine\""));
         assert!(json.contains("\"edge_relaxations\""));
+        // The Lemma 7.6 list-length statistics ride along in every row.
+        assert_eq!(json.matches("\"max_list_len\"").count(), cases.len());
+        assert_eq!(json.matches("\"mean_list_len\"").count(), cases.len());
         assert_eq!(json.matches("\"graph\"").count(), cases.len());
 
         let table = engine_suite_table(&cases).render();

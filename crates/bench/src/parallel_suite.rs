@@ -14,7 +14,9 @@
 //! (Ligra-style direction switching), so their scaling bounds the
 //! scaling of the whole engine. Speedups saturate at the machine's
 //! physical parallelism — on a single-core host every thread count
-//! measures ≈ 1×, which the JSON records via `host_threads`.
+//! measures ≈ 1×, which the JSON flags via `host_threads` and
+//! `speedups_valid: false` (plus an explanatory `note`) so trajectory
+//! tooling never mistakes a one-core artifact for a scaling regression.
 
 use crate::engine_suite::json_escape;
 use crate::tables::{f, Table};
@@ -159,8 +161,17 @@ pub fn parallel_suite_json(cases: &[ParallelCase]) -> String {
     let host = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let mut out =
-        format!("{{\n  \"suite\": \"parallel\",\n  \"host_threads\": {host},\n  \"cases\": [\n");
+    let mut out = format!(
+        "{{\n  \"suite\": \"parallel\",\n  \"host_threads\": {host},\n  \"speedups_valid\": {},\n",
+        host > 1
+    );
+    if host == 1 {
+        out.push_str(
+            "  \"note\": \"single-core host: every pool size measures ~1x, \
+             so speedup_vs_1 says nothing about the backend's scaling\",\n",
+        );
+    }
+    out.push_str("  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
         out.push_str(&format!(
             concat!(
@@ -201,6 +212,15 @@ mod tests {
         let json = parallel_suite_json(&cases);
         assert!(json.contains("\"suite\": \"parallel\""));
         assert!(json.contains("\"host_threads\""));
+        // Speedups are flagged invalid on single-core hosts (and only
+        // there): downstream trajectory tooling must not read a 1.0x
+        // column as "the backend does not scale".
+        let single_core = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            == 1;
+        assert!(json.contains(&format!("\"speedups_valid\": {}", !single_core)));
+        assert_eq!(json.contains("\"note\""), single_core);
         assert_eq!(json.matches("\"threads\"").count(), cases.len());
 
         let table = parallel_suite_table(&cases).render();

@@ -11,7 +11,7 @@
 
 use crate::cost::CongestCost;
 use mte_algebra::{Dist, NodeId};
-use mte_core::frt::le_list::{le_filter_entries, le_filter_in_place, LeList, Ranks};
+use mte_core::frt::le_list::{le_filter_in_place, LeList, Ranks};
 use mte_core::frt::tree::FrtTree;
 use mte_graph::Graph;
 use rand::Rng;
@@ -45,10 +45,15 @@ pub fn pipelined_le_lists(
     assert_eq!(init.len(), n);
     let mut nodes: Vec<NodeState> = init
         .into_iter()
-        .map(|entries| {
-            let list = le_filter_entries(&entries, ranks);
-            let queue = list.iter().copied().collect();
-            NodeState { list, queue }
+        .map(|mut entries| {
+            // The init vector is owned: filter it in its own buffer
+            // instead of copying through `le_filter_entries`.
+            le_filter_in_place(&mut entries, ranks);
+            let queue = entries.iter().copied().collect();
+            NodeState {
+                list: entries,
+                queue,
+            }
         })
         .collect();
     // hops[v] tracks, per queued entry, how many edges it travelled; the

@@ -42,21 +42,47 @@
 //! heap buffer), then swaps only the vertices that changed. Combined with
 //! the zero-allocation merge kernels of [`mte_algebra::merge`] and the
 //! engine-owned stats buffer, a steady-state hop performs no per-vertex
-//! allocation; what remains per hop is an `O(n)` bookkeeping pass over
-//! the mark vectors plus `O(#chunks)` scheduling bookkeeping (a
-//! frontier-list schedule that avoids the former is a possible follow-up
-//! for extremely sparse waves).
+//! allocation.
 //!
-//! The engine parallelizes each hop over destination vertices with
-//! rayon's thread pool (`MTE_THREADS` workers; see the shim's crate docs)
-//! — the "implicit parallelism of the MBF algorithm" the paper leverages
-//! (cf. its comparison with Mohri's inherently sequential framework).
-//! Both the pull-recompute sweep and the commit pass partition the node
-//! range into chunks whose layout depends only on `n`; per-chunk
-//! `WorkStats` and changed-flags merge through a fixed-shape reduction
-//! tree, so every output — states, work counters, frontier bookkeeping —
-//! is bit-identical across thread counts (asserted by the determinism
-//! suite in `tests/engine_equivalence.rs`).
+//! # Frontier-list schedule
+//!
+//! The frontier is an **explicit sorted list** of vertices, not a bitset
+//! scanned per hop, so a hop's bookkeeping is proportional to the
+//! frontier's closed neighborhood — not `n`. The invariants:
+//!
+//! * `frontier` holds exactly the vertices whose state changed in the
+//!   previous hop (or were declared dirty via [`MbfEngine::mark_dirty`] /
+//!   [`MbfEngine::mark_all_dirty`]), in **ascending node order** with no
+//!   duplicates.
+//! * Membership is tracked by **generation stamps**: `frontier_mark[v] ==
+//!   frontier_gen ⇔ v ∈ frontier`. Refreshing the frontier bumps the
+//!   generation instead of clearing the mark vector, so a hop never pays
+//!   an `O(n)` reset; on (u32) generation wrap-around the marks are
+//!   zeroed once and the generation restarts at 1.
+//! * The per-hop recompute list (the closed neighborhood of the
+//!   frontier) is gathered through its own generation-stamped mark
+//!   vector and then **deduplicated deterministically by sorting** — the
+//!   schedule is a pure function of the frontier set, never of traversal
+//!   or thread interleaving, and therefore bit-identical to the former
+//!   bitset scan (asserted by the equivalence suite).
+//!
+//! Each hop chunks the recompute list by **cumulative degree** (a prefix
+//! sum over `deg(v) + 1`), not by element count, so a skewed frontier —
+//! a few hubs plus many leaves — still load-balances across workers.
+//! Chunk boundaries are a pure function of the list and the graph's
+//! degrees, and per-chunk `WorkStats`/changed-flags merge through the
+//! fixed-shape reduction tree of the rayon shim, so every output —
+//! states, work counters, frontier bookkeeping — is bit-identical across
+//! thread counts (`MTE_THREADS`; asserted by the determinism suite in
+//! `tests/engine_equivalence.rs`).
+//!
+//! Algorithms can override [`MbfAlgorithm::recompute_into`] to fuse the
+//! representative projection into the merges — e.g. the LE-list
+//! algorithm rejects echoed and rank-dominated entries per incoming
+//! entry, batches the survivors, and combines them with one sorted
+//! merge — as long as the result stays bit-identical to the default
+//! merge-everything-then-filter reference (differential-tested by
+//! `tests/schedule_equivalence.rs`).
 
 use crate::work::WorkStats;
 use mte_algebra::{Filter, NodeId, Semimodule, Semiring};
@@ -94,6 +120,41 @@ pub trait MbfAlgorithm: Send + Sync {
     /// used for work accounting. Defaults to 1 for constant-size states.
     fn state_size(&self, _x: &Self::M) -> usize {
         1
+    }
+
+    /// Recomputes `v`'s next state `out ← r(x_v ⊕ ⊕_w a_vw x_w)` from the
+    /// current state vector, returning `(entries_processed,
+    /// edge_relaxations)`. The default is the literal
+    /// merge-everything-then-filter pipeline (clone own state, propagate
+    /// every neighbor, apply `r`).
+    ///
+    /// Algorithms whose filter admits a per-entry domination test can
+    /// override this to prune at merge time — either through the
+    /// admission-predicate kernels of [`mte_algebra::merge`] or with a
+    /// bespoke pass like the LE lists' echo-rejecting gather-and-batch
+    /// merge; an override **must** produce a result bit-identical to
+    /// the default — the engine treats the two as interchangeable and
+    /// the equivalence suite differential-tests them.
+    fn recompute_into(
+        &self,
+        v: NodeId,
+        g: &Graph,
+        weight_scale: f64,
+        states: &[Self::M],
+        out: &mut Self::M,
+    ) -> (u64, u64) {
+        // a_vv = 1: keep the node's own state.
+        out.clone_from(&states[v as usize]);
+        let mut entries = self.state_size(out) as u64;
+        let mut relaxations = 0u64;
+        for &(w, ew) in g.neighbors(v) {
+            let coeff = self.edge_coeff(v, w, ew * weight_scale);
+            self.propagate_into(out, &states[w as usize], &coeff);
+            entries += self.state_size(&states[w as usize]) as u64;
+            relaxations += 1;
+        }
+        self.filter(out);
+        (entries, relaxations)
     }
 }
 
@@ -154,25 +215,76 @@ pub fn initial_states<A: MbfAlgorithm>(alg: &A, n: usize) -> Vec<A::M> {
         .collect()
 }
 
+/// Minimum cumulative cost (`Σ deg(v) + 1` over a chunk's vertices) per
+/// scheduling chunk: below this, shipping the chunk to a worker costs
+/// more than the relaxations it carries.
+const MIN_CHUNK_COST: usize = 256;
+
+/// Hard cap on scheduling chunks per hop, matching the rayon shim's
+/// fixed-shape reduction-tree width.
+const MAX_HOP_CHUNKS: usize = 64;
+
+/// Shared mutable base pointer for disjoint-index writes from parallel
+/// chunks.
+///
+/// Soundness contract (upheld by `step`): the per-hop recompute list is
+/// sorted and deduplicated, and chunks partition its *positions*, so no
+/// two chunks ever touch the same vertex slot or stats slot.
+struct SyncPtr<T>(*mut T);
+
+unsafe impl<T: Send> Sync for SyncPtr<T> {}
+
+impl<T> SyncPtr<T> {
+    /// Raw slot pointer at index `i`. Going through a method (rather
+    /// than the field) makes closures capture the whole wrapper, keeping
+    /// its `Sync` impl in effect under disjoint closure capture.
+    ///
+    /// Safety: the caller must own index `i` exclusively (see the struct
+    /// docs) and stay within the allocation the base pointer came from.
+    unsafe fn slot(&self, i: usize) -> *mut T {
+        unsafe { self.0.add(i) }
+    }
+}
+
+/// Bumps a generation counter, zeroing the mark vector once on (u32)
+/// wrap-around so stale stamps can never alias a live generation.
+fn bump_generation(gen: &mut u32, marks: &mut [u32]) -> u32 {
+    *gen = gen.wrapping_add(1);
+    if *gen == 0 {
+        marks.iter_mut().for_each(|m| *m = 0);
+        *gen = 1;
+    }
+    *gen
+}
+
 /// The reusable iteration state of the frontier engine: shadow buffer,
-/// dirty flags, and recompute marks. One engine serves arbitrarily many
-/// hops (and state vectors of the same length) without reallocating.
+/// frontier list, generation-stamped membership marks, and scheduling
+/// scratch. One engine serves arbitrarily many hops (and state vectors
+/// of the same length) without reallocating.
 #[derive(Clone, Debug)]
 pub struct MbfEngine<A: MbfAlgorithm> {
     strategy: EngineStrategy,
     /// Shadow state vector written during a hop, swapped element-wise.
     next: Vec<A::M>,
-    /// `dirty[v]` ⇔ `v`'s state changed in the previous hop.
-    dirty: Vec<bool>,
-    /// Per-hop recompute marks (closed neighborhood of the frontier).
-    touched: Vec<bool>,
-    /// Per-vertex `(entries, relaxations, changed)` of the current hop,
-    /// reused across hops so stepping allocates nothing.
+    /// The frontier: vertices whose state changed in the previous hop,
+    /// ascending, no duplicates.
+    frontier: Vec<NodeId>,
+    /// `frontier_mark[v] == frontier_gen` ⇔ `v` is on the frontier.
+    frontier_mark: Vec<u32>,
+    frontier_gen: u32,
+    /// This hop's recompute list (closed neighborhood of the frontier),
+    /// sorted ascending; reused across hops.
+    touched: Vec<NodeId>,
+    /// Generation-stamped dedup marks for gathering `touched`.
+    touched_mark: Vec<u32>,
+    touched_gen: u32,
+    /// Degree-balanced chunk boundaries (position ranges into `touched`).
+    chunks: Vec<std::ops::Range<usize>>,
+    /// Per-touched-position `(entries, relaxations, changed)` of the
+    /// current hop, reused across hops so stepping allocates nothing.
     per_vertex: Vec<(u64, u64, bool)>,
-    /// `Σ deg(v)` over dirty vertices, the hybrid switch statistic.
+    /// `Σ deg(v)` over frontier vertices, the hybrid switch statistic.
     frontier_degree: usize,
-    /// Number of dirty vertices.
-    frontier_len: usize,
 }
 
 impl<A: MbfAlgorithm> MbfEngine<A> {
@@ -182,11 +294,15 @@ impl<A: MbfAlgorithm> MbfEngine<A> {
         MbfEngine {
             strategy,
             next: Vec::new(),
-            dirty: Vec::new(),
+            frontier: Vec::new(),
+            frontier_mark: Vec::new(),
+            frontier_gen: 0,
             touched: Vec::new(),
+            touched_mark: Vec::new(),
+            touched_gen: 0,
+            chunks: Vec::new(),
             per_vertex: Vec::new(),
             frontier_degree: 0,
-            frontier_len: 0,
         }
     }
 
@@ -197,21 +313,118 @@ impl<A: MbfAlgorithm> MbfEngine<A> {
 
     /// Number of vertices currently on the frontier.
     pub fn frontier_len(&self) -> usize {
-        self.frontier_len
+        self.frontier.len()
+    }
+
+    /// The frontier list itself: ascending, no duplicates.
+    pub fn frontier(&self) -> &[NodeId] {
+        &self.frontier
     }
 
     /// Declares every vertex dirty. Call after the state vector was
-    /// modified outside the engine (initialization, projections) — the
+    /// rewritten wholesale outside the engine (initialization) — the
     /// next hop is then a full sweep, after which convergence narrows the
-    /// frontier again.
+    /// frontier again. For *sparse* external edits, prefer
+    /// [`MbfEngine::mark_dirty`].
     pub fn mark_all_dirty(&mut self, g: &Graph) {
         let n = g.n();
-        self.dirty.clear();
-        self.dirty.resize(n, true);
-        self.touched.clear();
-        self.touched.resize(n, false);
+        if self.frontier_mark.len() != n {
+            self.frontier_mark.clear();
+            self.frontier_mark.resize(n, 0);
+            self.frontier_gen = 0;
+            self.touched_mark.clear();
+            self.touched_mark.resize(n, 0);
+            self.touched_gen = 0;
+        }
+        let gen = bump_generation(&mut self.frontier_gen, &mut self.frontier_mark);
+        self.frontier.clear();
+        self.frontier.extend(0..n as NodeId);
+        self.frontier_mark.iter_mut().for_each(|m| *m = gen);
         self.frontier_degree = 2 * g.m();
-        self.frontier_len = n;
+    }
+
+    /// Adds the given vertices to the frontier (idempotently), keeping
+    /// it sorted. This is the **carry-over** entry point: a caller that
+    /// rewrote only a few states since the engine's last hop seeds
+    /// exactly those — the engine's residual frontier (changes from its
+    /// own last hop that neighbors have not yet absorbed) is preserved,
+    /// so the next hop is bit-identical to a full [`mark_all_dirty`]
+    /// restart while touching only the changed vertices' neighborhoods.
+    ///
+    /// [`mark_all_dirty`]: MbfEngine::mark_all_dirty
+    pub fn mark_dirty(&mut self, g: &Graph, vs: impl IntoIterator<Item = NodeId>) {
+        if self.frontier_mark.len() != g.n() {
+            // Never sized for this graph: there is no residual state to
+            // carry over, so the conservative restart is the only sound
+            // option.
+            self.mark_all_dirty(g);
+            return;
+        }
+        let gen = self.frontier_gen;
+        let mut added = false;
+        for v in vs {
+            let mark = &mut self.frontier_mark[v as usize];
+            if *mark != gen {
+                *mark = gen;
+                self.frontier.push(v);
+                self.frontier_degree += g.degree(v);
+                added = true;
+            }
+        }
+        if added {
+            self.frontier.sort_unstable();
+        }
+    }
+
+    /// Gathers this hop's recompute list (the closed neighborhood of the
+    /// frontier, or all of `V` for a dense hop) into `self.touched`,
+    /// sorted ascending, and cuts it into degree-balanced chunks.
+    fn schedule_hop(&mut self, g: &Graph, go_dense: bool) {
+        let n = g.n();
+        self.touched.clear();
+        if go_dense {
+            self.touched.extend(0..n as NodeId);
+        } else {
+            let gen = bump_generation(&mut self.touched_gen, &mut self.touched_mark);
+            for &v in &self.frontier {
+                if self.touched_mark[v as usize] != gen {
+                    self.touched_mark[v as usize] = gen;
+                    self.touched.push(v);
+                }
+                for &(w, _) in g.neighbors(v) {
+                    if self.touched_mark[w as usize] != gen {
+                        self.touched_mark[w as usize] = gen;
+                        self.touched.push(w);
+                    }
+                }
+            }
+            // Deterministic schedule: the list is a pure function of the
+            // frontier *set*, not of gathering order.
+            self.touched.sort_unstable();
+        }
+
+        // Chunk by cumulative degree (prefix sum over deg(v) + 1): a
+        // skewed frontier — a few hubs plus many leaves — still splits
+        // into chunks of comparable relaxation work. Boundaries depend
+        // only on the list and the graph, never on the thread count.
+        let total: usize = self.touched.iter().map(|&v| g.degree(v) + 1).sum();
+        let k = (total / MIN_CHUNK_COST).clamp(1, MAX_HOP_CHUNKS);
+        self.chunks.clear();
+        if k <= 1 {
+            self.chunks.push(0..self.touched.len());
+            return;
+        }
+        let mut start = 0usize;
+        let mut acc = 0usize;
+        for (p, &v) in self.touched.iter().enumerate() {
+            acc += g.degree(v) + 1;
+            let closed = self.chunks.len();
+            if closed + 1 < k && acc * k >= (closed + 1) * total {
+                self.chunks.push(start..p + 1);
+                start = p + 1;
+            }
+        }
+        self.chunks.push(start..self.touched.len());
     }
 
     /// One hop `x ← r^V A x` with all edge weights multiplied by
@@ -227,7 +440,7 @@ impl<A: MbfAlgorithm> MbfEngine<A> {
     ) -> (WorkStats, bool) {
         let n = g.n();
         assert_eq!(n, states.len(), "state vector / graph size mismatch");
-        if self.dirty.len() != n {
+        if self.frontier_mark.len() != n {
             // First use (or a different graph size): treat as all-dirty.
             self.mark_all_dirty(g);
         }
@@ -238,112 +451,92 @@ impl<A: MbfAlgorithm> MbfEngine<A> {
 
         let go_dense = match self.strategy {
             EngineStrategy::Dense => true,
-            EngineStrategy::Frontier => self.frontier_len == n,
+            EngineStrategy::Frontier => self.frontier.len() == n,
             EngineStrategy::Hybrid { dense_threshold } => {
-                self.frontier_len == n
+                self.frontier.len() == n
                     || (self.frontier_degree as f64) > dense_threshold * (2 * g.m()) as f64
             }
         };
+        self.schedule_hop(g, go_dense);
 
-        // Mark the closed neighborhood of the frontier for recomputation.
-        if go_dense {
-            self.touched.clear();
-            self.touched.resize(n, true);
-        } else {
-            self.touched.clear();
-            self.touched.resize(n, false);
-            for v in 0..n {
-                if self.dirty[v] {
-                    self.touched[v] = true;
-                    for &(w, _) in g.neighbors(v as NodeId) {
-                        self.touched[w as usize] = true;
+        // Pull-style recomputation of the touched vertices into the
+        // shadow buffer, parallel over the degree-balanced chunks.
+        // `recompute_into` reuses each shadow state's heap allocation and
+        // merges through reusable scratch, and the stats land in the
+        // reused `per_vertex` buffer — a steady-state hop allocates
+        // nothing and does work proportional to the frontier's closed
+        // neighborhood, not `n`.
+        self.per_vertex.clear();
+        self.per_vertex.resize(self.touched.len(), (0, 0, false));
+        let states_ref: &[A::M] = states;
+        let touched: &[NodeId] = &self.touched;
+        let next_base = SyncPtr(self.next.as_mut_ptr());
+        let stats_base = SyncPtr(self.per_vertex.as_mut_ptr());
+        self.chunks.par_iter().with_min_len(1).for_each(|range| {
+            for p in range.clone() {
+                let v = touched[p];
+                // Safety: chunks partition positions of the sorted,
+                // deduplicated `touched` list, so slot `v` and stats
+                // slot `p` are owned by exactly this chunk.
+                let shadow = unsafe { &mut *next_base.slot(v as usize) };
+                let stats = unsafe { &mut *stats_base.slot(p) };
+                let (entries, relaxations) =
+                    alg.recompute_into(v, g, weight_scale, states_ref, shadow);
+                let changed = *shadow != states_ref[v as usize];
+                *stats = (entries, relaxations, changed);
+            }
+        });
+
+        // Commit: swap in changed states, parallel over the same chunks;
+        // per-chunk tallies merge through the fixed-shape reduction tree
+        // — bit-identical for every thread count.
+        let per_vertex: &[(u64, u64, bool)] = &self.per_vertex;
+        let states_base = SyncPtr(states.as_mut_ptr());
+        let (entries, relaxations, any_changed) = self
+            .chunks
+            .par_iter()
+            .with_min_len(1)
+            .map(|range| {
+                let mut tally = (0u64, 0u64, false);
+                for p in range.clone() {
+                    let v = touched[p] as usize;
+                    let (entries, relaxations, changed) = per_vertex[p];
+                    tally.0 += entries;
+                    tally.1 += relaxations;
+                    if changed {
+                        // Safety: as above — disjoint vertices per chunk.
+                        unsafe { std::ptr::swap(states_base.slot(v), next_base.slot(v)) };
+                        tally.2 = true;
                     }
                 }
+                tally
+            })
+            .reduce(
+                || (0u64, 0u64, false),
+                |a, b| (a.0 + b.0, a.1 + b.1, a.2 || b.2),
+            );
+
+        // Refresh the frontier: the changed subsequence of the (sorted)
+        // touched list — already ascending and duplicate-free. This scan
+        // is proportional to the recompute list, not n.
+        let gen = bump_generation(&mut self.frontier_gen, &mut self.frontier_mark);
+        self.frontier.clear();
+        let mut frontier_degree = 0usize;
+        for (p, &v) in self.touched.iter().enumerate() {
+            if self.per_vertex[p].2 {
+                self.frontier.push(v);
+                self.frontier_mark[v as usize] = gen;
+                frontier_degree += g.degree(v);
             }
         }
+        self.frontier_degree = frontier_degree;
 
-        // Pull-style recomputation of all touched vertices into the
-        // shadow buffer. `clone_from` reuses each shadow state's heap
-        // allocation, the overridden `propagate_into` kernels merge
-        // through reusable scratch, and the stats land in the reused
-        // `per_vertex` buffer — a steady-state hop allocates nothing
-        // (the remaining per-hop cost is the O(n) bookkeeping scan).
-        self.per_vertex.clear();
-        self.per_vertex.resize(n, (0, 0, false));
-        let states_ref: &[A::M] = states;
-        let touched = &self.touched;
-        self.next
-            .par_iter_mut()
-            .zip(self.per_vertex.par_iter_mut())
-            .enumerate()
-            .for_each(|(v, (shadow, stats))| {
-                if !touched[v] {
-                    return;
-                }
-                // a_vv = 1: keep the node's own state.
-                shadow.clone_from(&states_ref[v]);
-                let mut entries = alg.state_size(shadow) as u64;
-                let mut relaxations = 0u64;
-                for &(w, ew) in g.neighbors(v as NodeId) {
-                    let coeff = alg.edge_coeff(v as NodeId, w, ew * weight_scale);
-                    alg.propagate_into(shadow, &states_ref[w as usize], &coeff);
-                    entries += alg.state_size(&states_ref[w as usize]) as u64;
-                    relaxations += 1;
-                }
-                alg.filter(shadow);
-                let changed = *shadow != states_ref[v];
-                *stats = (entries, relaxations, changed);
-            });
-
-        // Commit: swap in changed states, refresh the frontier. The node
-        // range is partitioned into chunks; each chunk swaps its own
-        // vertices and tallies `(WorkStats, frontier degree/len, changed)`,
-        // merged through the fixed-shape reduction tree — bit-identical
-        // for every thread count.
-        let per_vertex: &[(u64, u64, bool)] = &self.per_vertex;
-        let touched: &[bool] = &self.touched;
-        let (entries, relaxations, touched_vertices, frontier_degree, frontier_len, any_changed) =
-            states
-                .par_iter_mut()
-                .zip(self.next.par_iter_mut())
-                .zip(self.dirty.par_iter_mut())
-                .enumerate()
-                .map(|(v, ((state, shadow), dirty))| {
-                    let (entries, relaxations, changed) = per_vertex[v];
-                    *dirty = changed;
-                    if changed {
-                        std::mem::swap(state, shadow);
-                    }
-                    (
-                        entries,
-                        relaxations,
-                        touched[v] as u64,
-                        if changed { g.degree(v as NodeId) } else { 0 },
-                        changed as usize,
-                        changed,
-                    )
-                })
-                .reduce(
-                    || (0u64, 0u64, 0u64, 0usize, 0usize, false),
-                    |a, b| {
-                        (
-                            a.0 + b.0,
-                            a.1 + b.1,
-                            a.2 + b.2,
-                            a.3 + b.3,
-                            a.4 + b.4,
-                            a.5 || b.5,
-                        )
-                    },
-                );
         let work = WorkStats {
             iterations: 1,
             entries_processed: entries,
             edge_relaxations: relaxations,
-            touched_vertices,
+            touched_vertices: self.touched.len() as u64,
         };
-        self.frontier_degree = frontier_degree;
-        self.frontier_len = frontier_len;
         (work, any_changed)
     }
 }

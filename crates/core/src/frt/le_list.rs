@@ -12,6 +12,17 @@
 //! `S = S_{min,+}`, `M = D`, `r` = LE-domination filter, `x⁽⁰⁾_v = {v↦0}`.
 //! Lemma 7.6 bounds every intermediate filtered list by `O(log n)` w.h.p.,
 //! which is what makes each iteration cheap (Lemma 7.8).
+//!
+//! The hot path exploits Lemma 7.6 a second time: because filtered lists
+//! stay `O(log n)`, most entries arriving from a neighbor's list are
+//! already present in — or dominated by — the receiver's own list and
+//! would be discarded by the filter anyway. [`LeListAlgorithm`]
+//! therefore overrides [`MbfAlgorithm::recompute_into`] to run the
+//! echo and rank-domination tests *per entry at merge time*, batching
+//! the few survivors into a single sorted combine
+//! ([`DistanceMap::assign_merged_min`]), so dominated entries are never
+//! inserted, sorted, or filtered — bit-identical to merge-then-filter,
+//! differential-tested by the equivalence suite.
 
 use crate::engine::{run_to_fixpoint_with, EngineStrategy, MbfAlgorithm};
 use crate::oracle::{default_iteration_cap, oracle_run_to_fixpoint_with};
@@ -21,7 +32,39 @@ use mte_algebra::{Dist, DistanceMap, Filter, MinPlus, NodeId};
 use mte_graph::Graph;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::cell::RefCell;
 use std::sync::Arc;
+
+/// The domination probe: `(dist, prefix-min rank)` pairs sorted
+/// ascending by distance.
+type Probe = Vec<(Dist, u32)>;
+/// The gather buffer batching the admitted (scaled) entries of all of a
+/// vertex's neighbors, so the hop pays one sorted merge instead of one
+/// per neighbor.
+type Gather = Vec<(NodeId, Dist)>;
+
+thread_local! {
+    /// Per-thread probe + gather scratch for
+    /// [`LeListAlgorithm::recompute_into`], kept thread-local so the
+    /// pruned hot path stays allocation-free in steady state under the
+    /// thread-parallel backend.
+    static RECOMPUTE_SCRATCH: RefCell<(Probe, Gather)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Runs `f` with this thread's probe + gather buffers (cleared by the
+/// caller; keep their capacity across calls). Falls back to fresh
+/// buffers on re-entrant use instead of panicking, mirroring
+/// [`mte_algebra::merge::with_dist_scratch`].
+fn with_scratch<R>(f: impl FnOnce(&mut Vec<(Dist, u32)>, &mut Vec<(NodeId, Dist)>) -> R) -> R {
+    RECOMPUTE_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => {
+            let (probe, gather) = &mut *scratch;
+            f(probe, gather)
+        }
+        Err(_) => f(&mut Vec::new(), &mut Vec::new()),
+    })
+}
 
 /// A uniformly random total order on the nodes: `rank[v]` is `v`'s
 /// position in a random permutation; *lower rank = smaller node* in the
@@ -99,10 +142,30 @@ pub fn le_filter_in_place(entries: &mut Vec<(NodeId, Dist)>, ranks: &Ranks) {
 }
 
 /// Core LE filtering into a fresh vector (see [`le_filter_in_place`] for
-/// the allocation-free variant used on hot paths).
+/// the allocation-free variant used on hot paths — callers that own
+/// their entry vector should prefer it; this one exists for borrowed
+/// inputs). Already `(dist, rank)`-sorted inputs take a single
+/// survivors-only pass (one reserve of at most `|entries|`, no copy of
+/// dominated entries, no sort); unsorted inputs fall back to
+/// copy-then-filter (the sort needs an owned buffer anyway).
 pub fn le_filter_entries(entries: &[(NodeId, Dist)], ranks: &Ranks) -> Vec<(NodeId, Dist)> {
-    let mut kept = entries.to_vec();
-    le_filter_in_place(&mut kept, ranks);
+    let sorted = entries
+        .windows(2)
+        .all(|w| (w[0].1, ranks.rank(w[0].0)) <= (w[1].1, ranks.rank(w[1].0)));
+    if !sorted {
+        let mut kept = entries.to_vec();
+        le_filter_in_place(&mut kept, ranks);
+        return kept;
+    }
+    let mut kept = Vec::with_capacity(entries.len());
+    let mut best_rank = u32::MAX;
+    for &(v, d) in entries {
+        let r = ranks.rank(v);
+        if r < best_rank {
+            kept.push((v, d));
+            best_rank = r;
+        }
+    }
     kept
 }
 
@@ -175,6 +238,123 @@ impl MbfAlgorithm for LeListAlgorithm {
     #[inline]
     fn state_size(&self, x: &DistanceMap) -> usize {
         x.len().max(1)
+    }
+
+    /// Rank-pruned recomputation (the Lemma 7.6 work argument made
+    /// operational, following Blelloch–Gu–Sun's prune-during-propagation
+    /// structure). A **domination probe** — `v`'s own filtered list
+    /// sorted by distance with prefix-minimum ranks — is built once per
+    /// recompute; one pass over the neighbors' entries then **admits**
+    /// an incoming entry `(u, d)` only if the probe holds no entry of
+    /// strictly lower rank within distance `d` (one `O(log |x_v|)`
+    /// binary search each). Admitted entries are batched (sorted,
+    /// per-node minimum) and combined with the base list in a single
+    /// sorted merge, so a recompute pays one merge — not one per
+    /// neighbor — and rejected entries are never inserted, sorted, or
+    /// filtered. Rejection is lossless:
+    ///
+    /// * the dominating entry is in `v`'s base list (`a_vv = 1` keeps
+    ///   it) and min-merging only ever tightens it, and
+    /// * domination is transitive, so a rejected entry cannot have been
+    ///   the sole dominator of some other entry — its own dominator
+    ///   dominates that entry too (even a rejected entry whose node
+    ///   collides with a base entry only ever loses a value the filter
+    ///   was about to discard).
+    ///
+    /// Hence `r(pruned batch merge) = r(full merge)` **bit-for-bit**:
+    /// admitted entries are scaled by the same `d + coeff`, and the
+    /// per-key minima of an idempotent total order are combination-order
+    /// independent — no floating-point value is ever computed
+    /// differently. The equivalence suite differential-tests this
+    /// against the default merge-then-filter path. The probe costs
+    /// `O(log |x_v|)` per incoming entry versus the merge-sort-filter
+    /// work an insertion would cost, and filtered lists stay `O(log n)`
+    /// w.h.p., so most entries are rejected.
+    ///
+    /// Engine states are always filter fixpoints (`init` is a
+    /// singleton; every other state left a `filter` call), so when
+    /// nothing is admitted the merge *and* the filter collapse to a
+    /// `clone_from` of the base list — the common case for touched-but-
+    /// quiescent vertices near convergence.
+    ///
+    /// `entries_processed` counts `|x_v|` plus only the **admitted**
+    /// entries — pruned entries are examined but never processed (see
+    /// [`crate::work::WorkStats`]).
+    fn recompute_into(
+        &self,
+        v: NodeId,
+        g: &Graph,
+        weight_scale: f64,
+        states: &[DistanceMap],
+        out: &mut DistanceMap,
+    ) -> (u64, u64) {
+        let base = &states[v as usize];
+        let base_entries = base.entries();
+        let mut relaxations = 0u64;
+        let mut admitted = 0u64;
+        let ranks = &*self.ranks;
+        with_scratch(|probe, gather| {
+            // The probe is built lazily: a steady-state recompute rejects
+            // every incoming entry as an echo and never pays the sort.
+            let mut probe_ready = false;
+            gather.clear();
+            for &(w, ew) in g.neighbors(v) {
+                let coeff = self.edge_coeff(v, w, ew * weight_scale);
+                relaxations += 1;
+                let s = coeff.0;
+                if !s.is_finite() {
+                    continue; // ∞ ⊙ x = ⊥ (Equation (2.2))
+                }
+                // Both entry lists are node-sorted: co-walk them so the
+                // echo test is a linear merge scan, not a search per
+                // entry.
+                let mut bi = 0;
+                for &(u, du) in states[w as usize].entries() {
+                    let d = du + s;
+                    while bi < base_entries.len() && base_entries[bi].0 < u {
+                        bi += 1;
+                    }
+                    // Echo rejection: `u` already sits in `v`'s list at
+                    // distance ≤ d, so min-combining (u, d) is the
+                    // identity — dominated or not, it changes nothing.
+                    if bi < base_entries.len() && base_entries[bi].0 == u && base_entries[bi].1 <= d
+                    {
+                        continue;
+                    }
+                    if !probe_ready {
+                        probe.clear();
+                        probe.extend(base.iter().map(|(b, db)| (db, ranks.rank(b))));
+                        probe.sort_unstable();
+                        let mut best = u32::MAX;
+                        for e in probe.iter_mut() {
+                            best = best.min(e.1);
+                            e.1 = best;
+                        }
+                        probe_ready = true;
+                    }
+                    let idx = probe.partition_point(|&(pd, _)| pd <= d);
+                    let dominated = idx > 0 && probe[idx - 1].1 < ranks.rank(u);
+                    if !dominated {
+                        gather.push((u, d));
+                        admitted += 1;
+                    }
+                }
+            }
+            if gather.is_empty() {
+                // a_vv = 1 and nothing survived the prune: the hop is the
+                // identity on `v` and `base` is already a filter fixpoint.
+                out.clone_from(base);
+                return;
+            }
+            // One deterministic merge: per-node minimum of the admitted
+            // entries (sort is by (node, dist), dedup keeps the first =
+            // smallest), then a single sorted combine with the base list.
+            gather.sort_unstable();
+            gather.dedup_by(|next, prev| prev.0 == next.0);
+            out.assign_merged_min(base, gather);
+            self.filter(out);
+        });
+        (self.state_size(base) as u64 + admitted, relaxations)
     }
 }
 
@@ -321,14 +501,14 @@ pub fn le_lists_from_metric(dist: &[Vec<Dist>], ranks: &Ranks) -> (Vec<LeList>, 
     };
     let lists: Vec<LeList> = (0..n)
         .map(|v| {
-            let entries: Vec<(NodeId, Dist)> = (0..n)
+            let mut entries: Vec<(NodeId, Dist)> = (0..n)
                 .filter(|&w| dist[v][w].is_finite())
                 .map(|w| (w as NodeId, dist[v][w]))
                 .collect();
             work.entries_processed += entries.len() as u64;
-            LeList {
-                entries: le_filter_entries(&entries, ranks),
-            }
+            // The row is owned: filter it in its own buffer.
+            le_filter_in_place(&mut entries, ranks);
+            LeList { entries }
         })
         .collect();
     (lists, work)

@@ -14,13 +14,23 @@
 //! using only `G'`'s `O(m)` edges — `Λ·d ∈ polylog n` cheap iterations
 //! instead of one `Ω(n²)` dense product (Theorem 5.2).
 //!
-//! The inner `(r^V A_λ)^d` loops run on persistent [`MbfEngine`]s: each
-//! level's projection `P_λ x` resets the frontier (the state vector was
-//! rewritten wholesale), the first hop sweeps, and the remaining `d − 1`
-//! hops ride the narrowing frontier. Hops after the level's fixpoint are
-//! skipped outright — the iteration map is deterministic, so an unchanged
-//! state vector can never change again, and the result is bit-identical
-//! to running all `d` hops.
+//! The inner `(r^V A_λ)^d` loops run on persistent [`MbfEngine`]s with
+//! **frontier carry-over across simulated `H`-iterations**: instead of
+//! rewriting `y ← P_λ x` wholesale and restarting all-dirty, each level
+//! diffs the projection against its own buffer from the previous round,
+//! rewrites only the vertices whose projected state actually changed,
+//! and seeds exactly those into the engine (on top of the engine's
+//! residual frontier — changes from its own last hop that neighbors have
+//! not yet absorbed). A vertex outside the closed neighborhood of
+//! (residual ∪ changed) provably recomputes to its current value, so the
+//! carry-over schedule is **bit-identical** to the all-dirty restart
+//! (asserted against [`oracle_run_with_schedule`] with `carry_over:
+//! false`) while the per-round work tracks how much of the projection
+//! actually moved. Only a level's very first round (no previous buffer
+//! to diff against) sweeps all-dirty. Hops after the level's fixpoint
+//! are skipped outright — the iteration map is deterministic, so an
+//! unchanged state vector can never change again, and the result is
+//! bit-identical to running all `d` hops.
 //!
 //! # Parallel structure
 //!
@@ -56,10 +66,14 @@ pub struct OracleRun<M> {
 }
 
 /// Reusable per-level buffers: one engine (shadow vectors, frontier
-/// marks) and one projected state vector per level task.
+/// marks) and one projected state vector per level task. `primed` flips
+/// once the level has run its first round — from then on `y` holds the
+/// level's own `(r^V A_λ)^d P_λ x` from the previous simulated
+/// iteration, the baseline the next projection is diffed against.
 struct LevelScratch<A: MbfAlgorithm> {
     engine: MbfEngine<A>,
     y: Vec<A::M>,
+    primed: bool,
 }
 
 /// Reusable buffers for repeated oracle iterations: one [`LevelScratch`]
@@ -67,13 +81,17 @@ struct LevelScratch<A: MbfAlgorithm> {
 /// still reusing their heap buffers across simulated `H`-iterations.
 struct OracleScratch<A: MbfAlgorithm> {
     strategy: EngineStrategy,
+    /// `false` forces the all-dirty wholesale rewrite every round — the
+    /// PR 2 reference schedule, kept for ablation/differential testing.
+    carry_over: bool,
     levels: Vec<LevelScratch<A>>,
 }
 
 impl<A: MbfAlgorithm> OracleScratch<A> {
-    fn new(strategy: EngineStrategy) -> Self {
+    fn new(strategy: EngineStrategy, carry_over: bool) -> Self {
         OracleScratch {
             strategy,
+            carry_over,
             levels: Vec::new(),
         }
     }
@@ -84,6 +102,7 @@ impl<A: MbfAlgorithm> OracleScratch<A> {
             self.levels.push(LevelScratch {
                 engine: MbfEngine::new(self.strategy),
                 y: Vec::new(),
+                primed: false,
             });
         }
         self.levels.truncate(num_levels);
@@ -91,6 +110,7 @@ impl<A: MbfAlgorithm> OracleScratch<A> {
             if level.y.len() != n {
                 level.y.clear();
                 level.y.extend((0..n).map(|_| A::M::zero()));
+                level.primed = false;
             }
         }
     }
@@ -110,6 +130,7 @@ where
     debug_assert_eq!(n, x.len());
     let lambda_max = sim.levels().lambda();
     scratch.ensure(lambda_max as usize + 1, n);
+    let carry_over = scratch.carry_over;
     let zero = A::M::zero();
 
     // The Λ+1 level contributions are independent: one parallel task per
@@ -124,20 +145,51 @@ where
         .map(|(lambda, level)| {
             let lambda = lambda as u32;
             let scale = sim.level_scale(lambda);
-            // y ← P_λ x : discard states below level λ. `clone_from`
-            // reuses each slot's heap buffer across iterations.
-            level.y.par_iter_mut().enumerate().for_each(|(v, slot)| {
-                if sim.levels().level(v as NodeId) >= lambda {
-                    slot.clone_from(&x[v]);
-                } else {
-                    slot.clone_from(&zero);
-                }
-            });
-            // y ← (r^V A_λ)^d y : d filtered hops on the scaled G'. The
-            // projection rewrote y wholesale, so the frontier restarts
-            // full; once a hop changes nothing the level is at its
-            // fixpoint and the remaining hops are identity.
-            level.engine.mark_all_dirty(sim.augmented());
+            if !level.primed || !carry_over {
+                // First round (or carry-over disabled): y ← P_λ x
+                // wholesale, frontier restarts full. `clone_from` reuses
+                // each slot's heap buffer across iterations.
+                level.y.par_iter_mut().enumerate().for_each(|(v, slot)| {
+                    if sim.levels().level(v as NodeId) >= lambda {
+                        slot.clone_from(&x[v]);
+                    } else {
+                        slot.clone_from(&zero);
+                    }
+                });
+                level.engine.mark_all_dirty(sim.augmented());
+                level.primed = true;
+            } else {
+                // Carry-over: y still holds this level's result from the
+                // previous simulated round. Rewrite only the vertices
+                // whose projection P_λ x actually differs from it, and
+                // seed exactly those into the engine — its residual
+                // frontier covers everything else that may still move.
+                // The changed list collects in ascending vertex order
+                // (chunk-order concatenation), independent of the thread
+                // count.
+                let changed: Vec<NodeId> = level
+                    .y
+                    .par_iter_mut()
+                    .enumerate()
+                    .flat_map_iter(|(v, slot)| {
+                        let want = if sim.levels().level(v as NodeId) >= lambda {
+                            &x[v]
+                        } else {
+                            &zero
+                        };
+                        if slot != want {
+                            slot.clone_from(want);
+                            Some(v as NodeId)
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                level.engine.mark_dirty(sim.augmented(), changed);
+            }
+            // y ← (r^V A_λ)^d y : d filtered hops on the scaled G'; once
+            // a hop changes nothing the level is at its fixpoint and the
+            // remaining hops are identity.
             let mut work = WorkStats::new();
             for _ in 0..sim.d() {
                 let (w, changed) = level.engine.step(alg, sim.augmented(), &mut level.y, scale);
@@ -181,7 +233,7 @@ pub fn oracle_iteration<A>(alg: &A, sim: &SimulatedGraph, x: &[A::M]) -> (Vec<A:
 where
     A: MbfAlgorithm<S = MinPlus>,
 {
-    let mut scratch = OracleScratch::new(EngineStrategy::default());
+    let mut scratch = OracleScratch::new(EngineStrategy::default(), true);
     oracle_iteration_with(alg, sim, x, &mut scratch)
 }
 
@@ -203,8 +255,28 @@ pub fn oracle_run_with<A>(
 where
     A: MbfAlgorithm<S = MinPlus>,
 {
+    oracle_run_with_schedule(alg, sim, h, strategy, true)
+}
+
+/// [`oracle_run_with`] with the level schedule made explicit:
+/// `carry_over: true` (the default everywhere else) diffs each level's
+/// projection against its previous round and seeds only the changed
+/// vertices; `false` restarts every level all-dirty each round — the
+/// reference schedule, kept for ablation and differential testing. Both
+/// produce bit-identical states, iteration counts, and fixpoint flags;
+/// only the work counters differ.
+pub fn oracle_run_with_schedule<A>(
+    alg: &A,
+    sim: &SimulatedGraph,
+    h: usize,
+    strategy: EngineStrategy,
+    carry_over: bool,
+) -> OracleRun<A::M>
+where
+    A: MbfAlgorithm<S = MinPlus>,
+{
     let mut states = initial_states(alg, sim.augmented().n());
-    let mut scratch = OracleScratch::new(strategy);
+    let mut scratch = OracleScratch::new(strategy, carry_over);
     let mut work = WorkStats::new();
     let mut executed = 0;
     let mut fixpoint = false;

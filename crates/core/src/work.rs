@@ -19,6 +19,11 @@ pub struct WorkStats {
     /// Sequential MBF-like rounds executed (depth proxy).
     pub iterations: u64,
     /// Sparse state entries processed across all rounds (work proxy).
+    /// Algorithms that prune at merge time (see
+    /// [`MbfAlgorithm::recompute_into`](crate::engine::MbfAlgorithm::recompute_into))
+    /// count only the entries **admitted** into aggregation — a pruned
+    /// entry costs one `O(log |x|)` domination probe, not a merge, a
+    /// sort, and a filter pass, so it is examined but not processed.
     pub entries_processed: u64,
     /// Edge relaxations (semiring `⊙` applications attributed to edges).
     pub edge_relaxations: u64,

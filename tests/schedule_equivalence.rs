@@ -1,0 +1,402 @@
+//! Differential tests for the PR 3 hot-path rewrites: the rank-pruned
+//! merge kernels, the frontier-list schedule, and the oracle's
+//! carry-over seeding must all be **bit-identical** to the PR 1/PR 2
+//! reference paths (merge-everything-then-filter, bitset-style full
+//! recompute scheduling, all-dirty level restarts) — pruning and
+//! carry-over may only change *work counters*, never states, iteration
+//! counts, or fixpoint flags. Each comparison also runs under thread
+//! pools of size 1 and 4, pinning the `MTE_THREADS` determinism
+//! guarantee through the new schedule.
+
+use metric_tree_embedding::algebra::NodeId;
+use metric_tree_embedding::core::catalog::SourceDetection;
+use metric_tree_embedding::core::engine::{
+    initial_states, run_to_fixpoint_with, EngineStrategy, MbfAlgorithm, MbfEngine,
+};
+use metric_tree_embedding::core::frt::le_list::{le_lists_oracle_with, LeListAlgorithm, Ranks};
+use metric_tree_embedding::core::frt::LeList;
+use metric_tree_embedding::core::oracle::{oracle_run_with_schedule, OracleRun};
+use metric_tree_embedding::core::simgraph::SimulatedGraph;
+use metric_tree_embedding::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// [`LeListAlgorithm`] stripped of its `recompute_into` override: the
+/// delegating wrapper inherits the trait's default merge-everything-
+/// then-filter pipeline, i.e. the PR 1 reference path the pruned merge
+/// must reproduce bit for bit.
+struct UnprunedLeList(LeListAlgorithm);
+
+impl MbfAlgorithm for UnprunedLeList {
+    type S = MinPlus;
+    type M = DistanceMap;
+
+    fn edge_coeff(&self, v: NodeId, w: NodeId, weight: f64) -> MinPlus {
+        self.0.edge_coeff(v, w, weight)
+    }
+
+    fn filter(&self, x: &mut DistanceMap) {
+        self.0.filter(x);
+    }
+
+    fn init(&self, v: NodeId) -> DistanceMap {
+        self.0.init(v)
+    }
+
+    fn propagate_into(&self, acc: &mut DistanceMap, state: &DistanceMap, coeff: &MinPlus) {
+        self.0.propagate_into(acc, state, coeff);
+    }
+
+    fn state_size(&self, x: &DistanceMap) -> usize {
+        self.0.state_size(x)
+    }
+}
+
+/// Runs `f` on a dedicated pool of the given total parallelism.
+fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool build cannot fail")
+        .install(f)
+}
+
+/// The engine strategies under differential test.
+const STRATEGIES: [EngineStrategy; 3] = [
+    EngineStrategy::Dense,
+    EngineStrategy::Frontier,
+    EngineStrategy::Hybrid {
+        dense_threshold: 0.25,
+    },
+];
+
+fn workload_graphs() -> Vec<(&'static str, Graph)> {
+    let mut rng = StdRng::seed_from_u64(0x53E1);
+    vec![
+        ("gnm sparse", gnm_graph(70, 180, 1.0..10.0, &mut rng)),
+        ("grid 9x9", grid_graph(9, 9, 1.0..5.0, &mut rng)),
+        ("path", path_graph(56, 1.0)),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Engine level: pruned merge kernels vs merge-then-filter reference.
+// ---------------------------------------------------------------------
+
+#[test]
+fn pruned_le_merge_bit_identical_to_reference_and_cheaper() {
+    for (name, g) in workload_graphs() {
+        let ranks = Arc::new(Ranks::sample(g.n(), &mut StdRng::seed_from_u64(0x53E2)));
+        let pruned_alg = LeListAlgorithm::new(Arc::clone(&ranks));
+        let reference_alg = UnprunedLeList(LeListAlgorithm::new(Arc::clone(&ranks)));
+        for strategy in STRATEGIES {
+            let pruned = run_to_fixpoint_with(&pruned_alg, &g, g.n() + 1, strategy);
+            let reference = run_to_fixpoint_with(&reference_alg, &g, g.n() + 1, strategy);
+            assert_eq!(
+                pruned.states, reference.states,
+                "{name}/{strategy:?}: pruned merge diverged from merge-then-filter"
+            );
+            assert_eq!(
+                pruned.iterations, reference.iterations,
+                "{name}/{strategy:?}"
+            );
+            assert_eq!(pruned.fixpoint, reference.fixpoint, "{name}/{strategy:?}");
+            // The pruned path admits a strict subset of entries on these
+            // workloads (Lemma 7.6: most incoming entries are dominated).
+            assert!(
+                pruned.work.entries_processed < reference.work.entries_processed,
+                "{name}/{strategy:?}: pruned {} !< reference {}",
+                pruned.work.entries_processed,
+                reference.work.entries_processed
+            );
+            // Scheduling counters are untouched by the merge kernel.
+            assert_eq!(
+                pruned.work.edge_relaxations,
+                reference.work.edge_relaxations
+            );
+            assert_eq!(
+                pruned.work.touched_vertices,
+                reference.work.touched_vertices
+            );
+        }
+    }
+}
+
+#[test]
+fn pruned_le_merge_bit_identical_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(0x53E3);
+    let g = gnm_graph(300, 900, 1.0..9.0, &mut rng);
+    let ranks = Arc::new(Ranks::sample(g.n(), &mut rng));
+    let g = &g;
+    let run = |threads: usize, pruned: bool| {
+        let ranks = Arc::clone(&ranks);
+        with_threads(threads, move || {
+            if pruned {
+                run_to_fixpoint_with(
+                    &LeListAlgorithm::new(ranks),
+                    g,
+                    g.n() + 1,
+                    EngineStrategy::Frontier,
+                )
+            } else {
+                run_to_fixpoint_with(
+                    &UnprunedLeList(LeListAlgorithm::new(ranks)),
+                    g,
+                    g.n() + 1,
+                    EngineStrategy::Frontier,
+                )
+            }
+        })
+    };
+    let reference = run(1, false);
+    for threads in [1, 4] {
+        let pruned = run(threads, true);
+        assert_eq!(
+            pruned.states, reference.states,
+            "pruned run on {threads} threads diverged"
+        );
+        assert_eq!(pruned.iterations, reference.iterations);
+    }
+    assert_eq!(run(4, false).states, reference.states);
+}
+
+// ---------------------------------------------------------------------
+// Engine level: `mark_dirty` carry-over vs all-dirty restart.
+// ---------------------------------------------------------------------
+
+#[test]
+fn mark_dirty_carry_over_matches_all_dirty_restart() {
+    let mut rng = StdRng::seed_from_u64(0x53E4);
+    let g = gnm_graph(90, 260, 1.0..8.0, &mut rng);
+    let alg = SourceDetection::k_ssp(g.n(), 4);
+
+    // Run a few hops so the continuing engine holds a genuine residual
+    // frontier (the run is not yet at its fixpoint).
+    let mut states = initial_states(&alg, g.n());
+    let mut carry_engine = MbfEngine::new(EngineStrategy::Frontier);
+    carry_engine.mark_all_dirty(&g);
+    for _ in 0..3 {
+        carry_engine.step(&alg, &g, &mut states, 1.0);
+    }
+
+    // External sparse edit: re-seed a few vertices, as the oracle's
+    // projection diff does between simulated rounds.
+    let edited: Vec<NodeId> = vec![3, 41, 77];
+    for &v in &edited {
+        states[v as usize] = alg.init((v + 1) % g.n() as NodeId);
+    }
+    let mut restart_states = states.clone();
+
+    // Carry-over: seed only the edited vertices on the live engine.
+    carry_engine.mark_dirty(&g, edited.iter().copied());
+    // Reference: a fresh engine restarted all-dirty on the same vector.
+    let mut restart_engine = MbfEngine::new(EngineStrategy::Frontier);
+    restart_engine.mark_all_dirty(&g);
+
+    for hop in 0..g.n() + 1 {
+        let (_, carry_changed) = carry_engine.step(&alg, &g, &mut states, 1.0);
+        let (_, restart_changed) = restart_engine.step(&alg, &g, &mut restart_states, 1.0);
+        assert_eq!(
+            states, restart_states,
+            "hop {hop}: carry-over schedule diverged from all-dirty restart"
+        );
+        if !carry_changed && !restart_changed {
+            return;
+        }
+    }
+    panic!("no fixpoint within n + 1 hops");
+}
+
+// ---------------------------------------------------------------------
+// Oracle level: projection carry-over vs all-dirty level restarts.
+// ---------------------------------------------------------------------
+
+fn oracle_fixture() -> (Graph, SimulatedGraph) {
+    let mut rng = StdRng::seed_from_u64(0x53E5);
+    let g = gnm_graph(140, 380, 1.0..6.0, &mut rng);
+    let sim = SimulatedGraph::without_hopset(&g, 24, 0.15, &mut rng);
+    (g, sim)
+}
+
+fn assert_oracle_runs_agree<M: PartialEq + std::fmt::Debug>(
+    carry: &OracleRun<M>,
+    restart: &OracleRun<M>,
+    label: &str,
+) {
+    assert_eq!(
+        carry.states, restart.states,
+        "{label}: carry-over diverged from all-dirty restart"
+    );
+    assert_eq!(carry.h_iterations, restart.h_iterations, "{label}");
+    assert_eq!(carry.fixpoint, restart.fixpoint, "{label}");
+    assert!(
+        carry.work.touched_vertices <= restart.work.touched_vertices,
+        "{label}: carry-over touched {} > restart {}",
+        carry.work.touched_vertices,
+        restart.work.touched_vertices
+    );
+}
+
+#[test]
+fn oracle_carry_over_bit_identical_to_all_dirty_restart() {
+    let (g, sim) = oracle_fixture();
+    let cap = 4 * g.n();
+    for strategy in STRATEGIES {
+        let kssp = SourceDetection::k_ssp(g.n(), 5);
+        let carry = oracle_run_with_schedule(&kssp, &sim, cap, strategy, true);
+        let restart = oracle_run_with_schedule(&kssp, &sim, cap, strategy, false);
+        assert_oracle_runs_agree(&carry, &restart, &format!("k-ssp/{strategy:?}"));
+
+        let ranks = Arc::new(Ranks::sample(g.n(), &mut StdRng::seed_from_u64(0x53E6)));
+        let le = LeListAlgorithm::new(ranks);
+        let carry = oracle_run_with_schedule(&le, &sim, cap, strategy, true);
+        let restart = oracle_run_with_schedule(&le, &sim, cap, strategy, false);
+        assert_oracle_runs_agree(&carry, &restart, &format!("le-lists/{strategy:?}"));
+        // Multi-round oracle runs must see the savings the carry-over
+        // exists for: later rounds touch only what the projection moved.
+        // (Dense hops recompute all of V regardless of seeding, so the
+        // strict saving only shows under frontier-based strategies.)
+        if strategy != EngineStrategy::Dense {
+            assert!(
+                carry.work.touched_vertices < restart.work.touched_vertices,
+                "le-lists/{strategy:?}: carry-over saved nothing"
+            );
+        }
+    }
+}
+
+#[test]
+fn oracle_carry_over_bit_identical_across_thread_counts() {
+    let (g, sim) = oracle_fixture();
+    let ranks = Arc::new(Ranks::sample(g.n(), &mut StdRng::seed_from_u64(0x53E7)));
+    let cap = 4 * g.n();
+    let run = |threads: usize, carry_over: bool| {
+        let ranks = Arc::clone(&ranks);
+        let sim = &sim;
+        with_threads(threads, move || {
+            oracle_run_with_schedule(
+                &LeListAlgorithm::new(ranks),
+                sim,
+                cap,
+                EngineStrategy::Frontier,
+                carry_over,
+            )
+        })
+    };
+    let reference = run(1, false);
+    for threads in [1, 4] {
+        for carry_over in [true, false] {
+            let r = run(threads, carry_over);
+            assert_eq!(
+                r.states, reference.states,
+                "{threads} threads, carry_over {carry_over}: states diverged"
+            );
+            assert_eq!(r.h_iterations, reference.h_iterations);
+            assert_eq!(r.fixpoint, reference.fixpoint);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Full FRT pipeline: production path (pruned merges + carry-over) vs
+// the unpruned all-dirty reference, across thread counts.
+// ---------------------------------------------------------------------
+
+#[test]
+fn frt_le_list_pipeline_matches_unpruned_all_dirty_reference() {
+    let (g, sim) = oracle_fixture();
+    let ranks = Arc::new(Ranks::sample(g.n(), &mut StdRng::seed_from_u64(0x53E8)));
+    let cap = 4 * g.n();
+
+    // The PR 1/PR 2 reference: default recompute (merge everything,
+    // then filter) with every level restarting all-dirty each round.
+    let reference = oracle_run_with_schedule(
+        &UnprunedLeList(LeListAlgorithm::new(Arc::clone(&ranks))),
+        &sim,
+        cap,
+        EngineStrategy::Frontier,
+        false,
+    );
+    let reference_lists: Vec<LeList> = reference
+        .states
+        .iter()
+        .map(|x| LeList::from_distance_map(x, &ranks))
+        .collect();
+
+    for threads in [1, 4] {
+        let ranks = Arc::clone(&ranks);
+        let sim = &sim;
+        let (lists, h_iterations, _) = with_threads(threads, move || {
+            le_lists_oracle_with(sim, &ranks, Some(cap), EngineStrategy::Frontier)
+        });
+        assert_eq!(h_iterations, reference.h_iterations, "{threads} threads");
+        for (v, (got, want)) in lists.iter().zip(&reference_lists).enumerate() {
+            assert_eq!(
+                got.entries(),
+                want.entries(),
+                "LE list of node {v} diverged on {threads} threads"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property fuzz: random (possibly disconnected) graphs.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Pruned merges and the carry-over oracle schedule agree with their
+    /// references on arbitrary random graphs (two components keep the
+    /// disconnected case in every batch).
+    #[test]
+    fn random_graphs_pruned_and_carry_over_match_reference(
+        n in 3usize..26,
+        extra in 0usize..36,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n2 = 1 + n / 3;
+        let mut edges: Vec<(NodeId, NodeId, f64)> =
+            gnm_graph(n, (n - 1 + extra).min(n * (n - 1) / 2), 1.0..9.0, &mut rng)
+                .edges()
+                .collect();
+        if n2 >= 2 {
+            edges.extend(
+                gnm_graph(n2, n2 - 1, 1.0..9.0, &mut rng)
+                    .edges()
+                    .map(|(u, v, w)| (u + n as NodeId, v + n as NodeId, w)),
+            );
+        }
+        let g = Graph::from_edges(n + n2, edges);
+        let ranks = Arc::new(Ranks::sample(g.n(), &mut rng));
+
+        // Engine: pruned vs merge-then-filter, all strategies.
+        for strategy in STRATEGIES {
+            let pruned =
+                run_to_fixpoint_with(&LeListAlgorithm::new(Arc::clone(&ranks)), &g, g.n() + 1, strategy);
+            let reference = run_to_fixpoint_with(
+                &UnprunedLeList(LeListAlgorithm::new(Arc::clone(&ranks))),
+                &g,
+                g.n() + 1,
+                strategy,
+            );
+            prop_assert_eq!(&pruned.states, &reference.states);
+            prop_assert_eq!(pruned.iterations, reference.iterations);
+            prop_assert!(pruned.work.entries_processed <= reference.work.entries_processed);
+        }
+
+        // Oracle: carry-over vs all-dirty restarts.
+        let sim = SimulatedGraph::without_hopset(&g, 12, 0.2, &mut rng);
+        let le = LeListAlgorithm::new(Arc::clone(&ranks));
+        let carry = oracle_run_with_schedule(&le, &sim, 3 * g.n(), EngineStrategy::Frontier, true);
+        let restart = oracle_run_with_schedule(&le, &sim, 3 * g.n(), EngineStrategy::Frontier, false);
+        prop_assert_eq!(&carry.states, &restart.states);
+        prop_assert_eq!(carry.h_iterations, restart.h_iterations);
+        prop_assert_eq!(carry.fixpoint, restart.fixpoint);
+        prop_assert!(carry.work.touched_vertices <= restart.work.touched_vertices);
+    }
+}
