@@ -121,13 +121,35 @@ impl DistanceMap {
                 .all(|(&(v, d), &(w, e))| v == w && dist_close(d, e, rel))
     }
 
+    /// Overwrites `self` with an already node-sorted, key-unique entry
+    /// slice — the borrowed-view counterpart of `clone_from` (the arena
+    /// paths seed their scratch accumulator from a span with this).
+    pub fn assign_from_entries(&mut self, entries: &[(NodeId, Dist)]) {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "entries must be node-sorted with unique keys"
+        );
+        self.entries.clear();
+        self.entries.extend_from_slice(entries);
+    }
+
     /// Fused propagate-and-aggregate: `self ← self ⊕ (s ⊙ other)` without
     /// materializing the scaled copy. This is the hot operation of every
     /// MBF-like iteration over the distance-map semimodule; it merges via
     /// this thread's reusable scratch buffer, so steady-state calls
     /// allocate nothing (see [`crate::merge`]).
     pub fn merge_scaled(&mut self, other: &DistanceMap, s: Dist) {
-        merge::with_dist_scratch(|scratch| self.merge_scaled_with(other, s, scratch));
+        merge::with_dist_scratch(|scratch| {
+            self.merge_scaled_entries_with(&other.entries, s, scratch)
+        });
+    }
+
+    /// [`DistanceMap::merge_scaled`] over a borrowed entry slice (a
+    /// span-backed state read straight out of an
+    /// [`crate::store::EpochStore`]): same kernel, no owned map on the
+    /// right-hand side.
+    pub fn merge_scaled_entries(&mut self, other: &[(NodeId, Dist)], s: Dist) {
+        merge::with_dist_scratch(|scratch| self.merge_scaled_entries_with(other, s, scratch));
     }
 
     /// The explicit-scratch primitive underlying
@@ -141,21 +163,32 @@ impl DistanceMap {
         s: Dist,
         scratch: &mut Vec<(NodeId, Dist)>,
     ) {
-        if !s.is_finite() || other.entries.is_empty() {
+        self.merge_scaled_entries_with(&other.entries, s, scratch);
+    }
+
+    /// The borrowed-view, explicit-scratch kernel every `merge_scaled*`
+    /// variant bottoms out in — owned maps and arena spans share one
+    /// code path, which is what makes the two storage backends
+    /// bit-identical by construction.
+    pub fn merge_scaled_entries_with(
+        &mut self,
+        other: &[(NodeId, Dist)],
+        s: Dist,
+        scratch: &mut Vec<(NodeId, Dist)>,
+    ) {
+        if !s.is_finite() || other.is_empty() {
             return; // ∞ ⊙ x = ⊥ (Equation (2.2))
         }
         if self.entries.is_empty() {
-            self.entries
-                .extend(other.entries.iter().map(|&(v, d)| (v, d + s)));
+            self.entries.extend(other.iter().map(|&(v, d)| (v, d + s)));
             return;
         }
         // Disjoint tails append in place without touching the scratch.
-        if self.entries.last().unwrap().0 < other.entries[0].0 {
-            self.entries
-                .extend(other.entries.iter().map(|&(v, d)| (v, d + s)));
+        if self.entries.last().unwrap().0 < other[0].0 {
+            self.entries.extend(other.iter().map(|&(v, d)| (v, d + s)));
             return;
         }
-        merge::merge_sorted_into(&self.entries, &other.entries, |d| d + s, Dist::min, scratch);
+        merge::merge_sorted_into(&self.entries, other, |d| d + s, Dist::min, scratch);
         std::mem::swap(&mut self.entries, scratch);
     }
 
@@ -177,7 +210,22 @@ impl DistanceMap {
         s: Dist,
         admit: &mut impl FnMut(NodeId, Dist) -> bool,
     ) {
-        merge::with_dist_scratch(|scratch| self.merge_scaled_pruned_with(other, s, admit, scratch));
+        merge::with_dist_scratch(|scratch| {
+            self.merge_scaled_pruned_entries_with(&other.entries, s, admit, scratch)
+        });
+    }
+
+    /// [`DistanceMap::merge_scaled_pruned`] over a borrowed entry slice
+    /// (cf. [`DistanceMap::merge_scaled_entries`]).
+    pub fn merge_scaled_pruned_entries(
+        &mut self,
+        other: &[(NodeId, Dist)],
+        s: Dist,
+        admit: &mut impl FnMut(NodeId, Dist) -> bool,
+    ) {
+        merge::with_dist_scratch(|scratch| {
+            self.merge_scaled_pruned_entries_with(other, s, admit, scratch)
+        });
     }
 
     /// The explicit-scratch primitive underlying
@@ -192,7 +240,20 @@ impl DistanceMap {
         admit: &mut impl FnMut(NodeId, Dist) -> bool,
         scratch: &mut Vec<(NodeId, Dist)>,
     ) {
-        if !s.is_finite() || other.entries.is_empty() {
+        self.merge_scaled_pruned_entries_with(&other.entries, s, admit, scratch);
+    }
+
+    /// The borrowed-view, explicit-scratch kernel every
+    /// `merge_scaled_pruned*` variant bottoms out in (cf.
+    /// [`DistanceMap::merge_scaled_entries_with`]).
+    pub fn merge_scaled_pruned_entries_with(
+        &mut self,
+        other: &[(NodeId, Dist)],
+        s: Dist,
+        admit: &mut impl FnMut(NodeId, Dist) -> bool,
+        scratch: &mut Vec<(NodeId, Dist)>,
+    ) {
+        if !s.is_finite() || other.is_empty() {
             return; // ∞ ⊙ x = ⊥ (Equation (2.2))
         }
         // Disjoint tails (or an empty accumulator) append in place
@@ -200,25 +261,17 @@ impl DistanceMap {
         if self
             .entries
             .last()
-            .is_none_or(|&(last, _)| last < other.entries[0].0)
+            .is_none_or(|&(last, _)| last < other[0].0)
         {
             self.entries.extend(
                 other
-                    .entries
                     .iter()
                     .map(|&(v, d)| (v, d + s))
                     .filter(|&(v, d)| admit(v, d)),
             );
             return;
         }
-        merge::merge_sorted_pruned_into(
-            &self.entries,
-            &other.entries,
-            |d| d + s,
-            Dist::min,
-            admit,
-            scratch,
-        );
+        merge::merge_sorted_pruned_into(&self.entries, other, |d| d + s, Dist::min, admit, scratch);
         std::mem::swap(&mut self.entries, scratch);
     }
 
@@ -264,11 +317,18 @@ impl DistanceMap {
     /// their admitted entries before combining (the LE-list recompute
     /// gathers all neighbors' surviving entries, then merges once).
     pub fn assign_merged_min(&mut self, other: &DistanceMap, extra: &[(NodeId, Dist)]) {
+        self.assign_merged_min_entries(&other.entries, extra);
+    }
+
+    /// [`DistanceMap::assign_merged_min`] with the base list as a
+    /// borrowed entry slice (a span-backed state), so the arena LE hot
+    /// path combines straight out of the pool.
+    pub fn assign_merged_min_entries(&mut self, base: &[(NodeId, Dist)], extra: &[(NodeId, Dist)]) {
         debug_assert!(
             extra.windows(2).all(|w| w[0].0 < w[1].0),
             "extra must be node-sorted with unique keys"
         );
-        merge::merge_sorted_into(&other.entries, extra, |d| d, Dist::min, &mut self.entries);
+        merge::merge_sorted_into(base, extra, |d| d, Dist::min, &mut self.entries);
     }
 
     /// In-place `self ← self ⊕ other` where `⊕` is the coordinate-wise
@@ -276,19 +336,25 @@ impl DistanceMap {
     /// through this thread's scratch buffer (allocation-free in steady
     /// state).
     pub fn merge_min(&mut self, other: &DistanceMap) {
-        if other.entries.is_empty() {
+        self.merge_min_entries(&other.entries);
+    }
+
+    /// [`DistanceMap::merge_min`] over a borrowed entry slice (cf.
+    /// [`DistanceMap::merge_scaled_entries`]).
+    pub fn merge_min_entries(&mut self, other: &[(NodeId, Dist)]) {
+        if other.is_empty() {
             return;
         }
-        if self.entries.is_empty() {
-            self.entries.extend_from_slice(&other.entries);
-            return;
-        }
-        if self.entries.last().unwrap().0 < other.entries[0].0 {
-            self.entries.extend_from_slice(&other.entries);
+        if self
+            .entries
+            .last()
+            .is_none_or(|&(last, _)| last < other[0].0)
+        {
+            self.entries.extend_from_slice(other);
             return;
         }
         merge::with_dist_scratch(|scratch| {
-            merge::merge_sorted_into(&self.entries, &other.entries, |d| d, Dist::min, scratch);
+            merge::merge_sorted_into(&self.entries, other, |d| d, Dist::min, scratch);
             std::mem::swap(&mut self.entries, scratch);
         });
     }

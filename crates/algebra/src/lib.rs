@@ -14,7 +14,13 @@
 //!   [`minplus`], the max-min semiring [`maxmin`] (Section 3.2), the
 //!   all-paths semiring [`allpaths`] (Section 3.3) and the Boolean semiring
 //!   [`boolean`] (Section 3.4),
-//! * the distance-map semimodule `D` (Definition 2.1) in [`distance_map`].
+//! * the distance-map semimodule `D` (Definition 2.1) in [`distance_map`],
+//! * the epoch-arena state store for whole vectors `x ∈ D^V` in
+//!   [`store`]: one flat entry pool with per-vertex `(offset, len)`
+//!   spans, copy-on-write epochs and amortized compaction — the
+//!   storage backend of the production engine paths (the owned
+//!   [`DistanceMap`] vector remains the semantics reference and interop
+//!   type).
 //!
 //! The law-checking helpers in [`laws`] are used by the property-test suite
 //! to verify every axiom the paper states for these structures.
@@ -32,6 +38,7 @@ pub mod minplus;
 pub mod node_set;
 pub mod semimodule;
 pub mod semiring;
+pub mod store;
 pub mod width_map;
 
 pub use allpaths::{AllPaths, Path};
@@ -45,6 +52,7 @@ pub use minplus::MinPlus;
 pub use node_set::NodeSet;
 pub use semimodule::Semimodule;
 pub use semiring::Semiring;
+pub use store::{DistanceSlice, EpochStore, SpanOut, StoreStats};
 pub use width_map::WidthMap;
 
 /// Node identifier used across the workspace. `u32` keeps sparse state

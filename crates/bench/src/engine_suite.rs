@@ -7,10 +7,22 @@
 //! cross-checks that the sparse strategies reproduce the dense states
 //! bit-identically before recording numbers — a benchmark of a wrong
 //! answer is worthless.
+//!
+//! Rows measure the **production path** of each workload: for the LE
+//! lists that is the epoch-arena backend (`le_lists_direct` routes
+//! through [`mte_core::arena::ArenaEngine`] since the arena rework), so
+//! the `frontier`/`hybrid` rows time the arena engine and the
+//! `…+owned` rows keep the owned `Vec<DistanceMap>` backend visible for
+//! comparison. SSSP keeps its owned rows (the generic engine is its
+//! production path) plus `…+arena` rows. Every row carries the storage
+//! counters (`bytes_copied`, `alloc_count`, `arena_bytes`) so the
+//! copy-on-write win shows up in the trajectory, not just wall time.
 
 use crate::tables::{f, Table};
+use mte_algebra::DistanceMap;
+use mte_core::arena::{run_to_fixpoint_arena_with, ArenaMbfAlgorithm};
 use mte_core::catalog::SourceDetection;
-use mte_core::engine::{run_to_fixpoint_with, EngineStrategy, MbfAlgorithm};
+use mte_core::engine::{run_to_fixpoint_with, EngineStrategy, MbfAlgorithm, MbfRun};
 use mte_core::frt::le_list::{LeListAlgorithm, Ranks};
 use mte_core::work::WorkStats;
 use mte_graph::generators::{gnm_graph, grid_graph, path_graph};
@@ -79,56 +91,174 @@ pub fn measured_strategies() -> [EngineStrategy; 3] {
     ]
 }
 
-fn measure<A>(graph_label: &str, g: &Graph, alg_label: &str, alg: &A, out: &mut Vec<EngineCase>)
-where
+/// Records one timed fixpoint run as a case row, after cross-checking
+/// its states against the dense reference.
+#[allow(clippy::too_many_arguments)]
+fn record<A>(
+    graph_label: &str,
+    g: &Graph,
+    alg_label: &str,
+    alg: &A,
+    strategy_name: String,
+    run: MbfRun<A::M>,
+    wall_ms: f64,
+    reference: &MbfRun<A::M>,
+    out: &mut Vec<EngineCase>,
+) where
+    A: MbfAlgorithm,
+    A::M: PartialEq + std::fmt::Debug,
+{
+    assert_eq!(
+        run.states, reference.states,
+        "{graph_label}/{alg_label}: {strategy_name} diverged from dense"
+    );
+    let max_list_len = run
+        .states
+        .iter()
+        .map(|x| alg.state_size(x))
+        .max()
+        .unwrap_or(0);
+    let total_len: usize = run.states.iter().map(|x| alg.state_size(x)).sum();
+    out.push(EngineCase {
+        graph: graph_label.to_string(),
+        n: g.n(),
+        m: g.m(),
+        algorithm: alg_label.to_string(),
+        strategy: strategy_name,
+        wall_ms,
+        iterations: run.iterations,
+        work: run.work,
+        max_list_len,
+        mean_list_len: total_len as f64 / g.n().max(1) as f64,
+    });
+}
+
+/// Measures the owned (`Vec<M>`) backend under every strategy, with the
+/// given label suffix (`""` when the owned backend is the workload's
+/// production path).
+#[allow(clippy::too_many_arguments)]
+fn measure_owned<A>(
+    graph_label: &str,
+    g: &Graph,
+    alg_label: &str,
+    alg: &A,
+    suffix: &str,
+    skip_dense: bool,
+    reference: &MbfRun<A::M>,
+    out: &mut Vec<EngineCase>,
+) where
     A: MbfAlgorithm,
     A::M: PartialEq + std::fmt::Debug,
 {
     let cap = g.n() + 1;
-    let reference = run_to_fixpoint_with(alg, g, cap, EngineStrategy::Dense);
     for strategy in measured_strategies() {
+        if skip_dense && strategy == EngineStrategy::Dense {
+            continue;
+        }
         let t0 = Instant::now();
         let run = run_to_fixpoint_with(alg, g, cap, strategy);
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-        assert_eq!(
-            run.states,
-            reference.states,
-            "{graph_label}/{alg_label}: {} diverged from dense",
-            strategy_label(strategy)
-        );
-        let max_list_len = run
-            .states
-            .iter()
-            .map(|x| alg.state_size(x))
-            .max()
-            .unwrap_or(0);
-        let total_len: usize = run.states.iter().map(|x| alg.state_size(x)).sum();
-        out.push(EngineCase {
-            graph: graph_label.to_string(),
-            n: g.n(),
-            m: g.m(),
-            algorithm: alg_label.to_string(),
-            strategy: strategy_label(strategy),
+        let label = format!("{}{suffix}", strategy_label(strategy));
+        record(
+            graph_label,
+            g,
+            alg_label,
+            alg,
+            label,
+            run,
             wall_ms,
-            iterations: run.iterations,
-            work: run.work,
-            max_list_len,
-            mean_list_len: total_len as f64 / g.n().max(1) as f64,
-        });
+            reference,
+            out,
+        );
+    }
+}
+
+/// Measures the epoch-arena backend under the sparse strategies (a
+/// dense+arena row would time pool churn the production paths never
+/// exhibit), with the given label suffix.
+fn measure_arena<A>(
+    graph_label: &str,
+    g: &Graph,
+    alg_label: &str,
+    alg: &A,
+    suffix: &str,
+    reference: &MbfRun<DistanceMap>,
+    out: &mut Vec<EngineCase>,
+) where
+    A: ArenaMbfAlgorithm,
+{
+    let cap = g.n() + 1;
+    for strategy in [EngineStrategy::Frontier, EngineStrategy::default()] {
+        let t0 = Instant::now();
+        let run = run_to_fixpoint_arena_with(alg, g, cap, strategy);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let label = format!("{}{suffix}", strategy_label(strategy));
+        record(
+            graph_label,
+            g,
+            alg_label,
+            alg,
+            label,
+            run,
+            wall_ms,
+            reference,
+            out,
+        );
     }
 }
 
 /// Runs the suite: SSSP and LE lists to fixpoint on every catalog graph
-/// under every strategy.
+/// under every strategy and both storage backends. For LE lists the
+/// plain `frontier`/`hybrid` rows time the arena backend (the
+/// production path of `le_lists_direct`); `…+owned` rows keep the owned
+/// backend in the trajectory. For SSSP the plain rows stay owned (its
+/// production path) and `…+arena` rows ride along.
 pub fn engine_suite() -> Vec<EngineCase> {
     let mut cases = Vec::new();
     for (label, g) in engine_catalog() {
+        let cap = g.n() + 1;
+        // Each workload's dense reference sweep is run (and timed) once
+        // — it is the suite's slowest case — and doubles as its own
+        // `dense` row.
         let sssp = SourceDetection::sssp(g.n(), 0);
-        measure(&label, &g, "sssp", &sssp, &mut cases);
+        let t0 = Instant::now();
+        let reference = run_to_fixpoint_with(&sssp, &g, cap, EngineStrategy::Dense);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        record(
+            &label,
+            &g,
+            "sssp",
+            &sssp,
+            "dense".into(),
+            reference.clone(),
+            wall_ms,
+            &reference,
+            &mut cases,
+        );
+        measure_owned(&label, &g, "sssp", &sssp, "", true, &reference, &mut cases);
+        measure_arena(&label, &g, "sssp", &sssp, "+arena", &reference, &mut cases);
+
         let mut rng = StdRng::seed_from_u64(0x1E11);
         let ranks = Arc::new(Ranks::sample(g.n(), &mut rng));
         let le = LeListAlgorithm::new(ranks);
-        measure(&label, &g, "le_lists", &le, &mut cases);
+        let t0 = Instant::now();
+        let reference = run_to_fixpoint_with(&le, &g, cap, EngineStrategy::Dense);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        record(
+            &label,
+            &g,
+            "le_lists",
+            &le,
+            "dense".into(),
+            reference.clone(),
+            wall_ms,
+            &reference,
+            &mut cases,
+        );
+        measure_arena(&label, &g, "le_lists", &le, "", &reference, &mut cases);
+        measure_owned(
+            &label, &g, "le_lists", &le, "+owned", true, &reference, &mut cases,
+        );
     }
     cases
 }
@@ -137,7 +267,7 @@ pub fn engine_suite() -> Vec<EngineCase> {
 /// relaxation ratio (the headline number of the engine rework).
 pub fn engine_suite_table(cases: &[EngineCase]) -> Table {
     let mut t = Table::new(
-        "Engine suite: dense vs frontier vs hybrid (fixpoint runs, states cross-checked)",
+        "Engine suite: dense vs frontier vs hybrid, owned vs arena (fixpoint runs, states cross-checked)",
         &[
             "graph",
             "algorithm",
@@ -146,6 +276,8 @@ pub fn engine_suite_table(cases: &[EngineCase]) -> Table {
             "iters",
             "edge relax",
             "touched",
+            "copied KiB",
+            "allocs",
             "vs dense",
         ],
     );
@@ -166,6 +298,8 @@ pub fn engine_suite_table(cases: &[EngineCase]) -> Table {
             case.iterations.to_string(),
             case.work.edge_relaxations.to_string(),
             case.work.touched_vertices.to_string(),
+            f(case.work.bytes_copied as f64 / 1024.0, 0),
+            case.work.alloc_count.to_string(),
             format!("{:.2}x", ratio),
         ]);
     }
@@ -195,6 +329,7 @@ pub fn engine_suite_json(cases: &[EngineCase]) -> String {
                 "\"wall_ms\": {:.3}, \"iterations\": {}, ",
                 "\"entries_processed\": {}, \"edge_relaxations\": {}, ",
                 "\"touched_vertices\": {}, ",
+                "\"bytes_copied\": {}, \"alloc_count\": {}, \"arena_bytes\": {}, ",
                 "\"max_list_len\": {}, \"mean_list_len\": {:.3}}}{}\n"
             ),
             json_escape(&c.graph),
@@ -207,6 +342,9 @@ pub fn engine_suite_json(cases: &[EngineCase]) -> String {
             c.work.entries_processed,
             c.work.edge_relaxations,
             c.work.touched_vertices,
+            c.work.bytes_copied,
+            c.work.alloc_count,
+            c.work.arena_bytes,
             c.max_list_len,
             c.mean_list_len,
             if i + 1 == cases.len() { "" } else { "," },
@@ -221,28 +359,40 @@ mod tests {
     use super::*;
 
     /// A miniature suite run (small graphs) exercising the measurement,
-    /// table, and JSON paths end to end.
+    /// table, and JSON paths end to end — both storage backends.
     #[test]
     fn mini_suite_measures_and_serializes() {
         let mut rng = StdRng::seed_from_u64(3);
         let g = gnm_graph(40, 90, 1.0..9.0, &mut rng);
+        let alg = SourceDetection::sssp(g.n(), 0);
+        let reference = run_to_fixpoint_with(&alg, &g, g.n() + 1, EngineStrategy::Dense);
         let mut cases = Vec::new();
-        measure(
-            "mini",
-            &g,
-            "sssp",
-            &SourceDetection::sssp(g.n(), 0),
-            &mut cases,
-        );
-        assert_eq!(cases.len(), measured_strategies().len());
+        measure_owned("mini", &g, "sssp", &alg, "", false, &reference, &mut cases);
+        measure_arena("mini", &g, "sssp", &alg, "+arena", &reference, &mut cases);
+        assert_eq!(cases.len(), measured_strategies().len() + 2);
         let dense = &cases[0];
         let frontier = &cases[1];
         assert_eq!(dense.strategy, "dense");
         assert!(frontier.work.edge_relaxations < dense.work.edge_relaxations);
+        // The arena rows carry the storage counters the owned rows lack.
+        let arena_frontier = cases
+            .iter()
+            .find(|c| c.strategy == "frontier+arena")
+            .expect("arena row present");
+        assert!(arena_frontier.work.arena_bytes > 0);
+        assert!(
+            arena_frontier.work.edge_relaxations <= frontier.work.edge_relaxations,
+            "identical schedule; arena may skip absorbed merges"
+        );
+        assert!(arena_frontier.work.bytes_copied < frontier.work.bytes_copied);
 
         let json = engine_suite_json(&cases);
         assert!(json.contains("\"suite\": \"engine\""));
         assert!(json.contains("\"edge_relaxations\""));
+        // Storage counters ride along in every row.
+        assert_eq!(json.matches("\"bytes_copied\"").count(), cases.len());
+        assert_eq!(json.matches("\"alloc_count\"").count(), cases.len());
+        assert_eq!(json.matches("\"arena_bytes\"").count(), cases.len());
         // The Lemma 7.6 list-length statistics ride along in every row.
         assert_eq!(json.matches("\"max_list_len\"").count(), cases.len());
         assert_eq!(json.matches("\"mean_list_len\"").count(), cases.len());

@@ -1,0 +1,902 @@
+//! The arena-backed engine: MBF-like iteration over the epoch-arena
+//! state store ([`mte_algebra::store::EpochStore`]).
+//!
+//! # Mapping back to the paper
+//!
+//! The paper iterates `x ← r^V A x` over a state vector `x ∈ D^V`
+//! (Definition 2.11) and charges each iteration `O(Σ_v |x_v|)` work —
+//! per **list entry**, never per vertex (Lemma 2.3, Lemma 7.8). The
+//! owned backend ([`crate::engine::MbfEngine`], `Vec<A::M>`) breaks that accounting on
+//! real hardware: every touched vertex's state is rewritten wholesale
+//! into a per-vertex heap buffer, so a hop pays copy traffic per
+//! *vertex*, changed or not. Here the whole vector `x` lives in one
+//! [`EpochStore`]: `x_v` is a `(offset, len)` **span** into a shared
+//! entry pool, a hop appends only the states that actually changed (the
+//! next **epoch**) and commits by retargeting spans — an unchanged
+//! vertex keeps its old span at zero cost (copy-on-write), which is
+//! exactly the `Σ|x_v|`-over-*changed*-states cost the lemmas charge.
+//!
+//! # Scheduling and determinism
+//!
+//! [`ArenaEngine`] drives the *same* `FrontierSchedule` as the owned
+//! engine — same frontier, same touched list, same degree-balanced
+//! chunks — so the two backends execute identical hops and their
+//! outputs are bit-identical by construction (differential-tested by
+//! `tests/schedule_equivalence.rs`). During a hop, each scheduling
+//! chunk writes its recomputed states into its own **chunk append
+//! region** (plain `Vec`s owned by the chunk slot — no synchronization,
+//! no `unsafe`); the commit concatenates the regions into the pool in
+//! chunk order, so the pool layout is a pure function of the schedule
+//! and the inputs, never of `MTE_THREADS`.
+//!
+//! # The algorithm hook
+//!
+//! [`ArenaMbfAlgorithm`] is the span-level counterpart of
+//! [`MbfAlgorithm::recompute_into`]: [`ArenaMbfAlgorithm::recompute_span`]
+//! reads neighbor states as borrowed [`DistanceSlice`]s straight out of
+//! the pool and appends the result to the chunk region through a
+//! [`SpanOut`]. The default implementation is the literal
+//! merge-everything-then-filter pipeline over spans; `LeListAlgorithm`
+//! overrides it with the rank-domination probe reading the pool's rank
+//! column, `SourceDetection` with the top-k admission threshold. Every
+//! override **must** be bit-identical to the owned
+//! `recompute_into` on exported states — the equivalence suite
+//! differential-tests engine, oracle, and the FRT pipeline across both
+//! backends and `MTE_THREADS ∈ {1, 4}`.
+//!
+//! The oracle variant ([`oracle_run_arena_with_schedule`]) runs its
+//! `Λ + 1` level contributions over one shared arena scratch — a pool
+//! lane and span table per level inside a single structure, `O(Λ)`
+//! buffers total instead of the owned path's `Θ(Λ·n)` per-vertex maps —
+//! with the same frontier-sized carry-over diff as
+//! [`crate::oracle::oracle_run_with_schedule`].
+
+use crate::engine::{initial_states, EngineStrategy, FrontierSchedule, MbfAlgorithm, MbfRun};
+use crate::oracle::OracleRun;
+use crate::simgraph::SimulatedGraph;
+use crate::work::WorkStats;
+use mte_algebra::store::{DistanceSlice, EpochStore, SpanOut, StoreStats};
+use mte_algebra::{Dist, DistanceMap, MinPlus, NodeId};
+use mte_graph::Graph;
+use rayon::prelude::*;
+use std::cell::RefCell;
+
+/// Outcome of one span recomputation (the arena counterpart of
+/// `recompute_into`'s `(entries, relaxations)` pair).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpanRecompute {
+    /// Entries processed (the paper's `Σ|x|` work term; pruned paths
+    /// count admitted entries only, like the owned overrides).
+    pub entries: u64,
+    /// Edge relaxations performed.
+    pub relaxations: u64,
+    /// `true` asserts the result is **bit-identical to the current
+    /// span** and nothing was written to the output: the engine keeps
+    /// the old span without copying or comparing. The hint must be
+    /// exact — a wrong hint is a correctness bug, not a performance
+    /// one.
+    pub unchanged_hint: bool,
+}
+
+thread_local! {
+    /// Per-thread accumulator for span recomputations that build their
+    /// result in an owned map before appending (the default path and
+    /// the pruned source-detection override).
+    static ARENA_ACC: RefCell<DistanceMap> = RefCell::new(DistanceMap::new());
+}
+
+/// Runs `f` with this thread's recompute accumulator. Falls back to a
+/// fresh map on re-entrant use instead of panicking, mirroring
+/// [`mte_algebra::merge::with_dist_scratch`].
+pub fn with_arena_acc<R>(f: impl FnOnce(&mut DistanceMap) -> R) -> R {
+    ARENA_ACC.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut acc) => f(&mut acc),
+        Err(_) => f(&mut DistanceMap::new()),
+    })
+}
+
+/// An MBF-like algorithm over min-plus distance maps that can recompute
+/// straight out of (and into) the epoch-arena store. See the module
+/// docs; the owned [`MbfAlgorithm`] methods remain the semantics
+/// reference.
+pub trait ArenaMbfAlgorithm: MbfAlgorithm<S = MinPlus, M = DistanceMap> {
+    /// Rank-column value stored alongside an entry with key `node`.
+    /// Must be a **pure function of the key** (identical entries ⇒
+    /// identical aux), since the engine's change detection compares
+    /// entries only. The LE lists store the node's permutation rank;
+    /// the default is 0.
+    #[inline]
+    fn entry_aux(&self, _node: NodeId) -> u32 {
+        0
+    }
+
+    /// [`MbfAlgorithm::state_size`] for a borrowed span. Must agree
+    /// with `state_size` on the materialized map; the default matches
+    /// the distance-map convention `|x|.max(1)`.
+    #[inline]
+    fn slice_size(&self, x: &DistanceSlice<'_>) -> usize {
+        x.len().max(1)
+    }
+
+    /// Recomputes `v`'s next state `r(x_v ⊕ ⊕_w a_vw x_w)` from the
+    /// span-backed state vector, appending the resulting entries (with
+    /// their rank column) to `out` — or writing nothing and setting
+    /// [`SpanRecompute::unchanged_hint`] when the result provably
+    /// equals the current span. Must be bit-identical to
+    /// [`MbfAlgorithm::recompute_into`] on exported states.
+    ///
+    /// `ctx` reports which neighbor states are **dirty** (may differ
+    /// from what `v` last absorbed). Algorithms whose filter is
+    /// *absorption-stable* (see [`RecomputeCtx::neighbor_dirty`]) may
+    /// skip merging clean neighbors — their contributions are provably
+    /// identities — as the LE-list and source-detection overrides do;
+    /// the default implementation merges everything unconditionally.
+    fn recompute_span(
+        &self,
+        v: NodeId,
+        g: &Graph,
+        weight_scale: f64,
+        states: &EpochStore,
+        _ctx: &RecomputeCtx<'_>,
+        out: &mut SpanOut<'_>,
+    ) -> SpanRecompute {
+        default_recompute_span(self, v, g, weight_scale, states, out)
+    }
+}
+
+/// Per-hop context handed to [`ArenaMbfAlgorithm::recompute_span`]:
+/// which states moved since each vertex last absorbed them.
+///
+/// # Absorption stability
+///
+/// The engine guarantees: whenever a neighbor `w`'s state changes at
+/// hop `t`, every `v ∈ N[w]` is recomputed at hop `t + 1` (the
+/// closed-neighborhood schedule). So if `w` is **not** dirty now, `v`
+/// has already merged `a_vw x_w` (with the current `x_w`) in an earlier
+/// recompute. For a filter where absorbed contributions stay absorbed —
+/// entry values only improve, and an entry the filter ever discarded is
+/// justified by witnesses that persist (LE rank domination and the
+/// source-detection top-k both qualify; the engine's own docs call the
+/// general case unsound) — re-merging a clean neighbor is the identity,
+/// and skipping it is bit-identical. External edits break the "already
+/// absorbed" premise for the **edited vertex itself**, so
+/// [`ArenaEngine::mark_dirty`] taints its vertices:
+/// [`RecomputeCtx::require_full`] forces their next recomputation to
+/// merge every neighbor once.
+pub struct RecomputeCtx<'a> {
+    sched: &'a FrontierSchedule,
+    taint_mark: &'a [u32],
+    taint_gen: u32,
+}
+
+impl RecomputeCtx<'_> {
+    /// `true` iff `w`'s state may differ from what `v` last absorbed
+    /// (`w` is on the frontier seeding this hop).
+    #[inline]
+    pub fn neighbor_dirty(&self, w: NodeId) -> bool {
+        self.sched.on_frontier(w)
+    }
+
+    /// `true` iff `v`'s own state was externally rewritten since its
+    /// last recomputation: it has absorbed nothing, so this
+    /// recomputation must merge every neighbor regardless of dirtiness.
+    #[inline]
+    pub fn require_full(&self, v: NodeId) -> bool {
+        self.taint_mark[v as usize] == self.taint_gen
+    }
+}
+
+/// The literal merge-everything-then-filter recomputation over spans —
+/// the arena counterpart of the default [`MbfAlgorithm::recompute_into`]
+/// body, provided as a free function so overriding implementations can
+/// fall back to it.
+///
+/// Assumes (like every distance-map algorithm in the catalog) that
+/// `propagate_into` is the fused min-plus merge `acc ← acc ⊕ (s ⊙ x)`.
+pub fn default_recompute_span<A: ArenaMbfAlgorithm + ?Sized>(
+    alg: &A,
+    v: NodeId,
+    g: &Graph,
+    weight_scale: f64,
+    states: &EpochStore,
+    out: &mut SpanOut<'_>,
+) -> SpanRecompute {
+    with_arena_acc(|acc| {
+        let base = states.get(v);
+        // a_vv = 1: keep the node's own state.
+        acc.assign_from_entries(base.entries);
+        let mut entries = alg.slice_size(&base) as u64;
+        let mut relaxations = 0u64;
+        for &(w, ew) in g.neighbors(v) {
+            let coeff = alg.edge_coeff(v, w, ew * weight_scale);
+            let nb = states.get(w);
+            acc.merge_scaled_entries(nb.entries, coeff.0);
+            entries += alg.slice_size(&nb) as u64;
+            relaxations += 1;
+        }
+        alg.filter(acc);
+        for (u, d) in acc.iter() {
+            out.push(u, d, alg.entry_aux(u));
+        }
+        SpanRecompute {
+            entries,
+            relaxations,
+            unchanged_hint: false,
+        }
+    })
+}
+
+/// Storage counters of a [`StoreStats`] snapshot folded into the
+/// work-accounting shape.
+fn storage_work(stats: StoreStats) -> WorkStats {
+    WorkStats {
+        bytes_copied: stats.bytes_copied,
+        alloc_count: stats.alloc_count,
+        arena_bytes: stats.arena_bytes,
+        ..WorkStats::default()
+    }
+}
+
+/// Storage-counter delta between two snapshots (`arena_bytes` is a
+/// high-water mark: the later snapshot wins).
+fn storage_delta(before: StoreStats, after: StoreStats) -> WorkStats {
+    WorkStats {
+        bytes_copied: after.bytes_copied - before.bytes_copied,
+        alloc_count: after.alloc_count - before.alloc_count,
+        arena_bytes: after.arena_bytes,
+        ..WorkStats::default()
+    }
+}
+
+/// Per-vertex outcome record inside a chunk append region.
+#[derive(Clone, Copy, Debug)]
+struct Rec {
+    /// Offset of this vertex's output inside the chunk region (0-length
+    /// and meaningless when unchanged).
+    off: u32,
+    len: u32,
+    entries: u64,
+    relaxations: u64,
+    changed: bool,
+}
+
+/// One chunk's append region: the entry/rank columns the chunk's
+/// recomputations write (changed states only — unchanged output is
+/// truncated away immediately), plus the per-vertex records. Owned by
+/// the chunk slot and reused across hops.
+#[derive(Clone, Debug, Default)]
+struct ChunkBuf {
+    entries: Vec<(NodeId, Dist)>,
+    ranks: Vec<u32>,
+    recs: Vec<Rec>,
+}
+
+/// The arena-backed iteration engine: the `FrontierSchedule` of the
+/// owned [`crate::engine::MbfEngine`] driving copy-on-write hops over an
+/// [`EpochStore`]. One engine serves arbitrarily many hops without
+/// reallocating; the store is passed per step so callers (the oracle)
+/// can own several state vectors.
+#[derive(Clone, Debug)]
+pub struct ArenaEngine {
+    sched: FrontierSchedule,
+    chunk_bufs: Vec<ChunkBuf>,
+    /// Per-touched-position changed flags of the current hop.
+    changed: Vec<bool>,
+    /// Taint marks for externally rewritten vertices (see
+    /// [`RecomputeCtx::require_full`]): `taint_mark[v] == taint_gen` ⇔
+    /// `v` must do one full-merge recomputation. Cleared per vertex
+    /// when it is recomputed, wholesale on [`ArenaEngine::mark_all_dirty`].
+    taint_mark: Vec<u32>,
+    taint_gen: u32,
+}
+
+impl ArenaEngine {
+    /// A fresh engine with the given scheduling strategy.
+    pub fn new(strategy: EngineStrategy) -> Self {
+        ArenaEngine {
+            sched: FrontierSchedule::new(strategy),
+            chunk_bufs: Vec::new(),
+            changed: Vec::new(),
+            taint_mark: Vec::new(),
+            taint_gen: 1,
+        }
+    }
+
+    /// The engine's scheduling strategy.
+    pub fn strategy(&self) -> EngineStrategy {
+        self.sched.strategy()
+    }
+
+    /// The frontier list: ascending, no duplicates.
+    pub fn frontier(&self) -> &[NodeId] {
+        self.sched.frontier()
+    }
+
+    /// See [`crate::engine::MbfEngine::enable_change_log`].
+    pub fn enable_change_log(&mut self) {
+        self.sched.enable_change_log();
+    }
+
+    /// See [`crate::engine::MbfEngine::drain_change_log`].
+    pub fn drain_change_log(&mut self, out: &mut Vec<NodeId>) {
+        self.sched.drain_change_log(out);
+    }
+
+    /// See [`crate::engine::MbfEngine::mark_all_dirty`]. Also clears
+    /// all taints: the next hop merges every neighbor of every vertex
+    /// anyway (the whole graph is on the frontier).
+    pub fn mark_all_dirty(&mut self, g: &Graph) {
+        self.sched.mark_all_dirty(g);
+        if self.taint_mark.len() != g.n() {
+            self.taint_mark.clear();
+            self.taint_mark.resize(g.n(), 0);
+            self.taint_gen = 1;
+        } else {
+            self.taint_gen = self.taint_gen.wrapping_add(1);
+            if self.taint_gen == 0 {
+                self.taint_mark.iter_mut().for_each(|m| *m = 0);
+                self.taint_gen = 1;
+            }
+        }
+    }
+
+    /// See [`crate::engine::MbfEngine::mark_dirty`]. The seeded
+    /// vertices are additionally **tainted**: their states were
+    /// rewritten outside the engine, so their next recomputation must
+    /// merge every neighbor (see [`RecomputeCtx::require_full`]).
+    pub fn mark_dirty(&mut self, g: &Graph, vs: impl IntoIterator<Item = NodeId>) {
+        if !self.sched.sized_for(g.n()) {
+            // Falls back to an all-dirty restart inside the schedule;
+            // keep the taint table in sync.
+            self.mark_all_dirty(g);
+            return;
+        }
+        let gen = self.taint_gen;
+        self.sched.mark_dirty(
+            g,
+            vs.into_iter().inspect(|&v| {
+                self.taint_mark[v as usize] = gen;
+            }),
+        );
+    }
+
+    /// One hop `x ← r^V A x` over the span-backed state vector, with
+    /// all edge weights multiplied by `weight_scale`. Bit-identical to
+    /// [`crate::engine::MbfEngine::step`] on the exported states; returns the work
+    /// spent (including storage counters) and whether any state
+    /// changed.
+    pub fn step<A: ArenaMbfAlgorithm>(
+        &mut self,
+        alg: &A,
+        g: &Graph,
+        store: &mut EpochStore,
+        weight_scale: f64,
+    ) -> (WorkStats, bool) {
+        let n = g.n();
+        assert_eq!(n, store.len(), "state store / graph size mismatch");
+        if !self.sched.sized_for(n) {
+            self.mark_all_dirty(g);
+        }
+        self.sched.plan_hop(g);
+        let touched: &[NodeId] = self.sched.touched();
+        let chunks: &[std::ops::Range<usize>] = self.sched.chunks();
+        let k = chunks.len();
+        if self.chunk_bufs.len() < k {
+            self.chunk_bufs.resize_with(k, ChunkBuf::default);
+        }
+
+        // Recompute phase: each chunk pulls its vertices' next states
+        // out of the (immutably shared) store and writes them into its
+        // own append region — disjoint plain buffers, no aliasing, no
+        // synchronization. Unchanged output is truncated away on the
+        // spot, so quiescent vertices contribute zero bytes.
+        let store_ref: &EpochStore = store;
+        let ctx = RecomputeCtx {
+            sched: &self.sched,
+            taint_mark: &self.taint_mark,
+            taint_gen: self.taint_gen,
+        };
+        self.chunk_bufs[..k]
+            .par_iter_mut()
+            .with_min_len(1)
+            .enumerate()
+            .for_each(|(ci, buf)| {
+                buf.entries.clear();
+                buf.ranks.clear();
+                buf.recs.clear();
+                for p in chunks[ci].clone() {
+                    let v = touched[p];
+                    let start = buf.entries.len();
+                    let r = {
+                        let mut out = SpanOut::new(&mut buf.entries, &mut buf.ranks);
+                        alg.recompute_span(v, g, weight_scale, store_ref, &ctx, &mut out)
+                    };
+                    let len = buf.entries.len() - start;
+                    let changed = if r.unchanged_hint {
+                        debug_assert_eq!(len, 0, "unchanged_hint with written output");
+                        false
+                    } else {
+                        store_ref.get(v).entries != &buf.entries[start..]
+                    };
+                    if !changed {
+                        // Copy-on-write: the vertex keeps its old span;
+                        // the speculative output never reaches the pool.
+                        buf.entries.truncate(start);
+                        buf.ranks.truncate(start);
+                    }
+                    buf.recs.push(Rec {
+                        off: start as u32,
+                        len: if changed { len as u32 } else { 0 },
+                        entries: r.entries,
+                        relaxations: r.relaxations,
+                        changed,
+                    });
+                }
+            });
+
+        // Commit phase (sequential, deterministic): open the next
+        // epoch — possibly compacting first — then concatenate the
+        // chunk regions into the pool in chunk order and retarget the
+        // spans of changed vertices.
+        let before = store.stats();
+        let total_new: usize = self.chunk_bufs[..k].iter().map(|b| b.entries.len()).sum();
+        store.begin_epoch(total_new);
+        self.changed.clear();
+        let mut entries = 0u64;
+        let mut relaxations = 0u64;
+        let mut any_changed = false;
+        for (ci, buf) in self.chunk_bufs[..k].iter().enumerate() {
+            let base = store.append_region(&buf.entries, &buf.ranks);
+            debug_assert_eq!(buf.recs.len(), chunks[ci].len());
+            for (rec, p) in buf.recs.iter().zip(chunks[ci].clone()) {
+                entries += rec.entries;
+                relaxations += rec.relaxations;
+                if rec.changed {
+                    store.set_span(touched[p], base + rec.off, rec.len);
+                    any_changed = true;
+                }
+                self.changed.push(rec.changed);
+            }
+        }
+        debug_assert_eq!(self.changed.len(), touched.len());
+
+        // Every touched vertex was recomputed (tainted ones with full
+        // merges), so its taint is discharged.
+        for &v in touched {
+            if self.taint_mark[v as usize] == self.taint_gen {
+                self.taint_mark[v as usize] = 0;
+            }
+        }
+
+        let touched_vertices = touched.len() as u64;
+        let changed: &[bool] = &self.changed;
+        self.sched.refresh(g, |p| changed[p]);
+
+        let mut work = WorkStats {
+            iterations: 1,
+            entries_processed: entries,
+            edge_relaxations: relaxations,
+            touched_vertices,
+            ..WorkStats::default()
+        };
+        work += storage_delta(before, store.stats());
+        (work, any_changed)
+    }
+}
+
+/// Builds the initial span-backed state vector `r^V x⁽⁰⁾`: one pool
+/// bulk-load instead of `n` per-vertex map buffers.
+pub fn initial_store<A: ArenaMbfAlgorithm>(alg: &A, n: usize) -> EpochStore {
+    let states = initial_states(alg, n);
+    let mut store = EpochStore::new(n);
+    store.import(&states, |u| alg.entry_aux(u));
+    store
+}
+
+/// Runs exactly `h` iterations on the arena backend (cf.
+/// [`crate::engine::run_with`]); bit-identical states, exported as
+/// owned maps.
+pub fn run_arena_with<A: ArenaMbfAlgorithm>(
+    alg: &A,
+    g: &Graph,
+    h: usize,
+    strategy: EngineStrategy,
+) -> MbfRun<DistanceMap> {
+    let mut store = initial_store(alg, g.n());
+    let mut work = storage_work(store.stats());
+    let mut engine = ArenaEngine::new(strategy);
+    engine.mark_all_dirty(g);
+    for _ in 0..h {
+        let (w, _) = engine.step(alg, g, &mut store, 1.0);
+        work += w;
+    }
+    MbfRun {
+        states: store.export(),
+        iterations: h,
+        fixpoint: false,
+        work,
+    }
+}
+
+/// Iterates the arena backend to the fixpoint, capped at `cap` hops
+/// (cf. [`crate::engine::run_to_fixpoint_with`]: the confirming hop is
+/// counted).
+pub fn run_to_fixpoint_arena_with<A: ArenaMbfAlgorithm>(
+    alg: &A,
+    g: &Graph,
+    cap: usize,
+    strategy: EngineStrategy,
+) -> MbfRun<DistanceMap> {
+    let mut store = initial_store(alg, g.n());
+    let mut work = storage_work(store.stats());
+    let mut engine = ArenaEngine::new(strategy);
+    engine.mark_all_dirty(g);
+    let mut iterations = 0;
+    let mut fixpoint = false;
+    while iterations < cap {
+        let (w, changed) = engine.step(alg, g, &mut store, 1.0);
+        work += w;
+        iterations += 1;
+        if !changed {
+            fixpoint = true;
+            break;
+        }
+    }
+    MbfRun {
+        states: store.export(),
+        iterations,
+        fixpoint,
+        work,
+    }
+}
+
+/// Iterates the arena backend to the fixpoint under the default hybrid
+/// strategy.
+pub fn run_to_fixpoint_arena<A: ArenaMbfAlgorithm>(
+    alg: &A,
+    g: &Graph,
+    cap: usize,
+) -> MbfRun<DistanceMap> {
+    run_to_fixpoint_arena_with(alg, g, cap, EngineStrategy::default())
+}
+
+// ---------------------------------------------------------------------
+// The arena oracle: Λ+1 level contributions over one shared arena
+// scratch.
+// ---------------------------------------------------------------------
+
+/// One level's slice of the shared oracle arena: a pool lane + span
+/// table (its `y_λ` vector), the engine driving it, and the carry-over
+/// bookkeeping mirroring `oracle::LevelScratch`.
+struct ArenaLevel {
+    engine: ArenaEngine,
+    store: EpochStore,
+    primed: bool,
+    moved: Vec<NodeId>,
+    moved_all: bool,
+    seeds: Vec<NodeId>,
+}
+
+impl ArenaLevel {
+    fn new(strategy: EngineStrategy, n: usize) -> Self {
+        let mut engine = ArenaEngine::new(strategy);
+        engine.enable_change_log();
+        ArenaLevel {
+            engine,
+            store: EpochStore::new(n),
+            primed: false,
+            moved: Vec::new(),
+            moved_all: true,
+            seeds: Vec::new(),
+        }
+    }
+}
+
+/// [`crate::oracle::oracle_run_with_schedule`] on the arena backend:
+/// each of the `Λ + 1` level contributions `P_λ (r^V A_λ)^d P_λ x`
+/// lives in a lane of one shared arena scratch (`O(Λ)` buffers total —
+/// no per-vertex maps), with the same frontier-sized carry-over diff
+/// and frontier-sized aggregation as the owned oracle. Bit-identical
+/// states, iteration counts, and fixpoint flags; only the storage
+/// counters differ.
+pub fn oracle_run_arena_with_schedule<A: ArenaMbfAlgorithm>(
+    alg: &A,
+    sim: &SimulatedGraph,
+    h: usize,
+    strategy: EngineStrategy,
+    carry_over: bool,
+) -> OracleRun<DistanceMap> {
+    let n = sim.augmented().n();
+    let mut states: Vec<DistanceMap> = initial_states(alg, n);
+    let lambda_max = sim.levels().lambda() as usize;
+    let mut levels: Vec<ArenaLevel> = (0..=lambda_max)
+        .map(|_| ArenaLevel::new(strategy, n))
+        .collect();
+    let mut work = WorkStats::new();
+    let mut executed = 0;
+    let mut fixpoint = false;
+    let mut prev_changed: Option<Vec<NodeId>> = None;
+
+    while executed < h {
+        let x: &[DistanceMap] = &states;
+        let x_changed = if carry_over {
+            prev_changed.as_deref()
+        } else {
+            None
+        };
+        // Level phase: independent contributions, one parallel task per
+        // level, all writing their own arena lane.
+        work += levels
+            .par_iter_mut()
+            .with_min_len(1)
+            .enumerate()
+            .map(|(lambda, level)| {
+                let lambda = lambda as u32;
+                let scale = sim.level_scale(lambda);
+                let wholesale = !level.primed || !carry_over;
+                let full_diff = level.moved_all || x_changed.is_none();
+                let before = level.store.stats();
+                level.seeds.clear();
+                let aug = sim.augmented();
+                if wholesale || full_diff {
+                    // Compare-and-assign every slot against the fresh
+                    // projection P_λ x (writing an identical state is a
+                    // no-op, so the compare is sound for the wholesale
+                    // reference too).
+                    for v in 0..n as NodeId {
+                        let want: &[(NodeId, Dist)] = if sim.levels().level(v) >= lambda {
+                            x[v as usize].entries()
+                        } else {
+                            &[]
+                        };
+                        if level.store.get(v).entries != want {
+                            level.store.assign(v, want, |u| alg.entry_aux(u));
+                            level.seeds.push(v);
+                        }
+                    }
+                    if wholesale {
+                        level.engine.mark_all_dirty(aug);
+                        level.primed = true;
+                    } else {
+                        level.engine.mark_dirty(aug, level.seeds.iter().copied());
+                    }
+                } else {
+                    // Frontier-sized diff: walk the sorted union of the
+                    // slots this level moved last round and the x-slots
+                    // the aggregation changed (see the oracle module
+                    // docs for why nothing else can disagree).
+                    let changed = x_changed.unwrap_or(&[]);
+                    let ArenaLevel {
+                        store,
+                        moved,
+                        seeds,
+                        ..
+                    } = level;
+                    crate::oracle::for_each_sorted_union(moved, changed, |v| {
+                        let want: &[(NodeId, Dist)] = if sim.levels().level(v) >= lambda {
+                            x[v as usize].entries()
+                        } else {
+                            &[]
+                        };
+                        if store.get(v).entries != want {
+                            store.assign(v, want, |u| alg.entry_aux(u));
+                            seeds.push(v);
+                        }
+                    });
+                    level.engine.mark_dirty(aug, level.seeds.iter().copied());
+                }
+                // Rewrite copy traffic (the hops account themselves).
+                let mut work = storage_delta(before, level.store.stats());
+                for _ in 0..sim.d() {
+                    let (w, changed) = level.engine.step(alg, aug, &mut level.store, scale);
+                    work += w;
+                    if !changed {
+                        break;
+                    }
+                }
+                level.moved.clear();
+                level.engine.drain_change_log(&mut level.moved);
+                if wholesale {
+                    level.moved_all = true;
+                    level.moved.clear();
+                } else {
+                    level.moved_all = false;
+                    level.moved.extend_from_slice(&level.seeds);
+                    level.moved.sort_unstable();
+                    level.moved.dedup();
+                }
+                work
+            })
+            .reduce(WorkStats::new, |mut a, b| {
+                a += b;
+                a
+            });
+        executed += 1;
+
+        // Frontier-sized aggregation, folding spans in ascending-λ
+        // order (identical combination order and kernels as the owned
+        // oracle's fold).
+        let recompute: Option<Vec<NodeId>> = if levels.iter().any(|l| l.moved_all) {
+            None
+        } else {
+            let mut union: Vec<NodeId> = Vec::new();
+            for level in &levels {
+                union.extend_from_slice(&level.moved);
+            }
+            union.sort_unstable();
+            union.dedup();
+            Some(union)
+        };
+        let levels_ref: &[ArenaLevel] = &levels;
+        let x_ref: &[DistanceMap] = &states;
+        let fold = |v: NodeId| -> DistanceMap {
+            let node_level = sim.levels().level(v);
+            let mut acc = DistanceMap::new();
+            for (lambda, level) in levels_ref.iter().enumerate() {
+                if node_level >= lambda as u32 {
+                    acc.merge_min_entries(level.store.get(v).entries);
+                }
+            }
+            alg.filter(&mut acc);
+            acc
+        };
+        let changed: Vec<(NodeId, DistanceMap)> = match recompute.as_deref() {
+            None => (0..n as NodeId)
+                .into_par_iter()
+                .flat_map_iter(|v| {
+                    let acc = fold(v);
+                    if acc != x_ref[v as usize] {
+                        Some((v, acc))
+                    } else {
+                        None
+                    }
+                })
+                .collect(),
+            Some(list) => list
+                .par_iter()
+                .flat_map_iter(|&v| {
+                    let acc = fold(v);
+                    if acc != x_ref[v as usize] {
+                        Some((v, acc))
+                    } else {
+                        None
+                    }
+                })
+                .collect(),
+        };
+        if changed.is_empty() {
+            fixpoint = true;
+            break;
+        }
+        let mut ids: Vec<NodeId> = Vec::with_capacity(changed.len());
+        for (v, m) in changed {
+            ids.push(v);
+            states[v as usize] = m;
+        }
+        prev_changed = Some(ids);
+    }
+
+    // The Λ+1 level pools are live *simultaneously*: the run's true
+    // arena high-water mark is the sum of the per-level peaks, not the
+    // max the per-hop tallies fold to.
+    work.arena_bytes = levels.iter().map(|l| l.store.stats().arena_bytes).sum();
+
+    OracleRun {
+        states,
+        h_iterations: executed,
+        fixpoint,
+        work,
+    }
+}
+
+/// Arena oracle with the production carry-over schedule.
+pub fn oracle_run_arena_with<A: ArenaMbfAlgorithm>(
+    alg: &A,
+    sim: &SimulatedGraph,
+    h: usize,
+    strategy: EngineStrategy,
+) -> OracleRun<DistanceMap> {
+    oracle_run_arena_with_schedule(alg, sim, h, strategy, true)
+}
+
+/// Iterates the arena oracle to a fixpoint, capped at `cap` simulated
+/// iterations (the capped run *is* the run-to-fixpoint — the fixpoint
+/// check stops early).
+pub fn oracle_run_arena_to_fixpoint_with<A: ArenaMbfAlgorithm>(
+    alg: &A,
+    sim: &SimulatedGraph,
+    cap: usize,
+    strategy: EngineStrategy,
+) -> OracleRun<DistanceMap> {
+    oracle_run_arena_with(alg, sim, cap, strategy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::SourceDetection;
+    use crate::engine::{run_to_fixpoint_with, MbfEngine};
+    use mte_graph::generators::{gnm_graph, path_graph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arena_sssp_matches_owned_engine() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let g = gnm_graph(60, 150, 1.0..9.0, &mut rng);
+        let alg = SourceDetection::sssp(g.n(), 3);
+        for strategy in [
+            EngineStrategy::Dense,
+            EngineStrategy::Frontier,
+            EngineStrategy::default(),
+        ] {
+            let owned = run_to_fixpoint_with(&alg, &g, g.n() + 1, strategy);
+            let arena = run_to_fixpoint_arena_with(&alg, &g, g.n() + 1, strategy);
+            assert_eq!(owned.states, arena.states, "{strategy:?}");
+            assert_eq!(owned.iterations, arena.iterations);
+            assert_eq!(owned.fixpoint, arena.fixpoint);
+            // The schedule is shared, so touched counts agree exactly;
+            // the arena may skip provably-absorbed merges, so its
+            // relaxation count can only be lower.
+            assert!(
+                arena.work.edge_relaxations <= owned.work.edge_relaxations,
+                "{strategy:?}"
+            );
+            assert_eq!(owned.work.touched_vertices, arena.work.touched_vertices);
+        }
+    }
+
+    #[test]
+    fn arena_copy_on_write_beats_owned_copy_traffic() {
+        // On a path, the SSSP wave is O(1) vertices per hop: the owned
+        // backend still rewrites every touched state while the arena
+        // appends only the wave.
+        let g = path_graph(256, 1.0);
+        let alg = SourceDetection::sssp(g.n(), 0);
+        let owned = run_to_fixpoint_with(&alg, &g, g.n() + 1, EngineStrategy::Frontier);
+        let arena = run_to_fixpoint_arena_with(&alg, &g, g.n() + 1, EngineStrategy::Frontier);
+        assert_eq!(owned.states, arena.states);
+        assert!(
+            arena.work.bytes_copied * 2 < owned.work.bytes_copied,
+            "arena {} !< owned {} / 2",
+            arena.work.bytes_copied,
+            owned.work.bytes_copied
+        );
+        assert!(arena.work.alloc_count < owned.work.alloc_count);
+        assert!(arena.work.arena_bytes > 0 && owned.work.arena_bytes == 0);
+    }
+
+    #[test]
+    fn arena_step_survives_external_edits_and_compaction() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let g = gnm_graph(40, 100, 1.0..6.0, &mut rng);
+        let alg = SourceDetection::k_ssp(g.n(), 3);
+
+        let mut owned_states = initial_states(&alg, g.n());
+        let mut owned_engine = MbfEngine::new(EngineStrategy::Frontier);
+        owned_engine.mark_all_dirty(&g);
+        let mut store = initial_store(&alg, g.n());
+        let mut engine = ArenaEngine::new(EngineStrategy::Frontier);
+        engine.mark_all_dirty(&g);
+
+        for round in 0..6u64 {
+            // External sparse edit on both backends.
+            let v = (round * 7 % g.n() as u64) as NodeId;
+            let edit = alg.init((v + 1) % g.n() as NodeId);
+            owned_states[v as usize] = edit.clone();
+            owned_engine.mark_dirty(&g, [v]);
+            store.assign(v, edit.entries(), |u| alg.entry_aux(u));
+            engine.mark_dirty(&g, [v]);
+            // Interleave a forced compaction: spans move, states must
+            // not.
+            if round % 2 == 1 {
+                store.compact();
+            }
+            for _ in 0..3 {
+                owned_engine.step(&alg, &g, &mut owned_states, 1.0);
+                engine.step(&alg, &g, &mut store, 1.0);
+            }
+            assert_eq!(store.export(), owned_states, "round {round}");
+        }
+    }
+}

@@ -5,8 +5,11 @@
 //! lexicographically smallest pairs `(dist^h(v, s), s)` over sources
 //! `s ∈ S` with `dist(v, s) ≤ d`.
 
+use crate::arena::{with_arena_acc, ArenaMbfAlgorithm, RecomputeCtx, SpanRecompute};
 use crate::engine::MbfAlgorithm;
+use mte_algebra::store::{EpochStore, SpanOut};
 use mte_algebra::{Dist, DistanceMap, Filter, MinPlus, NodeId};
+use mte_graph::Graph;
 
 /// The `(S, h, d, k)`-source-detection MBF-like algorithm over the
 /// min-plus semiring and the distance-map semimodule (Example 3.2).
@@ -77,6 +80,48 @@ impl SourceDetection {
             });
         }
     }
+
+    /// The merge-time admission threshold of the top-k filter: the k-th
+    /// smallest `(dist, node)` pair of `v`'s own filtered list (`None`
+    /// while the list holds fewer than `k` entries). A filtered list
+    /// never exceeds `k` entries, so this is simply its lexicographic
+    /// maximum — an `O(k)` scan of the base list, paid once per
+    /// recompute.
+    ///
+    /// Rejection against it is lossless: the base list's keys all
+    /// survive the merge (`a_vv = 1`) and min-combining only ever
+    /// *lowers* their pairs, so an absent incoming pair above the
+    /// threshold is outranked by `k` persisting pairs and can never
+    /// enter the filter's top k — and the top-k filter discards
+    /// non-survivors independently, so dropping one cannot rescue or
+    /// doom another.
+    fn admission_threshold(&self, base: &DistanceMap) -> Option<(Dist, NodeId)> {
+        if base.len() >= self.k {
+            base.iter().map(|(u, d)| (d, u)).max()
+        } else {
+            None
+        }
+    }
+
+    /// The admission predicate shared by the owned and arena pruned
+    /// recomputes: sources only, within the distance limit, below the
+    /// top-k threshold. Counts admitted entries in `admitted`.
+    #[inline]
+    fn admit(
+        &self,
+        threshold: Option<(Dist, NodeId)>,
+        u: NodeId,
+        d: Dist,
+        admitted: &mut u64,
+    ) -> bool {
+        let ok = self.is_source[u as usize]
+            && d <= self.max_dist
+            && threshold.is_none_or(|t| (d, u) < t);
+        if ok {
+            *admitted += 1;
+        }
+        ok
+    }
 }
 
 impl MbfAlgorithm for SourceDetection {
@@ -108,6 +153,100 @@ impl MbfAlgorithm for SourceDetection {
     #[inline]
     fn state_size(&self, x: &DistanceMap) -> usize {
         x.len().max(1)
+    }
+
+    /// Top-k-pruned recomputation through the admission-predicate merge
+    /// kernels (the ROADMAP item closing the gap to the LE lists'
+    /// rank-pruned path): an incoming entry absent from the accumulator
+    /// is admitted only if it is a source within the distance limit
+    /// whose `(dist, node)` pair beats the k-th smallest pair of `v`'s
+    /// own list — everything else the filter would discard anyway, so
+    /// `r(pruned merge) = r(full merge)` bit for bit (collisions always
+    /// combine; see `SourceDetection::admission_threshold` for the
+    /// losslessness argument). `entries_processed` counts `|x_v|` plus
+    /// only the **admitted** entries, like every pruned path (see
+    /// [`crate::work::WorkStats`]).
+    fn recompute_into(
+        &self,
+        v: NodeId,
+        g: &Graph,
+        weight_scale: f64,
+        states: &[DistanceMap],
+        out: &mut DistanceMap,
+    ) -> (u64, u64) {
+        // a_vv = 1: keep the node's own state.
+        let base = &states[v as usize];
+        out.clone_from(base);
+        let threshold = self.admission_threshold(base);
+        let mut entries = self.state_size(base) as u64;
+        let mut admitted = 0u64;
+        let mut relaxations = 0u64;
+        for &(w, ew) in g.neighbors(v) {
+            let coeff = self.edge_coeff(v, w, ew * weight_scale);
+            relaxations += 1;
+            out.merge_scaled_pruned(&states[w as usize], coeff.0, &mut |u, d| {
+                self.admit(threshold, u, d, &mut admitted)
+            });
+        }
+        entries += admitted;
+        self.filter(out);
+        (entries, relaxations)
+    }
+}
+
+impl ArenaMbfAlgorithm for SourceDetection {
+    /// The arena twin of the pruned [`MbfAlgorithm::recompute_into`]
+    /// override above: identical admission predicate and kernels, with
+    /// the base and neighbor states read as borrowed spans.
+    ///
+    /// Additionally skips **clean** neighbors (nothing to absorb — see
+    /// [`RecomputeCtx::neighbor_dirty`]): the top-k filter is
+    /// absorption-stable. Entry values only improve under min-merging,
+    /// a key the filter ever truncated was outranked by `k` pairs that
+    /// persist and only improve, and the source/distance-limit
+    /// predicates are static — so every entry of an already-absorbed
+    /// contribution is either an identity collision or rejected by the
+    /// admission threshold, and skipping the whole merge is
+    /// bit-identical (differential-tested against the owned path, which
+    /// merges every neighbor).
+    fn recompute_span(
+        &self,
+        v: NodeId,
+        g: &Graph,
+        weight_scale: f64,
+        states: &EpochStore,
+        ctx: &RecomputeCtx<'_>,
+        out: &mut SpanOut<'_>,
+    ) -> SpanRecompute {
+        with_arena_acc(|acc| {
+            let base = states.get(v);
+            acc.assign_from_entries(base.entries);
+            let threshold = self.admission_threshold(acc);
+            let full = ctx.require_full(v);
+            let mut entries = self.slice_size(&base) as u64;
+            let mut admitted = 0u64;
+            let mut relaxations = 0u64;
+            for &(w, ew) in g.neighbors(v) {
+                if !full && !ctx.neighbor_dirty(w) {
+                    continue; // already absorbed: provably an identity
+                }
+                let coeff = self.edge_coeff(v, w, ew * weight_scale);
+                relaxations += 1;
+                acc.merge_scaled_pruned_entries(states.get(w).entries, coeff.0, &mut |u, d| {
+                    self.admit(threshold, u, d, &mut admitted)
+                });
+            }
+            entries += admitted;
+            self.filter(acc);
+            for (u, d) in acc.iter() {
+                out.push(u, d, 0);
+            }
+            SpanRecompute {
+                entries,
+                relaxations,
+                unchanged_hint: false,
+            }
+        })
     }
 }
 

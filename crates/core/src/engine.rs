@@ -257,15 +257,25 @@ fn bump_generation(gen: &mut u32, marks: &mut [u32]) -> u32 {
     *gen
 }
 
-/// The reusable iteration state of the frontier engine: shadow buffer,
-/// frontier list, generation-stamped membership marks, and scheduling
-/// scratch. One engine serves arbitrarily many hops (and state vectors
-/// of the same length) without reallocating.
+/// Bytes one sparse state entry occupies in the owned (`Vec<M>`)
+/// backend: a 16-byte `(NodeId, Dist)`-sized slot. Used for the
+/// model-level `bytes_copied` accounting (see
+/// [`crate::work::WorkStats`]).
+const OWNED_ENTRY_BYTES: u64 = 16;
+
+/// The scheduling core shared by the owned [`MbfEngine`] and the
+/// arena-backed [`crate::arena::ArenaEngine`]: the frontier list,
+/// generation-stamped membership marks, the per-hop recompute list with
+/// its degree-balanced chunking, and an optional **change log** (the
+/// union of all frontier refreshes since the last drain — what the
+/// oracle's frontier-sized carry-over diff reads).
+///
+/// Extracting the schedule guarantees the two storage backends run the
+/// *same* hops over the *same* chunks: any divergence between them is a
+/// storage bug, never a scheduling one.
 #[derive(Clone, Debug)]
-pub struct MbfEngine<A: MbfAlgorithm> {
+pub(crate) struct FrontierSchedule {
     strategy: EngineStrategy,
-    /// Shadow state vector written during a hop, swapped element-wise.
-    next: Vec<A::M>,
     /// The frontier: vertices whose state changed in the previous hop,
     /// ascending, no duplicates.
     frontier: Vec<NodeId>,
@@ -280,20 +290,21 @@ pub struct MbfEngine<A: MbfAlgorithm> {
     touched_gen: u32,
     /// Degree-balanced chunk boundaries (position ranges into `touched`).
     chunks: Vec<std::ops::Range<usize>>,
-    /// Per-touched-position `(entries, relaxations, changed)` of the
-    /// current hop, reused across hops so stepping allocates nothing.
-    per_vertex: Vec<(u64, u64, bool)>,
     /// `Σ deg(v)` over frontier vertices, the hybrid switch statistic.
     frontier_degree: usize,
+    /// Change log: every vertex whose state the engine changed since the
+    /// last [`FrontierSchedule::drain_change_log`], deduplicated by
+    /// generation stamps. Only maintained when enabled.
+    log: Vec<NodeId>,
+    log_mark: Vec<u32>,
+    log_gen: u32,
+    log_enabled: bool,
 }
 
-impl<A: MbfAlgorithm> MbfEngine<A> {
-    /// A fresh engine with the given scheduling strategy. Buffers are
-    /// sized lazily on first use.
-    pub fn new(strategy: EngineStrategy) -> Self {
-        MbfEngine {
+impl FrontierSchedule {
+    pub(crate) fn new(strategy: EngineStrategy) -> Self {
+        FrontierSchedule {
             strategy,
-            next: Vec::new(),
             frontier: Vec::new(),
             frontier_mark: Vec::new(),
             frontier_gen: 0,
@@ -301,32 +312,53 @@ impl<A: MbfAlgorithm> MbfEngine<A> {
             touched_mark: Vec::new(),
             touched_gen: 0,
             chunks: Vec::new(),
-            per_vertex: Vec::new(),
             frontier_degree: 0,
+            log: Vec::new(),
+            log_mark: Vec::new(),
+            log_gen: 0,
+            log_enabled: false,
         }
     }
 
-    /// The engine's scheduling strategy.
-    pub fn strategy(&self) -> EngineStrategy {
+    pub(crate) fn strategy(&self) -> EngineStrategy {
         self.strategy
     }
 
-    /// Number of vertices currently on the frontier.
-    pub fn frontier_len(&self) -> usize {
-        self.frontier.len()
-    }
-
-    /// The frontier list itself: ascending, no duplicates.
-    pub fn frontier(&self) -> &[NodeId] {
+    pub(crate) fn frontier(&self) -> &[NodeId] {
         &self.frontier
     }
 
-    /// Declares every vertex dirty. Call after the state vector was
-    /// rewritten wholesale outside the engine (initialization) — the
-    /// next hop is then a full sweep, after which convergence narrows the
-    /// frontier again. For *sparse* external edits, prefer
-    /// [`MbfEngine::mark_dirty`].
-    pub fn mark_all_dirty(&mut self, g: &Graph) {
+    /// `true` iff `v` is on the current frontier — i.e. its state may
+    /// differ from what its neighbors absorbed in their last
+    /// recomputation. Valid between [`FrontierSchedule::plan_hop`] and
+    /// [`FrontierSchedule::refresh`] (the window the recompute phase
+    /// runs in).
+    #[inline]
+    pub(crate) fn on_frontier(&self, v: NodeId) -> bool {
+        self.frontier_mark[v as usize] == self.frontier_gen
+    }
+
+    /// `true` iff the mark vectors are sized for an `n`-vertex graph.
+    pub(crate) fn sized_for(&self, n: usize) -> bool {
+        self.frontier_mark.len() == n
+    }
+
+    /// Turns on the change log (see the struct docs). Idempotent.
+    pub(crate) fn enable_change_log(&mut self) {
+        self.log_enabled = true;
+    }
+
+    /// Appends the sorted, deduplicated set of vertices changed since
+    /// the last drain to `out` and resets the log.
+    pub(crate) fn drain_change_log(&mut self, out: &mut Vec<NodeId>) {
+        debug_assert!(self.log_enabled, "change log was never enabled");
+        self.log.sort_unstable();
+        out.extend_from_slice(&self.log);
+        self.log.clear();
+        bump_generation(&mut self.log_gen, &mut self.log_mark);
+    }
+
+    pub(crate) fn mark_all_dirty(&mut self, g: &Graph) {
         let n = g.n();
         if self.frontier_mark.len() != n {
             self.frontier_mark.clear();
@@ -335,6 +367,10 @@ impl<A: MbfAlgorithm> MbfEngine<A> {
             self.touched_mark.clear();
             self.touched_mark.resize(n, 0);
             self.touched_gen = 0;
+            self.log_mark.clear();
+            self.log_mark.resize(n, 0);
+            self.log_gen = 1;
+            self.log.clear();
         }
         let gen = bump_generation(&mut self.frontier_gen, &mut self.frontier_mark);
         self.frontier.clear();
@@ -343,16 +379,7 @@ impl<A: MbfAlgorithm> MbfEngine<A> {
         self.frontier_degree = 2 * g.m();
     }
 
-    /// Adds the given vertices to the frontier (idempotently), keeping
-    /// it sorted. This is the **carry-over** entry point: a caller that
-    /// rewrote only a few states since the engine's last hop seeds
-    /// exactly those — the engine's residual frontier (changes from its
-    /// own last hop that neighbors have not yet absorbed) is preserved,
-    /// so the next hop is bit-identical to a full [`mark_all_dirty`]
-    /// restart while touching only the changed vertices' neighborhoods.
-    ///
-    /// [`mark_all_dirty`]: MbfEngine::mark_all_dirty
-    pub fn mark_dirty(&mut self, g: &Graph, vs: impl IntoIterator<Item = NodeId>) {
+    pub(crate) fn mark_dirty(&mut self, g: &Graph, vs: impl IntoIterator<Item = NodeId>) {
         if self.frontier_mark.len() != g.n() {
             // Never sized for this graph: there is no residual state to
             // carry over, so the conservative restart is the only sound
@@ -376,11 +403,21 @@ impl<A: MbfAlgorithm> MbfEngine<A> {
         }
     }
 
-    /// Gathers this hop's recompute list (the closed neighborhood of the
-    /// frontier, or all of `V` for a dense hop) into `self.touched`,
-    /// sorted ascending, and cuts it into degree-balanced chunks.
-    fn schedule_hop(&mut self, g: &Graph, go_dense: bool) {
+    /// Decides this hop's density (the Ligra-style switch) and gathers
+    /// the recompute list (the closed neighborhood of the frontier, or
+    /// all of `V` for a dense hop) into `self.touched`, sorted
+    /// ascending, cut into degree-balanced chunks. Returns whether the
+    /// hop went dense.
+    pub(crate) fn plan_hop(&mut self, g: &Graph) -> bool {
         let n = g.n();
+        let go_dense = match self.strategy {
+            EngineStrategy::Dense => true,
+            EngineStrategy::Frontier => self.frontier.len() == n,
+            EngineStrategy::Hybrid { dense_threshold } => {
+                self.frontier.len() == n
+                    || (self.frontier_degree as f64) > dense_threshold * (2 * g.m()) as f64
+            }
+        };
         self.touched.clear();
         if go_dense {
             self.touched.extend(0..n as NodeId);
@@ -412,7 +449,7 @@ impl<A: MbfAlgorithm> MbfEngine<A> {
         self.chunks.clear();
         if k <= 1 {
             self.chunks.push(0..self.touched.len());
-            return;
+            return go_dense;
         }
         let mut start = 0usize;
         let mut acc = 0usize;
@@ -425,6 +462,123 @@ impl<A: MbfAlgorithm> MbfEngine<A> {
             }
         }
         self.chunks.push(start..self.touched.len());
+        go_dense
+    }
+
+    pub(crate) fn touched(&self) -> &[NodeId] {
+        &self.touched
+    }
+
+    pub(crate) fn chunks(&self) -> &[std::ops::Range<usize>] {
+        &self.chunks
+    }
+
+    /// Refreshes the frontier from this hop's outcome: `changed(p)`
+    /// reports whether the state at touched position `p` moved. The
+    /// changed subsequence of the (sorted) touched list is already
+    /// ascending and duplicate-free; the scan is proportional to the
+    /// recompute list, not `n`. Feeds the change log when enabled.
+    pub(crate) fn refresh(&mut self, g: &Graph, changed: impl Fn(usize) -> bool) {
+        let gen = bump_generation(&mut self.frontier_gen, &mut self.frontier_mark);
+        self.frontier.clear();
+        let mut frontier_degree = 0usize;
+        for (p, &v) in self.touched.iter().enumerate() {
+            if changed(p) {
+                self.frontier.push(v);
+                self.frontier_mark[v as usize] = gen;
+                frontier_degree += g.degree(v);
+                if self.log_enabled && self.log_mark[v as usize] != self.log_gen {
+                    self.log_mark[v as usize] = self.log_gen;
+                    self.log.push(v);
+                }
+            }
+        }
+        self.frontier_degree = frontier_degree;
+    }
+}
+
+/// The reusable iteration state of the frontier engine: shadow buffer,
+/// frontier list, generation-stamped membership marks, and scheduling
+/// scratch. One engine serves arbitrarily many hops (and state vectors
+/// of the same length) without reallocating.
+///
+/// This is the **owned-storage** engine (`Vec<A::M>` state vectors) —
+/// fully generic over the semimodule and kept as the semantics
+/// reference. Algorithms whose states are distance maps should prefer
+/// the span-backed [`crate::arena::ArenaEngine`], which schedules the
+/// identical hops (same `FrontierSchedule`) over an epoch-arena pool
+/// with copy-on-write commits.
+#[derive(Clone, Debug)]
+pub struct MbfEngine<A: MbfAlgorithm> {
+    sched: FrontierSchedule,
+    /// Shadow state vector written during a hop, swapped element-wise.
+    next: Vec<A::M>,
+    /// Per-touched-position `(entries, relaxations, bytes, changed)` of
+    /// the current hop, reused across hops so stepping allocates
+    /// nothing.
+    per_vertex: Vec<(u64, u64, u64, bool)>,
+}
+
+impl<A: MbfAlgorithm> MbfEngine<A> {
+    /// A fresh engine with the given scheduling strategy. Buffers are
+    /// sized lazily on first use.
+    pub fn new(strategy: EngineStrategy) -> Self {
+        MbfEngine {
+            sched: FrontierSchedule::new(strategy),
+            next: Vec::new(),
+            per_vertex: Vec::new(),
+        }
+    }
+
+    /// The engine's scheduling strategy.
+    pub fn strategy(&self) -> EngineStrategy {
+        self.sched.strategy()
+    }
+
+    /// Number of vertices currently on the frontier.
+    pub fn frontier_len(&self) -> usize {
+        self.sched.frontier().len()
+    }
+
+    /// The frontier list itself: ascending, no duplicates.
+    pub fn frontier(&self) -> &[NodeId] {
+        self.sched.frontier()
+    }
+
+    /// Turns on the change log: the engine then records every vertex
+    /// whose state a hop changed, until drained. The oracle uses this to
+    /// make its carry-over diff frontier-sized.
+    pub fn enable_change_log(&mut self) {
+        self.sched.enable_change_log();
+    }
+
+    /// Appends the sorted set of vertices changed since the last drain
+    /// to `out` and resets the log. Requires
+    /// [`MbfEngine::enable_change_log`].
+    pub fn drain_change_log(&mut self, out: &mut Vec<NodeId>) {
+        self.sched.drain_change_log(out);
+    }
+
+    /// Declares every vertex dirty. Call after the state vector was
+    /// rewritten wholesale outside the engine (initialization) — the
+    /// next hop is then a full sweep, after which convergence narrows the
+    /// frontier again. For *sparse* external edits, prefer
+    /// [`MbfEngine::mark_dirty`].
+    pub fn mark_all_dirty(&mut self, g: &Graph) {
+        self.sched.mark_all_dirty(g);
+    }
+
+    /// Adds the given vertices to the frontier (idempotently), keeping
+    /// it sorted. This is the **carry-over** entry point: a caller that
+    /// rewrote only a few states since the engine's last hop seeds
+    /// exactly those — the engine's residual frontier (changes from its
+    /// own last hop that neighbors have not yet absorbed) is preserved,
+    /// so the next hop is bit-identical to a full [`mark_all_dirty`]
+    /// restart while touching only the changed vertices' neighborhoods.
+    ///
+    /// [`mark_all_dirty`]: MbfEngine::mark_all_dirty
+    pub fn mark_dirty(&mut self, g: &Graph, vs: impl IntoIterator<Item = NodeId>) {
+        self.sched.mark_dirty(g, vs);
     }
 
     /// One hop `x ← r^V A x` with all edge weights multiplied by
@@ -440,24 +594,22 @@ impl<A: MbfAlgorithm> MbfEngine<A> {
     ) -> (WorkStats, bool) {
         let n = g.n();
         assert_eq!(n, states.len(), "state vector / graph size mismatch");
-        if self.frontier_mark.len() != n {
+        if !self.sched.sized_for(n) {
             // First use (or a different graph size): treat as all-dirty.
-            self.mark_all_dirty(g);
+            self.sched.mark_all_dirty(g);
         }
+        let mut alloc_count = 0u64;
         if self.next.len() != n {
             self.next.clear();
             self.next.extend((0..n).map(|_| A::M::zero()));
+            // Model-level storage accounting: the owned backend
+            // materializes one state buffer per vertex slot.
+            alloc_count = n as u64;
         }
 
-        let go_dense = match self.strategy {
-            EngineStrategy::Dense => true,
-            EngineStrategy::Frontier => self.frontier.len() == n,
-            EngineStrategy::Hybrid { dense_threshold } => {
-                self.frontier.len() == n
-                    || (self.frontier_degree as f64) > dense_threshold * (2 * g.m()) as f64
-            }
-        };
-        self.schedule_hop(g, go_dense);
+        self.sched.plan_hop(g);
+        let touched: &[NodeId] = self.sched.touched();
+        let chunks: &[std::ops::Range<usize>] = self.sched.chunks();
 
         // Pull-style recomputation of the touched vertices into the
         // shadow buffer, parallel over the degree-balanced chunks.
@@ -467,12 +619,11 @@ impl<A: MbfAlgorithm> MbfEngine<A> {
         // nothing and does work proportional to the frontier's closed
         // neighborhood, not `n`.
         self.per_vertex.clear();
-        self.per_vertex.resize(self.touched.len(), (0, 0, false));
+        self.per_vertex.resize(touched.len(), (0, 0, 0, false));
         let states_ref: &[A::M] = states;
-        let touched: &[NodeId] = &self.touched;
         let next_base = SyncPtr(self.next.as_mut_ptr());
         let stats_base = SyncPtr(self.per_vertex.as_mut_ptr());
-        self.chunks.par_iter().with_min_len(1).for_each(|range| {
+        chunks.par_iter().with_min_len(1).for_each(|range| {
             for p in range.clone() {
                 let v = touched[p];
                 // Safety: chunks partition positions of the sorted,
@@ -483,59 +634,55 @@ impl<A: MbfAlgorithm> MbfEngine<A> {
                 let (entries, relaxations) =
                     alg.recompute_into(v, g, weight_scale, states_ref, shadow);
                 let changed = *shadow != states_ref[v as usize];
-                *stats = (entries, relaxations, changed);
+                // Every touched vertex's state was rewritten wholesale
+                // into the shadow slot — the copy traffic the arena
+                // backend's copy-on-write avoids for unchanged vertices.
+                let bytes = alg.state_size(shadow) as u64 * OWNED_ENTRY_BYTES;
+                *stats = (entries, relaxations, bytes, changed);
             }
         });
 
         // Commit: swap in changed states, parallel over the same chunks;
         // per-chunk tallies merge through the fixed-shape reduction tree
         // — bit-identical for every thread count.
-        let per_vertex: &[(u64, u64, bool)] = &self.per_vertex;
+        let per_vertex: &[(u64, u64, u64, bool)] = &self.per_vertex;
         let states_base = SyncPtr(states.as_mut_ptr());
-        let (entries, relaxations, any_changed) = self
-            .chunks
+        let (entries, relaxations, bytes_copied, any_changed) = chunks
             .par_iter()
             .with_min_len(1)
             .map(|range| {
-                let mut tally = (0u64, 0u64, false);
+                let mut tally = (0u64, 0u64, 0u64, false);
                 for p in range.clone() {
                     let v = touched[p] as usize;
-                    let (entries, relaxations, changed) = per_vertex[p];
+                    let (entries, relaxations, bytes, changed) = per_vertex[p];
                     tally.0 += entries;
                     tally.1 += relaxations;
+                    tally.2 += bytes;
                     if changed {
                         // Safety: as above — disjoint vertices per chunk.
                         unsafe { std::ptr::swap(states_base.slot(v), next_base.slot(v)) };
-                        tally.2 = true;
+                        tally.3 = true;
                     }
                 }
                 tally
             })
             .reduce(
-                || (0u64, 0u64, false),
-                |a, b| (a.0 + b.0, a.1 + b.1, a.2 || b.2),
+                || (0u64, 0u64, 0u64, false),
+                |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2, a.3 || b.3),
             );
 
-        // Refresh the frontier: the changed subsequence of the (sorted)
-        // touched list — already ascending and duplicate-free. This scan
-        // is proportional to the recompute list, not n.
-        let gen = bump_generation(&mut self.frontier_gen, &mut self.frontier_mark);
-        self.frontier.clear();
-        let mut frontier_degree = 0usize;
-        for (p, &v) in self.touched.iter().enumerate() {
-            if self.per_vertex[p].2 {
-                self.frontier.push(v);
-                self.frontier_mark[v as usize] = gen;
-                frontier_degree += g.degree(v);
-            }
-        }
-        self.frontier_degree = frontier_degree;
+        let touched_vertices = touched.len() as u64;
+        let per_vertex: &[(u64, u64, u64, bool)] = &self.per_vertex;
+        self.sched.refresh(g, |p| per_vertex[p].3);
 
         let work = WorkStats {
             iterations: 1,
             entries_processed: entries,
             edge_relaxations: relaxations,
-            touched_vertices: self.touched.len() as u64,
+            touched_vertices,
+            bytes_copied,
+            alloc_count,
+            arena_bytes: 0,
         };
         (work, any_changed)
     }

@@ -24,10 +24,15 @@
 //! inserted, sorted, or filtered — bit-identical to merge-then-filter,
 //! differential-tested by the equivalence suite.
 
-use crate::engine::{run_to_fixpoint_with, EngineStrategy, MbfAlgorithm};
-use crate::oracle::{default_iteration_cap, oracle_run_to_fixpoint_with};
+use crate::arena::{
+    oracle_run_arena_to_fixpoint_with, run_to_fixpoint_arena_with, with_arena_acc,
+    ArenaMbfAlgorithm, RecomputeCtx, SpanRecompute,
+};
+use crate::engine::{EngineStrategy, MbfAlgorithm};
+use crate::oracle::default_iteration_cap;
 use crate::simgraph::SimulatedGraph;
 use crate::work::WorkStats;
+use mte_algebra::store::{EpochStore, SpanOut};
 use mte_algebra::{Dist, DistanceMap, Filter, MinPlus, NodeId};
 use mte_graph::Graph;
 use rand::seq::SliceRandom;
@@ -358,6 +363,127 @@ impl MbfAlgorithm for LeListAlgorithm {
     }
 }
 
+impl ArenaMbfAlgorithm for LeListAlgorithm {
+    /// The pool's rank column carries each entry's permutation rank, so
+    /// the arena probe never chases the rank table.
+    #[inline]
+    fn entry_aux(&self, node: NodeId) -> u32 {
+        self.ranks.rank(node)
+    }
+
+    /// The arena twin of the rank-pruned [`MbfAlgorithm::recompute_into`]
+    /// override: identical echo rejection, domination probe, and
+    /// gather-once/merge-once pass, reading base and neighbor states as
+    /// borrowed spans. Three arena-specific wins:
+    ///
+    /// * **clean neighbors are skipped outright** — LE rank domination
+    ///   is absorption-stable (entry values only improve; a dominated
+    ///   entry stays dominated because its dominator chain persists by
+    ///   transitivity), so an already-absorbed contribution is all
+    ///   echoes and dominated entries: provably an identity (see
+    ///   [`RecomputeCtx::neighbor_dirty`]);
+    /// * the probe's `(dist, rank)` pairs come straight from the pool's
+    ///   rank column (no per-entry rank lookups);
+    /// * the quiescent case — nothing admitted — returns
+    ///   [`SpanRecompute::unchanged_hint`] so the engine keeps the old
+    ///   span without even the `clone_from` the owned path pays.
+    fn recompute_span(
+        &self,
+        v: NodeId,
+        g: &Graph,
+        weight_scale: f64,
+        states: &EpochStore,
+        ctx: &RecomputeCtx<'_>,
+        out: &mut SpanOut<'_>,
+    ) -> SpanRecompute {
+        let base = states.get(v);
+        let base_entries = base.entries;
+        let full = ctx.require_full(v);
+        let mut relaxations = 0u64;
+        let mut admitted = 0u64;
+        let ranks = &*self.ranks;
+        with_scratch(|probe, gather| {
+            // The probe is built lazily: a steady-state recompute rejects
+            // every incoming entry as an echo and never pays the sort.
+            let mut probe_ready = false;
+            gather.clear();
+            for &(w, ew) in g.neighbors(v) {
+                if !full && !ctx.neighbor_dirty(w) {
+                    continue; // already absorbed: provably an identity
+                }
+                let coeff = self.edge_coeff(v, w, ew * weight_scale);
+                relaxations += 1;
+                let s = coeff.0;
+                if !s.is_finite() {
+                    continue; // ∞ ⊙ x = ⊥ (Equation (2.2))
+                }
+                // Both entry slices are node-sorted: co-walk them so the
+                // echo test is a linear merge scan, not a search per
+                // entry.
+                let mut bi = 0;
+                for &(u, du) in states.get(w).entries {
+                    let d = du + s;
+                    while bi < base_entries.len() && base_entries[bi].0 < u {
+                        bi += 1;
+                    }
+                    if bi < base_entries.len() && base_entries[bi].0 == u && base_entries[bi].1 <= d
+                    {
+                        continue;
+                    }
+                    if !probe_ready {
+                        probe.clear();
+                        // (dist, rank) pairs straight out of the pool's
+                        // parallel rank column.
+                        probe.extend(
+                            base.entries
+                                .iter()
+                                .zip(base.ranks)
+                                .map(|(&(_, db), &rb)| (db, rb)),
+                        );
+                        probe.sort_unstable();
+                        let mut best = u32::MAX;
+                        for e in probe.iter_mut() {
+                            best = best.min(e.1);
+                            e.1 = best;
+                        }
+                        probe_ready = true;
+                    }
+                    let idx = probe.partition_point(|&(pd, _)| pd <= d);
+                    let dominated = idx > 0 && probe[idx - 1].1 < ranks.rank(u);
+                    if !dominated {
+                        gather.push((u, d));
+                        admitted += 1;
+                    }
+                }
+            }
+            let entries = base_entries.len().max(1) as u64 + admitted;
+            if gather.is_empty() {
+                // a_vv = 1 and nothing survived the prune: the hop is
+                // the identity on `v` — keep the span, copy nothing.
+                return SpanRecompute {
+                    entries,
+                    relaxations,
+                    unchanged_hint: true,
+                };
+            }
+            gather.sort_unstable();
+            gather.dedup_by(|next, prev| prev.0 == next.0);
+            with_arena_acc(|acc| {
+                acc.assign_merged_min_entries(base_entries, gather);
+                self.filter(acc);
+                for (u, d) in acc.iter() {
+                    out.push(u, d, ranks.rank(u));
+                }
+            });
+            SpanRecompute {
+                entries,
+                relaxations,
+                unchanged_hint: false,
+            }
+        })
+    }
+}
+
 /// A finished LE list: entries `(node, dist)` sorted by ascending
 /// distance with strictly decreasing rank. The first entry is always
 /// `(v, 0)` for the owner `v`; the last is the globally minimum-rank node.
@@ -437,7 +563,10 @@ pub fn le_lists_approx_eq(a: &[LeList], b: &[LeList], rel: f64) -> bool {
 }
 
 /// LE lists via the **oracle on `H`** — the paper's main pipeline
-/// (Section 7.3/7.4) — with the given inner-engine strategy.
+/// (Section 7.3/7.4) — with the given inner-engine strategy. Runs on
+/// the arena backend (span-backed level states, one shared scratch
+/// across the `Λ+1` levels); bit-identical to the owned oracle,
+/// asserted by `tests/schedule_equivalence.rs`.
 pub fn le_lists_oracle_with(
     sim: &SimulatedGraph,
     ranks: &Arc<Ranks>,
@@ -446,7 +575,7 @@ pub fn le_lists_oracle_with(
 ) -> (Vec<LeList>, usize, WorkStats) {
     let alg = LeListAlgorithm::new(Arc::clone(ranks));
     let cap = cap.unwrap_or_else(|| default_iteration_cap(sim.base().n()));
-    let run = oracle_run_to_fixpoint_with(&alg, sim, cap, strategy);
+    let run = oracle_run_arena_to_fixpoint_with(&alg, sim, cap, strategy);
     let lists = run
         .states
         .iter()
@@ -475,7 +604,9 @@ pub fn le_lists_direct_with(
     strategy: EngineStrategy,
 ) -> (Vec<LeList>, usize, WorkStats) {
     let alg = LeListAlgorithm::new(Arc::clone(ranks));
-    let run = run_to_fixpoint_with(&alg, g, g.n() + 1, strategy);
+    // Arena backend: bit-identical to `run_to_fixpoint_with`
+    // (differential-tested), with copy-on-write state storage.
+    let run = run_to_fixpoint_arena_with(&alg, g, g.n() + 1, strategy);
     let lists = run
         .states
         .iter()

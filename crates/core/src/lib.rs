@@ -4,6 +4,11 @@
 //!   simple linear functions given by semiring adjacency matrices,
 //!   interleaved with representative projections (filters); iterated in
 //!   parallel with rayon,
+//! * [`arena`] — the **epoch-arena backend** of the same engine: state
+//!   vectors `x ∈ D^V` as spans into one copy-on-write pool
+//!   ([`mte_algebra::store`]), bit-identical to the owned `Vec` paths
+//!   (which remain the semantics reference) while paying copy traffic
+//!   only for states that actually changed,
 //! * [`catalog`] — every example MBF-like algorithm of Section 3
 //!   (source detection, SSSP, k-SSP, APSP, MSSP, forest fire, widest
 //!   paths, k-SDP, k-DSDP, connectivity),
@@ -20,6 +25,7 @@
 //!   (Section 7.5),
 //! * [`work`] — work/depth accounting used by the experiments.
 
+pub mod arena;
 pub mod catalog;
 pub mod engine;
 pub mod frt;
@@ -28,6 +34,7 @@ pub mod oracle;
 pub mod simgraph;
 pub mod work;
 
+pub use arena::{ArenaEngine, ArenaMbfAlgorithm};
 pub use engine::{EngineStrategy, MbfAlgorithm, MbfEngine, MbfRun};
 pub use simgraph::{LevelAssignment, SimulatedGraph};
 pub use work::WorkStats;

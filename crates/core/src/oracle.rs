@@ -32,6 +32,21 @@
 //! unchanged state vector can never change again, and the result is
 //! bit-identical to running all `d` hops.
 //!
+//! The **diff itself is frontier-sized**, not `O(n)` per round: the
+//! slots where `y_λ` can disagree with the fresh projection `P_λ x` are
+//! contained in `moved_λ ∪ C`, where `moved_λ` is the set of `y`-slots
+//! the level itself touched last round (projection rewrites plus the
+//! engine's change log of its inner hops) and `C` is the set of
+//! vertices of `x` the previous aggregation changed. Every other slot
+//! satisfies `y_λ[v] = P_λ x_prev[v] = P_λ x[v]` and is skipped without
+//! being read. The aggregation is frontier-sized by the same argument:
+//! `x[v] = r(⊕_λ P_λ y_λ[v])` holds for every vertex at the end of a
+//! round, so only vertices some level moved this round can aggregate to
+//! a new value — the per-round cost of a converging oracle run shrinks
+//! with the wave instead of staying `Θ(Λ·n)`. (Only the round after a
+//! wholesale rewrite pays one full diff: a wholesale round has no moved
+//! set.)
+//!
 //! # Parallel structure
 //!
 //! The `Λ + 1` level contributions `P_λ (r^V A_λ)^d P_λ x` are mutually
@@ -74,6 +89,17 @@ struct LevelScratch<A: MbfAlgorithm> {
     engine: MbfEngine<A>,
     y: Vec<A::M>,
     primed: bool,
+    /// `y`-slots this level changed during its last round — projection
+    /// rewrites plus the engine's inner-hop change log — sorted
+    /// ascending, deduplicated. The frontier-sized diff of the next
+    /// round only examines `moved ∪ C`. Meaningless while `moved_all`.
+    moved: Vec<NodeId>,
+    /// The last round rewrote `y` wholesale (priming round or carry-over
+    /// disabled): the next diff must examine every slot and the
+    /// aggregation cannot skip anything.
+    moved_all: bool,
+    /// Scratch: this round's projection-rewrite seeds.
+    seeds: Vec<NodeId>,
 }
 
 /// Reusable buffers for repeated oracle iterations: one [`LevelScratch`]
@@ -99,10 +125,17 @@ impl<A: MbfAlgorithm> OracleScratch<A> {
     /// Sizes the per-level buffers for `num_levels` levels of `n` nodes.
     fn ensure(&mut self, num_levels: usize, n: usize) {
         while self.levels.len() < num_levels {
+            let mut engine = MbfEngine::new(self.strategy);
+            // The change log feeds the frontier-sized diff of the next
+            // round: which y-slots did this level's hops move?
+            engine.enable_change_log();
             self.levels.push(LevelScratch {
-                engine: MbfEngine::new(self.strategy),
+                engine,
                 y: Vec::new(),
                 primed: false,
+                moved: Vec::new(),
+                moved_all: true,
+                seeds: Vec::new(),
             });
         }
         self.levels.truncate(num_levels);
@@ -111,18 +144,61 @@ impl<A: MbfAlgorithm> OracleScratch<A> {
                 level.y.clear();
                 level.y.extend((0..n).map(|_| A::M::zero()));
                 level.primed = false;
+                level.moved_all = true;
             }
         }
     }
 }
 
-/// One iteration of `alg` on `H` through the caller's scratch buffers.
-fn oracle_iteration_with<A>(
+/// Visits the sorted union of two ascending, duplicate-free vertex
+/// lists exactly once per vertex, in ascending order. The shared
+/// co-walk under both oracles' frontier-sized carry-over diffs (owned
+/// and arena), kept in one place because its boundary behavior is
+/// correctness-critical.
+pub(crate) fn for_each_sorted_union(a: &[NodeId], b: &[NodeId], mut f: impl FnMut(NodeId)) {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < b.len() {
+        let v = match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) => {
+                if x <= y {
+                    i += 1;
+                    if x == y {
+                        j += 1;
+                    }
+                    x
+                } else {
+                    j += 1;
+                    y
+                }
+            }
+            (Some(&x), None) => {
+                i += 1;
+                x
+            }
+            (None, Some(&y)) => {
+                j += 1;
+                y
+            }
+            (None, None) => unreachable!(),
+        };
+        f(v);
+    }
+}
+
+/// The level phase of one simulated `H`-iteration: every level rewrites
+/// its projection baseline and runs `(r^V A_λ)^d` on its own engine,
+/// leaving the result in `level.y` and the set of moved `y`-slots in
+/// `level.moved`. `x_changed` is the set of `x`-slots the previous
+/// aggregation changed (`None` = unknown, diff everything).
+fn level_phase<A>(
     alg: &A,
     sim: &SimulatedGraph,
     x: &[A::M],
     scratch: &mut OracleScratch<A>,
-) -> (Vec<A::M>, WorkStats)
+    x_changed: Option<&[NodeId]>,
+) -> WorkStats
 where
     A: MbfAlgorithm<S = MinPlus>,
 {
@@ -137,7 +213,7 @@ where
     // level (`with_min_len(1)`: Λ is small but each task is heavy), each
     // leaving `(r^V A_λ)^d P_λ x` in its own `y` buffer. Per-level work
     // tallies merge through the fixed-shape reduction tree.
-    let work = scratch
+    scratch
         .levels
         .par_iter_mut()
         .with_min_len(1)
@@ -145,7 +221,14 @@ where
         .map(|(lambda, level)| {
             let lambda = lambda as u32;
             let scale = sim.level_scale(lambda);
-            if !level.primed || !carry_over {
+            let wholesale = !level.primed || !carry_over;
+            // The previous round left `moved` (or `moved_all`); this
+            // round's diff may only skip slots both unmoved and outside
+            // `x_changed`. A wholesale previous round (or an unknown
+            // `x_changed`) forces one full diff.
+            let full_diff = level.moved_all || x_changed.is_none();
+            level.seeds.clear();
+            if wholesale {
                 // First round (or carry-over disabled): y ← P_λ x
                 // wholesale, frontier restarts full. `clone_from` reuses
                 // each slot's heap buffer across iterations.
@@ -158,16 +241,14 @@ where
                 });
                 level.engine.mark_all_dirty(sim.augmented());
                 level.primed = true;
-            } else {
-                // Carry-over: y still holds this level's result from the
-                // previous simulated round. Rewrite only the vertices
-                // whose projection P_λ x actually differs from it, and
-                // seed exactly those into the engine — its residual
-                // frontier covers everything else that may still move.
-                // The changed list collects in ascending vertex order
-                // (chunk-order concatenation), independent of the thread
-                // count.
-                let changed: Vec<NodeId> = level
+            } else if full_diff {
+                // Carry-over after a wholesale round: y still holds this
+                // level's previous result, but there is no moved set to
+                // bound the diff — compare every slot once, rewrite and
+                // seed exactly the differing ones. The changed list
+                // collects in ascending vertex order (chunk-order
+                // concatenation), independent of the thread count.
+                level.seeds = level
                     .y
                     .par_iter_mut()
                     .enumerate()
@@ -185,7 +266,35 @@ where
                         }
                     })
                     .collect();
-                level.engine.mark_dirty(sim.augmented(), changed);
+                level
+                    .engine
+                    .mark_dirty(sim.augmented(), level.seeds.iter().copied());
+            } else {
+                // Frontier-sized diff: a slot can disagree with the
+                // fresh projection only if this level moved it last
+                // round (`moved`) or the aggregation changed its `x`
+                // source (`x_changed`) — everything else still equals
+                // `P_λ x` and is skipped without being read. Walk the
+                // sorted union of the two lists.
+                let changed = x_changed.unwrap_or(&[]);
+                let LevelScratch {
+                    y, moved, seeds, ..
+                } = level;
+                for_each_sorted_union(moved, changed, |v| {
+                    let want = if sim.levels().level(v) >= lambda {
+                        &x[v as usize]
+                    } else {
+                        &zero
+                    };
+                    let slot = &mut y[v as usize];
+                    if slot != want {
+                        slot.clone_from(want);
+                        seeds.push(v);
+                    }
+                });
+                level
+                    .engine
+                    .mark_dirty(sim.augmented(), level.seeds.iter().copied());
             }
             // y ← (r^V A_λ)^d y : d filtered hops on the scaled G'; once
             // a hop changes nothing the level is at its fixpoint and the
@@ -198,33 +307,88 @@ where
                     break;
                 }
             }
+            // Record what this round moved, for the next round's diff
+            // and this round's aggregation: rewrites plus hop changes.
+            level.moved.clear();
+            level.engine.drain_change_log(&mut level.moved);
+            if wholesale {
+                level.moved_all = true;
+                level.moved.clear();
+            } else {
+                level.moved_all = false;
+                level.moved.extend_from_slice(&level.seeds);
+                level.moved.sort_unstable();
+                level.moved.dedup();
+            }
             work
         })
         .reduce(WorkStats::new, |mut a, b| {
             a += b;
             a
-        });
-
-    // agg_v ← r(⊕_λ [level(v) ≥ λ] y_λ[v]), parallel over vertices; the
-    // per-vertex fold runs in ascending-λ order — a fixed combination
-    // order independent of the thread count — with the final filter r^V
-    // fused in.
-    let levels: &[LevelScratch<A>] = &scratch.levels;
-    let agg: Vec<A::M> = (0..n as NodeId)
-        .into_par_iter()
-        .map(|v| {
-            let node_level = sim.levels().level(v);
-            let mut acc = A::M::zero();
-            for (lambda, level) in levels.iter().enumerate() {
-                if node_level >= lambda as u32 {
-                    acc.add_assign(&level.y[v as usize]);
-                }
-            }
-            alg.filter(&mut acc);
-            acc
         })
-        .collect();
-    (agg, work)
+}
+
+/// The aggregation phase: `x_v ← r(⊕_λ [level(v) ≥ λ] y_λ[v])` for every
+/// vertex in `recompute` (`None` = all of `V`), writing only the slots
+/// that actually changed and returning them, sorted ascending. The
+/// per-vertex fold runs in ascending-λ order — a fixed combination
+/// order independent of the thread count — with the final filter `r^V`
+/// fused in. Skipped vertices provably re-aggregate to their current
+/// value: `x_v = r(⊕_λ P_λ y_λ[v])` held at the end of the previous
+/// round and none of their `y`-inputs moved.
+fn aggregate<A>(
+    alg: &A,
+    sim: &SimulatedGraph,
+    levels: &[LevelScratch<A>],
+    x: &mut [A::M],
+    recompute: Option<&[NodeId]>,
+) -> Vec<NodeId>
+where
+    A: MbfAlgorithm<S = MinPlus>,
+{
+    let fold = |v: NodeId| -> A::M {
+        let node_level = sim.levels().level(v);
+        let mut acc = A::M::zero();
+        for (lambda, level) in levels.iter().enumerate() {
+            if node_level >= lambda as u32 {
+                acc.add_assign(&level.y[v as usize]);
+            }
+        }
+        alg.filter(&mut acc);
+        acc
+    };
+    let x_ref: &[A::M] = x;
+    // Both paths collect `(v, new value)` pairs in ascending vertex
+    // order (chunk-order concatenation over an ascending input list).
+    let changed: Vec<(NodeId, A::M)> = match recompute {
+        None => (0..x.len() as NodeId)
+            .into_par_iter()
+            .flat_map_iter(|v| {
+                let acc = fold(v);
+                if acc != x_ref[v as usize] {
+                    Some((v, acc))
+                } else {
+                    None
+                }
+            })
+            .collect(),
+        Some(list) => list
+            .par_iter()
+            .flat_map_iter(|&v| {
+                let acc = fold(v);
+                if acc != x_ref[v as usize] {
+                    Some((v, acc))
+                } else {
+                    None
+                }
+            })
+            .collect(),
+    };
+    let ids: Vec<NodeId> = changed.iter().map(|&(v, _)| v).collect();
+    for (v, m) in changed {
+        x[v as usize] = m;
+    }
+    ids
 }
 
 /// Simulates **one** iteration of `alg` on `H`:
@@ -234,7 +398,10 @@ where
     A: MbfAlgorithm<S = MinPlus>,
 {
     let mut scratch = OracleScratch::new(EngineStrategy::default(), true);
-    oracle_iteration_with(alg, sim, x, &mut scratch)
+    let work = level_phase(alg, sim, x, &mut scratch, None);
+    let mut next = x.to_vec();
+    aggregate(alg, sim, &scratch.levels, &mut next, None);
+    (next, work)
 }
 
 /// Runs up to `h` iterations of `alg` on `H` starting from `r^V x⁽⁰⁾`
@@ -280,15 +447,33 @@ where
     let mut work = WorkStats::new();
     let mut executed = 0;
     let mut fixpoint = false;
+    // `x`-slots the previous aggregation changed; `None` = unknown (no
+    // previous round), forcing full diffs.
+    let mut prev_changed: Option<Vec<NodeId>> = None;
     while executed < h {
-        let (next, w) = oracle_iteration_with(alg, sim, &states, &mut scratch);
-        work += w;
+        work += level_phase(alg, sim, &states, &mut scratch, prev_changed.as_deref());
         executed += 1;
-        if next == states {
+        // Aggregation can skip every vertex no level moved this round
+        // (their fold inputs are unchanged, so recomputation would
+        // reproduce the current value bit for bit) — unless some level
+        // rewrote wholesale and has no moved set.
+        let recompute: Option<Vec<NodeId>> = if scratch.levels.iter().any(|l| l.moved_all) {
+            None
+        } else {
+            let mut union: Vec<NodeId> = Vec::new();
+            for level in &scratch.levels {
+                union.extend_from_slice(&level.moved);
+            }
+            union.sort_unstable();
+            union.dedup();
+            Some(union)
+        };
+        let changed = aggregate(alg, sim, &scratch.levels, &mut states, recompute.as_deref());
+        if changed.is_empty() {
             fixpoint = true;
             break;
         }
-        states = next;
+        prev_changed = Some(changed);
     }
     OracleRun {
         states,

@@ -10,6 +10,16 @@
 //! * `edge_relaxations` — semiring multiplications attributed to edges,
 //! * `iterations` — sequential MBF-like rounds: the depth proxy (each
 //!   round has polylog critical path by Lemmas 2.3/7.7).
+//!
+//! Beyond the model-level counters, the **storage counters**
+//! (`bytes_copied`, `alloc_count`, `arena_bytes`) track what the
+//! complexity story does *not* charge but real hardware does: copy and
+//! allocation traffic of the state store. The paper charges work per
+//! list entry; a `Vec<DistanceMap>` backend pays per vertex per hop
+//! (every touched state is rewritten wholesale), while the epoch-arena
+//! backend ([`mte_algebra::store::EpochStore`]) pays only for entries
+//! that actually changed (copy-on-write) plus amortized compaction.
+//! Recording both makes the gap visible in `BENCH_engine.json`.
 
 use std::ops::AddAssign;
 
@@ -31,6 +41,22 @@ pub struct WorkStats {
     /// sweeps recompute `n` per round; the frontier engine only the
     /// closed neighborhood of the previous hop's changes.
     pub touched_vertices: u64,
+    /// Bytes of state entries written into the state store. The owned
+    /// (`Vec<M>`) backend rewrites every *touched* vertex's state
+    /// (16 bytes per sparse entry into the shadow buffer, changed or
+    /// not); the epoch-arena backend appends only *changed* states
+    /// (20 bytes per entry including the rank column) plus amortized
+    /// compaction copies. Model-level accounting, not a heap profiler.
+    pub bytes_copied: u64,
+    /// Heap buffers the state-storage layer acquired: the owned backend
+    /// materializes one buffer per vertex per state vector (`Θ(n)` per
+    /// engine); the arena backend grows a handful of pooled columns
+    /// (`O(log pool)` growth events).
+    pub alloc_count: u64,
+    /// Peak bytes held by the epoch-arena span pool (0 for the owned
+    /// backend). **Max-combined**, not summed, by [`AddAssign`]: the
+    /// high-water mark of a run is the max over its hops.
+    pub arena_bytes: u64,
 }
 
 impl WorkStats {
@@ -46,6 +72,11 @@ impl AddAssign for WorkStats {
         self.entries_processed += rhs.entries_processed;
         self.edge_relaxations += rhs.edge_relaxations;
         self.touched_vertices += rhs.touched_vertices;
+        self.bytes_copied += rhs.bytes_copied;
+        self.alloc_count += rhs.alloc_count;
+        // A high-water mark, not a flow: combining two tallies keeps the
+        // larger footprint.
+        self.arena_bytes = self.arena_bytes.max(rhs.arena_bytes);
     }
 }
 
@@ -60,12 +91,18 @@ mod tests {
             entries_processed: 10,
             edge_relaxations: 5,
             touched_vertices: 2,
+            bytes_copied: 100,
+            alloc_count: 3,
+            arena_bytes: 64,
         };
         a += WorkStats {
             iterations: 2,
             entries_processed: 1,
             edge_relaxations: 1,
             touched_vertices: 3,
+            bytes_copied: 20,
+            alloc_count: 1,
+            arena_bytes: 32,
         };
         assert_eq!(
             a,
@@ -74,6 +111,10 @@ mod tests {
                 entries_processed: 11,
                 edge_relaxations: 6,
                 touched_vertices: 5,
+                bytes_copied: 120,
+                alloc_count: 4,
+                // Max-combined: the peak footprint, not the sum.
+                arena_bytes: 64,
             }
         );
     }

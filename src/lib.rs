@@ -50,6 +50,16 @@
 //! between the accumulator and a per-worker scratch buffer, and the
 //! engine double-buffers whole state vectors, so a steady-state hop
 //! performs no per-vertex allocation.
+//!
+//! Distance-map workloads (SSSP/k-SSP/APSP, LE lists, the oracle
+//! pipeline) run on the **epoch-arena backend** ([`core::arena`]): the
+//! whole state vector lives in one span-backed pool
+//! ([`algebra::store::EpochStore`]) with copy-on-write commits — an
+//! unchanged vertex keeps its span at zero cost, changed states are
+//! appended through per-chunk regions with a deterministic layout, and
+//! garbage amortizes away in high-water compactions. The owned `Vec`
+//! engine remains the semantics reference; the differential suite
+//! asserts both backends bit-identical under `MTE_THREADS ∈ {1, 4}`.
 //! `cargo run --release -p mte-bench --bin exp_baseline` runs
 //! the engine suite (dense vs frontier vs hybrid on the standard
 //! catalog) and the thread-scaling sweep, writing the

@@ -9,6 +9,10 @@
 //! guarantee through the new schedule.
 
 use metric_tree_embedding::algebra::NodeId;
+use metric_tree_embedding::core::arena::{
+    initial_store, oracle_run_arena_with_schedule, run_to_fixpoint_arena_with, ArenaEngine,
+    ArenaMbfAlgorithm,
+};
 use metric_tree_embedding::core::catalog::SourceDetection;
 use metric_tree_embedding::core::engine::{
     initial_states, run_to_fixpoint_with, EngineStrategy, MbfAlgorithm, MbfEngine,
@@ -343,6 +347,120 @@ fn frt_le_list_pipeline_matches_unpruned_all_dirty_reference() {
 }
 
 // ---------------------------------------------------------------------
+// Storage backends: the epoch-arena engine/oracle must be bit-identical
+// to the owned-Vec reference — states, iteration counts, fixpoint
+// flags, and the model-level schedule counters (only the storage
+// counters may differ between backends).
+// ---------------------------------------------------------------------
+
+fn assert_backends_agree<A>(alg: &A, g: &Graph, label: &str)
+where
+    A: ArenaMbfAlgorithm,
+{
+    let cap = g.n() + 1;
+    for strategy in STRATEGIES {
+        let owned = run_to_fixpoint_with(alg, g, cap, strategy);
+        let arena = run_to_fixpoint_arena_with(alg, g, cap, strategy);
+        assert_eq!(
+            owned.states, arena.states,
+            "{label}/{strategy:?}: arena backend diverged from owned"
+        );
+        assert_eq!(owned.iterations, arena.iterations, "{label}/{strategy:?}");
+        assert_eq!(owned.fixpoint, arena.fixpoint, "{label}/{strategy:?}");
+        // Absorption-stable skipping never changes which entries are
+        // admitted — only how many merges run — so `entries_processed`
+        // matches exactly while relaxations may only shrink.
+        assert_eq!(
+            owned.work.entries_processed, arena.work.entries_processed,
+            "{label}/{strategy:?}"
+        );
+        assert!(
+            arena.work.edge_relaxations <= owned.work.edge_relaxations,
+            "{label}/{strategy:?}: arena relaxed more edges than owned"
+        );
+        assert_eq!(owned.work.touched_vertices, arena.work.touched_vertices);
+    }
+}
+
+#[test]
+fn arena_engine_bit_identical_to_owned_reference() {
+    for (name, g) in workload_graphs() {
+        let ranks = Arc::new(Ranks::sample(g.n(), &mut StdRng::seed_from_u64(0x53E9)));
+        assert_backends_agree(
+            &LeListAlgorithm::new(Arc::clone(&ranks)),
+            &g,
+            &format!("{name}/le"),
+        );
+        assert_backends_agree(
+            &SourceDetection::k_ssp(g.n(), 4),
+            &g,
+            &format!("{name}/kssp"),
+        );
+        assert_backends_agree(
+            &SourceDetection::sssp(g.n(), 1),
+            &g,
+            &format!("{name}/sssp"),
+        );
+    }
+}
+
+#[test]
+fn arena_engine_bit_identical_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(0x53EA);
+    let g = gnm_graph(300, 900, 1.0..9.0, &mut rng);
+    let ranks = Arc::new(Ranks::sample(g.n(), &mut rng));
+    let g = &g;
+    let run = |threads: usize| {
+        let ranks = Arc::clone(&ranks);
+        with_threads(threads, move || {
+            run_to_fixpoint_arena_with(
+                &LeListAlgorithm::new(ranks),
+                g,
+                g.n() + 1,
+                EngineStrategy::Frontier,
+            )
+        })
+    };
+    let r1 = run(1);
+    let r4 = run(4);
+    assert_eq!(r1.states, r4.states, "arena states differ across threads");
+    // The arena's pool layout and compaction schedule are deterministic,
+    // so even the storage counters are bit-identical across threads.
+    assert_eq!(
+        r1.work, r4.work,
+        "arena work counters differ across threads"
+    );
+    assert_eq!(r1.iterations, r4.iterations);
+}
+
+#[test]
+fn arena_oracle_bit_identical_to_owned_oracle() {
+    let (g, sim) = oracle_fixture();
+    let cap = 4 * g.n();
+    let ranks = Arc::new(Ranks::sample(g.n(), &mut StdRng::seed_from_u64(0x53EB)));
+    for strategy in [EngineStrategy::Frontier, EngineStrategy::default()] {
+        for carry_over in [true, false] {
+            let le = LeListAlgorithm::new(Arc::clone(&ranks));
+            let owned = oracle_run_with_schedule(&le, &sim, cap, strategy, carry_over);
+            let arena = oracle_run_arena_with_schedule(&le, &sim, cap, strategy, carry_over);
+            assert_eq!(
+                owned.states, arena.states,
+                "oracle/{strategy:?}/carry={carry_over}: arena diverged"
+            );
+            assert_eq!(owned.h_iterations, arena.h_iterations);
+            assert_eq!(owned.fixpoint, arena.fixpoint);
+
+            let kssp = SourceDetection::k_ssp(g.n(), 5);
+            let owned = oracle_run_with_schedule(&kssp, &sim, cap, strategy, carry_over);
+            let arena = oracle_run_arena_with_schedule(&kssp, &sim, cap, strategy, carry_over);
+            assert_eq!(owned.states, arena.states);
+            assert_eq!(owned.h_iterations, arena.h_iterations);
+            assert_eq!(owned.fixpoint, arena.fixpoint);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Property fuzz: random (possibly disconnected) graphs.
 // ---------------------------------------------------------------------
 
@@ -398,5 +516,77 @@ proptest! {
         prop_assert_eq!(carry.h_iterations, restart.h_iterations);
         prop_assert_eq!(carry.fixpoint, restart.fixpoint);
         prop_assert!(carry.work.touched_vertices <= restart.work.touched_vertices);
+
+        // Storage backends: arena engine and oracle vs the owned paths.
+        let arena = run_to_fixpoint_arena_with(&le, &g, g.n() + 1, EngineStrategy::Frontier);
+        let owned = run_to_fixpoint_with(&le, &g, g.n() + 1, EngineStrategy::Frontier);
+        prop_assert_eq!(&arena.states, &owned.states);
+        prop_assert_eq!(arena.iterations, owned.iterations);
+        let arena_oracle =
+            oracle_run_arena_with_schedule(&le, &sim, 3 * g.n(), EngineStrategy::Frontier, true);
+        prop_assert_eq!(&arena_oracle.states, &carry.states);
+        prop_assert_eq!(arena_oracle.h_iterations, carry.h_iterations);
+        prop_assert_eq!(arena_oracle.fixpoint, carry.fixpoint);
+    }
+
+    /// Sparse external edits (copy-on-write `assign` + `mark_dirty`
+    /// carry-over) interleaved with forced pool compactions keep the
+    /// arena engine bit-identical to the owned engine, hop for hop, on
+    /// arbitrary random graphs.
+    #[test]
+    fn random_sparse_edits_and_compactions_keep_backends_identical(
+        n in 4usize..24,
+        extra in 0usize..30,
+        seed in any::<u64>(),
+        rounds in 1usize..6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gnm_graph(n, (n - 1 + extra).min(n * (n - 1) / 2), 1.0..9.0, &mut rng);
+        let ranks = Arc::new(Ranks::sample(g.n(), &mut rng));
+        let alg = LeListAlgorithm::new(Arc::clone(&ranks));
+
+        let mut owned_states = initial_states(&alg, g.n());
+        let mut owned_engine = MbfEngine::new(EngineStrategy::Frontier);
+        owned_engine.mark_all_dirty(&g);
+        let mut store = initial_store(&alg, g.n());
+        let mut engine = ArenaEngine::new(EngineStrategy::Frontier);
+        engine.mark_all_dirty(&g);
+
+        let mut salt = seed | 1;
+        for round in 0..rounds {
+            // A few sparse external edits, applied to both backends.
+            for e in 0..(1 + round % 3) {
+                salt = salt
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let v = ((salt >> 33) as usize % g.n()) as NodeId;
+                let edit = alg.init(((v as usize + e + 1) % g.n()) as NodeId);
+                owned_states[v as usize] = edit.clone();
+                owned_engine.mark_dirty(&g, [v]);
+                store.assign(v, edit.entries(), |u| alg.entry_aux(u));
+                engine.mark_dirty(&g, [v]);
+            }
+            // Interleave forced compactions: spans move, states must
+            // not, and the subsequent hops must stay identical.
+            if salt.is_multiple_of(2) {
+                store.compact();
+            }
+            for _ in 0..=(salt % 3) as usize {
+                let (_, c_owned) = owned_engine.step(&alg, &g, &mut owned_states, 1.0);
+                let (_, c_arena) = engine.step(&alg, &g, &mut store, 1.0);
+                prop_assert_eq!(c_owned, c_arena);
+            }
+            prop_assert_eq!(&store.export(), &owned_states);
+        }
+        // Drive both to the fixpoint and compare once more.
+        for _ in 0..2 * g.n() + 4 {
+            let (_, c_owned) = owned_engine.step(&alg, &g, &mut owned_states, 1.0);
+            let (_, c_arena) = engine.step(&alg, &g, &mut store, 1.0);
+            prop_assert_eq!(c_owned, c_arena);
+            if !c_owned {
+                break;
+            }
+        }
+        prop_assert_eq!(store.export(), owned_states);
     }
 }
