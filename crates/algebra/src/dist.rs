@@ -11,7 +11,12 @@ use std::ops::Add;
 /// which makes the ordering total ([`Ord`] is implemented). `∞` is the
 /// additive identity of the min-plus semiring ([`crate::MinPlus`]) and the
 /// "no information" value of distance maps.
+///
+/// `repr(transparent)`: a `Dist` is layout-identical to its `f64`, which
+/// lets the dense row kernels ([`crate::dense`]) view whole rows of
+/// wrapped values as `[f64]` for the SIMD fast paths.
 #[derive(Clone, Copy, PartialEq)]
+#[repr(transparent)]
 pub struct Dist(f64);
 
 impl Dist {

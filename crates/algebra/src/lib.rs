@@ -20,13 +20,19 @@
 //!   spans, copy-on-write epochs and amortized compaction — the
 //!   storage backend of the production engine paths (the owned
 //!   [`DistanceMap`] vector remains the semantics reference and interop
-//!   type).
+//!   type),
+//! * the dense semiring block store for APSP-class state vectors in
+//!   [`dense`]: row-major `n × k` matrices of semiring values with
+//!   contiguous, cache-tiled relax/aggregate row kernels — the paper's
+//!   matrix-semimodule view taken literally for states that are
+//!   effectively full.
 //!
 //! The law-checking helpers in [`laws`] are used by the property-test suite
 //! to verify every axiom the paper states for these structures.
 
 pub mod allpaths;
 pub mod boolean;
+pub mod dense;
 pub mod dist;
 pub mod distance_map;
 pub mod filter;
@@ -43,6 +49,7 @@ pub mod width_map;
 
 pub use allpaths::{AllPaths, Path};
 pub use boolean::Bool;
+pub use dense::{DenseBlock, DenseKernel, DenseState};
 pub use dist::Dist;
 pub use distance_map::DistanceMap;
 pub use filter::{Filter, IdentityFilter};

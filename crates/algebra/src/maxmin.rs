@@ -8,8 +8,11 @@ use crate::semiring::Semiring;
 ///
 /// `⊕ = max` picks the wider of two alternatives; `⊙ = min` restricts a
 /// path's width by an edge's width. Neutral elements are `0` for `⊕` and
-/// `∞` for `⊙` (Lemma 3.10).
+/// `∞` for `⊙` (Lemma 3.10). `repr(transparent)` (layout = `f64`) so
+/// dense rows of it can take the SIMD kernel fast path (see
+/// [`crate::dense`]).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[repr(transparent)]
 pub struct Width(pub Dist);
 
 impl Width {

@@ -6,7 +6,10 @@ use crate::semiring::Semiring;
 
 /// Element of the min-plus semiring. A thin wrapper around [`Dist`] so the
 /// semiring structure (`⊕ = min`, `⊙ = +`) is expressed by the type.
+/// `repr(transparent)` (layout = `f64`) so dense rows of it can take the
+/// SIMD kernel fast path (see [`crate::dense`]).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[repr(transparent)]
 pub struct MinPlus(pub Dist);
 
 impl MinPlus {

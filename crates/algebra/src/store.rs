@@ -16,11 +16,14 @@
 //! arena:
 //!
 //! * a shared **entry pool** (`Vec<(NodeId, Dist)>`) holding every
-//!   vertex's non-`∞` coordinates back to back, with a **parallel rank
-//!   column** (`Vec<u32>`) carrying per-entry auxiliary data — the LE
-//!   lists store each entry's permutation rank there, so the domination
-//!   probe reads `(dist, rank)` pairs straight out of the pool instead
-//!   of chasing a rank table;
+//!   vertex's non-`∞` coordinates back to back, with an **optional
+//!   parallel rank column** (`Vec<u32>`) carrying per-entry auxiliary
+//!   data — the LE lists store each entry's permutation rank there, so
+//!   the domination probe reads `(dist, rank)` pairs straight out of
+//!   the pool instead of chasing a rank table. Algorithms that never
+//!   read ranks construct the store via
+//!   [`EpochStore::with_rank_column`]`(n, false)` and skip the
+//!   4 B/entry column entirely (16 instead of 20 bytes per append);
 //! * a **span table**: vertex `v`'s state is the `(offset, len)` window
 //!   `spans[v]` into the pool — the paper's `x_v ∈ D`, sorted by node
 //!   id exactly like [`DistanceMap`].
@@ -55,9 +58,14 @@ use crate::dist::Dist;
 use crate::distance_map::DistanceMap;
 use crate::NodeId;
 
-/// Bytes a pool entry occupies: a 16-byte `(NodeId, Dist)` pair (u32 +
-/// padding + f64) plus the 4-byte rank column.
+/// Bytes a pool entry occupies in a **ranked** store: a 16-byte
+/// `(NodeId, Dist)` pair (u32 + padding + f64) plus the 4-byte rank
+/// column.
 pub const ENTRY_BYTES: u64 = 20;
+
+/// Bytes a pool entry occupies in an **unranked** store (see
+/// [`EpochStore::with_rank_column`]): the `(NodeId, Dist)` pair alone.
+pub const ENTRY_BYTES_UNRANKED: u64 = 16;
 
 /// Pools shorter than this never compact — below the slack the garbage
 /// cannot dominate the footprint and the pass would be pure overhead.
@@ -142,21 +150,42 @@ impl<'a> DistanceSlice<'a> {
 pub struct SpanOut<'a> {
     entries: &'a mut Vec<(NodeId, Dist)>,
     ranks: &'a mut Vec<u32>,
+    ranked: bool,
 }
 
 impl<'a> SpanOut<'a> {
     /// Wraps a chunk's append buffers. Both columns must be in lockstep
     /// (equal length) — they are after any sequence of [`SpanOut::push`].
     pub fn new(entries: &'a mut Vec<(NodeId, Dist)>, ranks: &'a mut Vec<u32>) -> Self {
-        debug_assert_eq!(entries.len(), ranks.len());
-        SpanOut { entries, ranks }
+        Self::with_rank_column(entries, ranks, true)
     }
 
-    /// Appends one entry with its rank-column value.
+    /// As [`SpanOut::new`] with the rank column made explicit: an
+    /// unranked handle (for algorithms whose
+    /// `USES_RANK_COLUMN` marker is off) drops the per-entry rank
+    /// values instead of buffering 4 dead bytes per entry.
+    pub fn with_rank_column(
+        entries: &'a mut Vec<(NodeId, Dist)>,
+        ranks: &'a mut Vec<u32>,
+        ranked: bool,
+    ) -> Self {
+        debug_assert!(!ranked || entries.len() == ranks.len());
+        debug_assert!(ranked || ranks.is_empty());
+        SpanOut {
+            entries,
+            ranks,
+            ranked,
+        }
+    }
+
+    /// Appends one entry with its rank-column value (dropped when the
+    /// handle is unranked).
     #[inline]
     pub fn push(&mut self, v: NodeId, d: Dist, rank: u32) {
         self.entries.push((v, d));
-        self.ranks.push(rank);
+        if self.ranked {
+            self.ranks.push(rank);
+        }
     }
 
     /// Entries written so far (across the whole chunk region).
@@ -185,15 +214,47 @@ pub struct EpochStore {
     /// Shadow columns the compactor writes into (ping-pong buffers).
     shadow_entries: Vec<(NodeId, Dist)>,
     shadow_ranks: Vec<u32>,
+    /// Whether the parallel rank column is maintained. Off (the
+    /// per-algorithm default), entries cost [`ENTRY_BYTES_UNRANKED`]
+    /// instead of [`ENTRY_BYTES`] — sssp/source-detection appends used
+    /// to carry 4 dead bytes per entry; only the LE lists read ranks.
+    ranked: bool,
     stats: StoreStats,
 }
 
 impl EpochStore {
-    /// An empty store for `n` vertices, every state `⊥`.
+    /// An empty **ranked** store for `n` vertices, every state `⊥`.
     pub fn new(n: usize) -> Self {
-        let mut store = EpochStore::default();
+        Self::with_rank_column(n, true)
+    }
+
+    /// An empty store with the rank column made explicit: algorithms
+    /// that never read per-entry auxiliary data (their
+    /// `USES_RANK_COLUMN` marker is off) skip the 4 B/entry column
+    /// entirely — no buffering, no appends, no compaction copies.
+    pub fn with_rank_column(n: usize, ranked: bool) -> Self {
+        let mut store = EpochStore {
+            ranked,
+            ..EpochStore::default()
+        };
         store.reset(n);
         store
+    }
+
+    /// `true` iff the store maintains the parallel rank column.
+    #[inline]
+    pub fn is_ranked(&self) -> bool {
+        self.ranked
+    }
+
+    /// Bytes one pool entry occupies in this store.
+    #[inline]
+    pub fn entry_bytes(&self) -> u64 {
+        if self.ranked {
+            ENTRY_BYTES
+        } else {
+            ENTRY_BYTES_UNRANKED
+        }
     }
 
     /// Clears the store back to `n` empty states, keeping buffer
@@ -220,14 +281,15 @@ impl EpochStore {
         self.spans.is_empty()
     }
 
-    /// Vertex `v`'s state as a borrowed view.
+    /// Vertex `v`'s state as a borrowed view. In an unranked store the
+    /// view's `ranks` slice is empty.
     #[inline]
     pub fn get(&self, v: NodeId) -> DistanceSlice<'_> {
         let s = self.spans[v as usize];
         let (a, b) = (s.off as usize, s.off as usize + s.len as usize);
         DistanceSlice {
             entries: &self.entries[a..b],
-            ranks: &self.ranks[a..b],
+            ranks: if self.ranked { &self.ranks[a..b] } else { &[] },
         }
     }
 
@@ -270,7 +332,7 @@ impl EpochStore {
     }
 
     fn note_pool_footprint(&mut self) {
-        let bytes = self.entries.len() as u64 * ENTRY_BYTES;
+        let bytes = self.entries.len() as u64 * self.entry_bytes();
         self.stats.arena_bytes = self.stats.arena_bytes.max(bytes);
     }
 
@@ -292,7 +354,11 @@ impl EpochStore {
     /// entries do **not** become live until [`EpochStore::set_span`]
     /// retargets a vertex into them.
     pub fn append_region(&mut self, entries: &[(NodeId, Dist)], ranks: &[u32]) -> u32 {
-        assert_eq!(entries.len(), ranks.len(), "columns out of lockstep");
+        if self.ranked {
+            assert_eq!(entries.len(), ranks.len(), "columns out of lockstep");
+        } else {
+            debug_assert!(ranks.is_empty(), "rank data handed to an unranked store");
+        }
         let base = self.entries.len();
         assert!(
             base + entries.len() <= u32::MAX as usize,
@@ -300,9 +366,11 @@ impl EpochStore {
         );
         self.track_alloc(|s| {
             s.entries.extend_from_slice(entries);
-            s.ranks.extend_from_slice(ranks);
+            if s.ranked {
+                s.ranks.extend_from_slice(ranks);
+            }
         });
-        self.stats.bytes_copied += entries.len() as u64 * ENTRY_BYTES;
+        self.stats.bytes_copied += entries.len() as u64 * self.entry_bytes();
         self.note_pool_footprint();
         base as u32
     }
@@ -319,7 +387,7 @@ impl EpochStore {
     /// Copy-on-write single-vertex assignment (external edits: oracle
     /// projection rewrites, test fixtures). Appends the new state and
     /// retargets the span; `aux` supplies the rank-column value per
-    /// entry.
+    /// entry (never consulted by an unranked store).
     pub fn assign(
         &mut self,
         v: NodeId,
@@ -338,9 +406,11 @@ impl EpochStore {
         );
         self.track_alloc(|s| {
             s.entries.extend_from_slice(entries);
-            s.ranks.extend(entries.iter().map(|&(u, _)| aux(u)));
+            if s.ranked {
+                s.ranks.extend(entries.iter().map(|&(u, _)| aux(u)));
+            }
         });
-        self.stats.bytes_copied += entries.len() as u64 * ENTRY_BYTES;
+        self.stats.bytes_copied += entries.len() as u64 * self.entry_bytes();
         self.note_pool_footprint();
         self.set_span(v, base as u32, entries.len() as u32);
     }
@@ -353,19 +423,23 @@ impl EpochStore {
         let total: usize = states.iter().map(DistanceMap::len).sum();
         self.track_alloc(|s| {
             s.entries.reserve(total);
-            s.ranks.reserve(total);
+            if s.ranked {
+                s.ranks.reserve(total);
+            }
         });
         for (v, x) in states.iter().enumerate() {
             let base = self.entries.len() as u32;
             self.entries.extend_from_slice(x.entries());
-            self.ranks.extend(x.iter().map(|(u, _)| aux(u)));
+            if self.ranked {
+                self.ranks.extend(x.iter().map(|(u, _)| aux(u)));
+            }
             self.spans[v] = Span {
                 off: base,
                 len: x.len() as u32,
             };
         }
         self.live = total;
-        self.stats.bytes_copied += total as u64 * ENTRY_BYTES;
+        self.stats.bytes_copied += total as u64 * self.entry_bytes();
         self.note_pool_footprint();
     }
 
@@ -386,17 +460,21 @@ impl EpochStore {
             s.shadow_entries.clear();
             s.shadow_ranks.clear();
             s.shadow_entries.reserve(s.live);
-            s.shadow_ranks.reserve(s.live);
+            if s.ranked {
+                s.shadow_ranks.reserve(s.live);
+            }
             for span in s.spans.iter_mut() {
                 let (a, b) = (span.off as usize, span.off as usize + span.len as usize);
                 span.off = s.shadow_entries.len() as u32;
                 s.shadow_entries.extend_from_slice(&s.entries[a..b]);
-                s.shadow_ranks.extend_from_slice(&s.ranks[a..b]);
+                if s.ranked {
+                    s.shadow_ranks.extend_from_slice(&s.ranks[a..b]);
+                }
             }
             std::mem::swap(&mut s.entries, &mut s.shadow_entries);
             std::mem::swap(&mut s.ranks, &mut s.shadow_ranks);
         });
-        self.stats.bytes_copied += self.live as u64 * ENTRY_BYTES;
+        self.stats.bytes_copied += self.live as u64 * self.entry_bytes();
         self.stats.compactions += 1;
         debug_assert_eq!(self.entries.len(), self.live);
     }
@@ -507,6 +585,53 @@ mod tests {
         assert_eq!(a.ranks, b.ranks);
         assert_eq!(a.spans, b.spans);
         assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn unranked_store_drops_the_rank_column_and_its_bytes() {
+        // Identical write sequences, ranked vs unranked: same states,
+        // same layout, but the unranked store never touches the rank
+        // column and accounts 16 B/entry instead of 20 — the 20% append
+        // traffic the ROADMAP item targeted.
+        let states = vec![dm(&[(0, 0.0), (3, 2.5)]), dm(&[(1, 1.0)]), dm(&[])];
+        let write = |ranked: bool| {
+            let mut store = EpochStore::with_rank_column(states.len(), ranked);
+            store.import(&states, |v| v);
+            store.assign(2, dm(&[(2, 0.0), (4, 1.0)]).entries(), |v| v);
+            let base = store.append_region(&[(7, Dist::new(1.5))], if ranked { &[7] } else { &[] });
+            store.set_span(1, base, 1);
+            store.compact();
+            store
+        };
+        let ranked = write(true);
+        let unranked = write(false);
+        assert!(ranked.is_ranked() && !unranked.is_ranked());
+        assert_eq!(ranked.export(), unranked.export());
+        assert_eq!(ranked.live_entries(), unranked.live_entries());
+        assert!(unranked.get(0).ranks.is_empty());
+        assert_eq!(ranked.get(0).ranks, &[0, 3]);
+        // Byte accounting scales exactly with the entry size.
+        let (rs, us) = (ranked.stats(), unranked.stats());
+        assert_eq!(
+            rs.bytes_copied * ENTRY_BYTES_UNRANKED,
+            us.bytes_copied * ENTRY_BYTES
+        );
+        assert_eq!(
+            rs.arena_bytes * ENTRY_BYTES_UNRANKED,
+            us.arena_bytes * ENTRY_BYTES
+        );
+        assert!(us.arena_bytes < rs.arena_bytes);
+    }
+
+    #[test]
+    fn unranked_span_out_drops_rank_pushes() {
+        let mut entries = Vec::new();
+        let mut ranks = Vec::new();
+        let mut out = SpanOut::with_rank_column(&mut entries, &mut ranks, false);
+        out.push(3, Dist::new(1.0), 30);
+        out.push(5, Dist::new(2.0), 50);
+        assert_eq!(out.len(), 2);
+        assert!(ranks.is_empty());
     }
 
     #[test]

@@ -14,14 +14,21 @@
 //! the `frontier`/`hybrid` rows time the arena engine and the
 //! `…+owned` rows keep the owned `Vec<DistanceMap>` backend visible for
 //! comparison. SSSP keeps its owned rows (the generic engine is its
-//! production path) plus `…+arena` rows. Every row carries the storage
-//! counters (`bytes_copied`, `alloc_count`, `arena_bytes`) so the
-//! copy-on-write win shows up in the trajectory, not just wall time.
+//! production path) plus `…+arena` rows. APSP rows on the dense catalog
+//! measure the flat-matrix backend (`dense-block`) and the
+//! representation-switching hybrid (`switching`) against the owned
+//! sparse reference. Every row carries the storage counters
+//! (`bytes_copied`, `alloc_count`, `arena_bytes`) and the switching
+//! counters (`dense_flips`, `dense_hops`) so the copy-on-write and
+//! matrix-mode wins show up in the trajectory, not just wall time.
 
 use crate::tables::{f, Table};
 use mte_algebra::DistanceMap;
 use mte_core::arena::{run_to_fixpoint_arena_with, ArenaMbfAlgorithm};
 use mte_core::catalog::SourceDetection;
+use mte_core::dense::{
+    run_to_fixpoint_dense_with, run_to_fixpoint_switching_with, SwitchThresholds,
+};
 use mte_core::engine::{run_to_fixpoint_with, EngineStrategy, MbfAlgorithm, MbfRun};
 use mte_core::frt::le_list::{LeListAlgorithm, Ranks};
 use mte_core::work::WorkStats;
@@ -71,6 +78,20 @@ pub fn engine_catalog() -> Vec<(String, Graph)> {
         ),
         ("grid 50x50".into(), grid_graph(50, 50, 1.0..5.0, &mut rng)),
         ("path n=1024".into(), path_graph(1024, 1.0)),
+    ]
+}
+
+/// The APSP-class dense catalog: smaller graphs (the workload's state
+/// volume is Θ(n²)) on which the dense-block and representation-
+/// switching backends are measured against the owned sparse reference.
+pub fn dense_catalog() -> Vec<(String, Graph)> {
+    let mut rng = StdRng::seed_from_u64(0xDE45);
+    vec![
+        (
+            "gnm n=400 m=1600".into(),
+            gnm_graph(400, 1600, 1.0..50.0, &mut rng),
+        ),
+        ("grid 20x20".into(), grid_graph(20, 20, 1.0..5.0, &mut rng)),
     ]
 }
 
@@ -260,6 +281,61 @@ pub fn engine_suite() -> Vec<EngineCase> {
             &label, &g, "le_lists", &le, "+owned", true, &reference, &mut cases,
         );
     }
+
+    // APSP-class rows: owned sparse reference vs the dense-block matrix
+    // backend vs representation switching, on the dense catalog.
+    for (label, g) in dense_catalog() {
+        let cap = g.n() + 1;
+        let apsp = SourceDetection::apsp(g.n());
+        let t0 = Instant::now();
+        let reference = run_to_fixpoint_with(&apsp, &g, cap, EngineStrategy::Dense);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        record(
+            &label,
+            &g,
+            "apsp",
+            &apsp,
+            "dense".into(),
+            reference.clone(),
+            wall_ms,
+            &reference,
+            &mut cases,
+        );
+        let t0 = Instant::now();
+        let run = run_to_fixpoint_dense_with(&apsp, &g, cap, EngineStrategy::Dense);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        record(
+            &label,
+            &g,
+            "apsp",
+            &apsp,
+            "dense-block".into(),
+            run,
+            wall_ms,
+            &reference,
+            &mut cases,
+        );
+        let t0 = Instant::now();
+        let run = run_to_fixpoint_switching_with(
+            &apsp,
+            &g,
+            cap,
+            EngineStrategy::default(),
+            SwitchThresholds::default(),
+        );
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        record(
+            &label,
+            &g,
+            "apsp",
+            &apsp,
+            "switching".into(),
+            run,
+            wall_ms,
+            &reference,
+            &mut cases,
+        );
+    }
     cases
 }
 
@@ -330,6 +406,7 @@ pub fn engine_suite_json(cases: &[EngineCase]) -> String {
                 "\"entries_processed\": {}, \"edge_relaxations\": {}, ",
                 "\"touched_vertices\": {}, ",
                 "\"bytes_copied\": {}, \"alloc_count\": {}, \"arena_bytes\": {}, ",
+                "\"dense_flips\": {}, \"dense_hops\": {}, ",
                 "\"max_list_len\": {}, \"mean_list_len\": {:.3}}}{}\n"
             ),
             json_escape(&c.graph),
@@ -345,6 +422,8 @@ pub fn engine_suite_json(cases: &[EngineCase]) -> String {
             c.work.bytes_copied,
             c.work.alloc_count,
             c.work.arena_bytes,
+            c.work.dense_flips,
+            c.work.dense_hops,
             c.max_list_len,
             c.mean_list_len,
             if i + 1 == cases.len() { "" } else { "," },
@@ -393,6 +472,9 @@ mod tests {
         assert_eq!(json.matches("\"bytes_copied\"").count(), cases.len());
         assert_eq!(json.matches("\"alloc_count\"").count(), cases.len());
         assert_eq!(json.matches("\"arena_bytes\"").count(), cases.len());
+        // Representation-switching counters too.
+        assert_eq!(json.matches("\"dense_flips\"").count(), cases.len());
+        assert_eq!(json.matches("\"dense_hops\"").count(), cases.len());
         // The Lemma 7.6 list-length statistics ride along in every row.
         assert_eq!(json.matches("\"max_list_len\"").count(), cases.len());
         assert_eq!(json.matches("\"mean_list_len\"").count(), cases.len());

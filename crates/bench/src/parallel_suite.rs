@@ -9,19 +9,29 @@
 //! the rayon backend — before recording a time; a speedup on a wrong (or
 //! thread-count-dependent) answer is worthless.
 //!
-//! The workload is the dense APSP sweep on the standard catalog: dense
-//! hops are the data-parallel core every other schedule falls back to
-//! (Ligra-style direction switching), so their scaling bounds the
-//! scaling of the whole engine. Speedups saturate at the machine's
-//! physical parallelism — on a single-core host every thread count
-//! measures ≈ 1×, which the JSON flags via `host_threads` and
-//! `speedups_valid: false` (plus an explanatory `note`) so trajectory
-//! tooling never mistakes a one-core artifact for a scaling regression.
+//! The workload is the APSP fixpoint sweep on the standard catalog,
+//! measured on three backends per graph: the owned sparse store under
+//! the dense schedule (`apsp dense` — the historical rows), the flat
+//! matrix backend (`apsp dense-block` — `mte_core::dense`, the row
+//! kernels the dense-state issue targets), and the
+//! representation-switching hybrid (`apsp switching` — sparse start,
+//! matrix-mode finish). The dense-block and switching rows are
+//! additionally cross-checked bit-identical against the owned rows, so
+//! the trajectory never compares different answers. Speedups saturate
+//! at the machine's physical parallelism — on a single-core host every
+//! thread count measures ≈ 1×, which the JSON flags via `host_threads`
+//! and `speedups_valid: false` (plus an explanatory `note`) so
+//! trajectory tooling never mistakes a one-core artifact for a scaling
+//! regression.
 
 use crate::engine_suite::json_escape;
 use crate::tables::{f, Table};
+use mte_algebra::DistanceMap;
 use mte_core::catalog::SourceDetection;
-use mte_core::engine::{run_to_fixpoint_with, EngineStrategy};
+use mte_core::dense::{
+    run_to_fixpoint_dense_with, run_to_fixpoint_switching_with, SwitchThresholds,
+};
+use mte_core::engine::{run_to_fixpoint_with, EngineStrategy, MbfRun};
 use mte_graph::generators::{gnm_graph, grid_graph};
 use mte_graph::Graph;
 use rand::rngs::StdRng;
@@ -75,42 +85,55 @@ pub fn parallel_catalog() -> Vec<(String, Graph)> {
     ]
 }
 
-/// Measures the dense APSP fixpoint run on `g` across `counts`,
-/// asserting bit-identical states against the 1-thread reference.
+/// Measures one workload's fixpoint run on `g` across `counts`,
+/// asserting bit-identical states against the 1-thread reference (and
+/// against `cross_check`, the states of another backend's sweep, when
+/// given — different backends of the same workload must agree exactly).
 /// `counts` must start with 1 — `speedup` (serialized as
-/// `speedup_vs_1`) is relative to that run.
-pub fn measure_thread_sweep(
+/// `speedup_vs_1`) is relative to that run. Returns the 1-thread
+/// states for cross-backend checks.
+pub fn measure_thread_sweep_with<R>(
     graph_label: &str,
     g: &Graph,
     counts: &[usize],
+    algorithm: &str,
+    cross_check: Option<&[DistanceMap]>,
+    run: R,
     out: &mut Vec<ParallelCase>,
-) {
+) -> Vec<DistanceMap>
+where
+    R: Fn() -> MbfRun<DistanceMap> + Sync,
+{
     assert_eq!(
         counts.first(),
         Some(&1),
         "thread sweep must lead with the 1-thread reference run"
     );
-    let alg = SourceDetection::apsp(g.n());
-    let cap = g.n() + 1;
-    let mut reference: Option<(Vec<_>, f64)> = None;
+    let mut reference: Option<(Vec<DistanceMap>, f64)> = None;
     for &threads in counts {
         let pool = ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
             .expect("pool build cannot fail");
         let t0 = Instant::now();
-        let run = pool.install(|| run_to_fixpoint_with(&alg, g, cap, EngineStrategy::Dense));
+        let result = pool.install(&run);
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         let baseline_ms = match &reference {
             None => {
+                if let Some(expect) = cross_check {
+                    assert_eq!(
+                        result.states, expect,
+                        "{graph_label}/{algorithm}: backend diverged from the reference sweep"
+                    );
+                }
                 let ms = wall_ms;
-                reference = Some((run.states, wall_ms));
+                reference = Some((result.states, wall_ms));
                 ms
             }
             Some((states, ms)) => {
                 assert_eq!(
-                    &run.states, states,
-                    "{graph_label}: {threads} threads changed the result"
+                    &result.states, states,
+                    "{graph_label}/{algorithm}: {threads} threads changed the result"
                 );
                 *ms
             }
@@ -119,20 +142,76 @@ pub fn measure_thread_sweep(
             graph: graph_label.to_string(),
             n: g.n(),
             m: g.m(),
-            algorithm: "apsp dense".into(),
+            algorithm: algorithm.to_string(),
             threads,
             wall_ms,
             speedup: baseline_ms / wall_ms.max(1e-9),
         });
     }
+    reference.expect("counts is non-empty").0
 }
 
-/// Runs the sweep on the full catalog.
+/// The historical entry point: the owned-backend dense APSP sweep
+/// (`apsp dense` rows). Returns the 1-thread states.
+pub fn measure_thread_sweep(
+    graph_label: &str,
+    g: &Graph,
+    counts: &[usize],
+    out: &mut Vec<ParallelCase>,
+) -> Vec<DistanceMap> {
+    let alg = SourceDetection::apsp(g.n());
+    let cap = g.n() + 1;
+    measure_thread_sweep_with(
+        graph_label,
+        g,
+        counts,
+        "apsp dense",
+        None,
+        || run_to_fixpoint_with(&alg, g, cap, EngineStrategy::Dense),
+        out,
+    )
+}
+
+/// Runs the sweep on the full catalog: the owned `apsp dense` rows
+/// (the trajectory baseline), the flat-matrix `apsp dense-block` rows,
+/// and the representation-switching `apsp switching` rows, every
+/// backend cross-checked bit-identical against the owned states.
 pub fn parallel_suite() -> Vec<ParallelCase> {
     let counts = thread_counts();
     let mut cases = Vec::new();
     for (label, g) in parallel_catalog() {
-        measure_thread_sweep(&label, &g, &counts, &mut cases);
+        let alg = SourceDetection::apsp(g.n());
+        let cap = g.n() + 1;
+        let reference = measure_thread_sweep(&label, &g, &counts, &mut cases);
+        // Frontier schedule: for the dense backend a Ligra-style dense
+        // fallback only re-relaxes quiescent full rows, so the frontier
+        // list is its production schedule.
+        measure_thread_sweep_with(
+            &label,
+            &g,
+            &counts,
+            "apsp dense-block",
+            Some(&reference),
+            || run_to_fixpoint_dense_with(&alg, &g, cap, EngineStrategy::Frontier),
+            &mut cases,
+        );
+        measure_thread_sweep_with(
+            &label,
+            &g,
+            &counts,
+            "apsp switching",
+            Some(&reference),
+            || {
+                run_to_fixpoint_switching_with(
+                    &alg,
+                    &g,
+                    cap,
+                    EngineStrategy::default(),
+                    SwitchThresholds::default(),
+                )
+            },
+            &mut cases,
+        );
     }
     cases
 }
@@ -140,7 +219,7 @@ pub fn parallel_suite() -> Vec<ParallelCase> {
 /// Renders the sweep as a table.
 pub fn parallel_suite_table(cases: &[ParallelCase]) -> Table {
     let mut t = Table::new(
-        "Thread sweep: dense APSP fixpoint runs (states cross-checked bit-identical)",
+        "Thread sweep: APSP fixpoint runs, owned/dense-block/switching backends (states cross-checked bit-identical)",
         &["graph", "algorithm", "threads", "wall ms", "speedup vs 1"],
     );
     for case in cases {
@@ -204,10 +283,43 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let g = gnm_graph(48, 110, 1.0..9.0, &mut rng);
         let mut cases = Vec::new();
-        measure_thread_sweep("mini", &g, &[1, 2], &mut cases);
+        let reference = measure_thread_sweep("mini", &g, &[1, 2], &mut cases);
         assert_eq!(cases.len(), 2);
         assert_eq!(cases[0].threads, 1);
         assert!((cases[0].speedup - 1.0).abs() < 1e-12);
+
+        // The dense-block and switching sweeps ride the same harness
+        // and are cross-checked against the owned states.
+        let alg = SourceDetection::apsp(g.n());
+        measure_thread_sweep_with(
+            "mini",
+            &g,
+            &[1, 2],
+            "apsp dense-block",
+            Some(&reference),
+            || run_to_fixpoint_dense_with(&alg, &g, g.n() + 1, EngineStrategy::Dense),
+            &mut cases,
+        );
+        measure_thread_sweep_with(
+            "mini",
+            &g,
+            &[1, 2],
+            "apsp switching",
+            Some(&reference),
+            || {
+                run_to_fixpoint_switching_with(
+                    &alg,
+                    &g,
+                    g.n() + 1,
+                    EngineStrategy::default(),
+                    SwitchThresholds::default(),
+                )
+            },
+            &mut cases,
+        );
+        assert_eq!(cases.len(), 6);
+        assert!(cases.iter().any(|c| c.algorithm == "apsp dense-block"));
+        assert!(cases.iter().any(|c| c.algorithm == "apsp switching"));
 
         let json = parallel_suite_json(&cases);
         assert!(json.contains("\"suite\": \"parallel\""));

@@ -100,11 +100,21 @@ pub fn with_arena_acc<R>(f: impl FnOnce(&mut DistanceMap) -> R) -> R {
 /// docs; the owned [`MbfAlgorithm`] methods remain the semantics
 /// reference.
 pub trait ArenaMbfAlgorithm: MbfAlgorithm<S = MinPlus, M = DistanceMap> {
+    /// Whether the algorithm reads the pool's per-entry rank column
+    /// (via [`mte_algebra::store::DistanceSlice::ranks`] or
+    /// [`ArenaMbfAlgorithm::entry_aux`]). Off by default: the store
+    /// then skips the 4 B/entry column entirely — sssp- and
+    /// source-detection-style appends carried it as dead traffic. The
+    /// LE lists opt in (their domination probe reads ranks straight
+    /// from the pool).
+    const USES_RANK_COLUMN: bool = false;
+
     /// Rank-column value stored alongside an entry with key `node`.
     /// Must be a **pure function of the key** (identical entries ⇒
     /// identical aux), since the engine's change detection compares
     /// entries only. The LE lists store the node's permutation rank;
-    /// the default is 0.
+    /// the default is 0. Never consulted when
+    /// [`ArenaMbfAlgorithm::USES_RANK_COLUMN`] is off.
     #[inline]
     fn entry_aux(&self, _node: NodeId) -> u32 {
         0
@@ -165,8 +175,7 @@ pub trait ArenaMbfAlgorithm: MbfAlgorithm<S = MinPlus, M = DistanceMap> {
 /// merge every neighbor once.
 pub struct RecomputeCtx<'a> {
     sched: &'a FrontierSchedule,
-    taint_mark: &'a [u32],
-    taint_gen: u32,
+    taint: &'a crate::engine::TaintTable,
 }
 
 impl RecomputeCtx<'_> {
@@ -182,7 +191,7 @@ impl RecomputeCtx<'_> {
     /// recomputation must merge every neighbor regardless of dirtiness.
     #[inline]
     pub fn require_full(&self, v: NodeId) -> bool {
-        self.taint_mark[v as usize] == self.taint_gen
+        self.taint.is_tainted(v)
     }
 }
 
@@ -282,12 +291,11 @@ pub struct ArenaEngine {
     chunk_bufs: Vec<ChunkBuf>,
     /// Per-touched-position changed flags of the current hop.
     changed: Vec<bool>,
-    /// Taint marks for externally rewritten vertices (see
-    /// [`RecomputeCtx::require_full`]): `taint_mark[v] == taint_gen` ⇔
-    /// `v` must do one full-merge recomputation. Cleared per vertex
-    /// when it is recomputed, wholesale on [`ArenaEngine::mark_all_dirty`].
-    taint_mark: Vec<u32>,
-    taint_gen: u32,
+    /// Taints for externally rewritten vertices (see
+    /// [`RecomputeCtx::require_full`]): a tainted `v` must do one
+    /// full-merge recomputation. Cleared per vertex when it is
+    /// recomputed, wholesale on [`ArenaEngine::mark_all_dirty`].
+    taint: crate::engine::TaintTable,
 }
 
 impl ArenaEngine {
@@ -297,8 +305,7 @@ impl ArenaEngine {
             sched: FrontierSchedule::new(strategy),
             chunk_bufs: Vec::new(),
             changed: Vec::new(),
-            taint_mark: Vec::new(),
-            taint_gen: 1,
+            taint: crate::engine::TaintTable::new(),
         }
     }
 
@@ -327,17 +334,7 @@ impl ArenaEngine {
     /// anyway (the whole graph is on the frontier).
     pub fn mark_all_dirty(&mut self, g: &Graph) {
         self.sched.mark_all_dirty(g);
-        if self.taint_mark.len() != g.n() {
-            self.taint_mark.clear();
-            self.taint_mark.resize(g.n(), 0);
-            self.taint_gen = 1;
-        } else {
-            self.taint_gen = self.taint_gen.wrapping_add(1);
-            if self.taint_gen == 0 {
-                self.taint_mark.iter_mut().for_each(|m| *m = 0);
-                self.taint_gen = 1;
-            }
-        }
+        self.taint.reset(g.n());
     }
 
     /// See [`crate::engine::MbfEngine::mark_dirty`]. The seeded
@@ -351,13 +348,9 @@ impl ArenaEngine {
             self.mark_all_dirty(g);
             return;
         }
-        let gen = self.taint_gen;
-        self.sched.mark_dirty(
-            g,
-            vs.into_iter().inspect(|&v| {
-                self.taint_mark[v as usize] = gen;
-            }),
-        );
+        let taint = &mut self.taint;
+        self.sched
+            .mark_dirty(g, vs.into_iter().inspect(|&v| taint.taint(v)));
     }
 
     /// One hop `x ← r^V A x` over the span-backed state vector, with
@@ -393,8 +386,7 @@ impl ArenaEngine {
         let store_ref: &EpochStore = store;
         let ctx = RecomputeCtx {
             sched: &self.sched,
-            taint_mark: &self.taint_mark,
-            taint_gen: self.taint_gen,
+            taint: &self.taint,
         };
         self.chunk_bufs[..k]
             .par_iter_mut()
@@ -408,7 +400,11 @@ impl ArenaEngine {
                     let v = touched[p];
                     let start = buf.entries.len();
                     let r = {
-                        let mut out = SpanOut::new(&mut buf.entries, &mut buf.ranks);
+                        let mut out = SpanOut::with_rank_column(
+                            &mut buf.entries,
+                            &mut buf.ranks,
+                            A::USES_RANK_COLUMN,
+                        );
                         alg.recompute_span(v, g, weight_scale, store_ref, &ctx, &mut out)
                     };
                     let len = buf.entries.len() - start;
@@ -463,9 +459,7 @@ impl ArenaEngine {
         // Every touched vertex was recomputed (tainted ones with full
         // merges), so its taint is discharged.
         for &v in touched {
-            if self.taint_mark[v as usize] == self.taint_gen {
-                self.taint_mark[v as usize] = 0;
-            }
+            self.taint.discharge(v);
         }
 
         let touched_vertices = touched.len() as u64;
@@ -485,10 +479,12 @@ impl ArenaEngine {
 }
 
 /// Builds the initial span-backed state vector `r^V x⁽⁰⁾`: one pool
-/// bulk-load instead of `n` per-vertex map buffers.
+/// bulk-load instead of `n` per-vertex map buffers. The rank column is
+/// allocated only when the algorithm opts in
+/// ([`ArenaMbfAlgorithm::USES_RANK_COLUMN`]).
 pub fn initial_store<A: ArenaMbfAlgorithm>(alg: &A, n: usize) -> EpochStore {
     let states = initial_states(alg, n);
-    let mut store = EpochStore::new(n);
+    let mut store = EpochStore::with_rank_column(n, A::USES_RANK_COLUMN);
     store.import(&states, |u| alg.entry_aux(u));
     store
 }
@@ -578,12 +574,12 @@ struct ArenaLevel {
 }
 
 impl ArenaLevel {
-    fn new(strategy: EngineStrategy, n: usize) -> Self {
+    fn new(strategy: EngineStrategy, n: usize, ranked: bool) -> Self {
         let mut engine = ArenaEngine::new(strategy);
         engine.enable_change_log();
         ArenaLevel {
             engine,
-            store: EpochStore::new(n),
+            store: EpochStore::with_rank_column(n, ranked),
             primed: false,
             moved: Vec::new(),
             moved_all: true,
@@ -610,7 +606,7 @@ pub fn oracle_run_arena_with_schedule<A: ArenaMbfAlgorithm>(
     let mut states: Vec<DistanceMap> = initial_states(alg, n);
     let lambda_max = sim.levels().lambda() as usize;
     let mut levels: Vec<ArenaLevel> = (0..=lambda_max)
-        .map(|_| ArenaLevel::new(strategy, n))
+        .map(|_| ArenaLevel::new(strategy, n, A::USES_RANK_COLUMN))
         .collect();
     let mut work = WorkStats::new();
     let mut executed = 0;
@@ -864,6 +860,35 @@ mod tests {
         );
         assert!(arena.work.alloc_count < owned.work.alloc_count);
         assert!(arena.work.arena_bytes > 0 && owned.work.arena_bytes == 0);
+    }
+
+    #[test]
+    fn rank_column_is_per_algorithm_and_cuts_append_traffic() {
+        use crate::frt::le_list::{LeListAlgorithm, Ranks};
+        use mte_algebra::store::{ENTRY_BYTES, ENTRY_BYTES_UNRANKED};
+        use std::sync::Arc;
+
+        let mut rng = StdRng::seed_from_u64(73);
+        let g = gnm_graph(50, 140, 1.0..8.0, &mut rng);
+
+        // Source detection never reads ranks: its store is unranked and
+        // every entry costs 16 B instead of 20 — the ROADMAP's "20%
+        // dead rank traffic" item.
+        let sssp = SourceDetection::sssp(g.n(), 0);
+        const { assert!(!SourceDetection::USES_RANK_COLUMN) };
+        let store = initial_store(&sssp, g.n());
+        assert!(!store.is_ranked());
+        assert_eq!(store.entry_bytes(), ENTRY_BYTES_UNRANKED);
+        let run = run_to_fixpoint_arena_with(&sssp, &g, g.n() + 1, EngineStrategy::Frontier);
+        let owned = run_to_fixpoint_with(&sssp, &g, g.n() + 1, EngineStrategy::Frontier);
+        assert_eq!(run.states, owned.states);
+
+        // The LE lists opt in; their probe needs the pool ranks.
+        const { assert!(LeListAlgorithm::USES_RANK_COLUMN) };
+        let ranks = Arc::new(Ranks::sample(g.n(), &mut rng));
+        let le_store = initial_store(&LeListAlgorithm::new(ranks), g.n());
+        assert!(le_store.is_ranked());
+        assert_eq!(le_store.entry_bytes(), ENTRY_BYTES);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Widest-path problems over the max-min semiring (Section 3.2,
 //! Examples 3.13–3.15): SSWP, APWP and MSWP.
 
+use crate::dense::DenseMbfAlgorithm;
 use crate::engine::MbfAlgorithm;
 use mte_algebra::{NodeId, Width, WidthMap};
 
@@ -66,6 +67,27 @@ impl MbfAlgorithm for WidestPaths {
     #[inline]
     fn state_size(&self, x: &WidthMap) -> usize {
         x.len().max(1)
+    }
+}
+
+impl DenseMbfAlgorithm for WidestPaths {
+    /// `r = id` over the max-min semiring: the semiring-generic row
+    /// kernels give widest-path workloads the dense backend for free
+    /// (`dst ← max(dst, min(src, w))` per column).
+    fn advertises_dense(&self) -> bool {
+        true
+    }
+
+    /// Widths only grow under max-merging and the filter is the
+    /// identity: an absorbed contribution stays absorbed, so skipping
+    /// clean neighbors is bit-identical.
+    fn absorption_stable(&self) -> bool {
+        true
+    }
+
+    /// `r = id` literally: the fused recompute path applies.
+    fn dense_filter_is_identity(&self) -> bool {
+        true
     }
 }
 

@@ -225,12 +225,13 @@ const MIN_CHUNK_COST: usize = 256;
 const MAX_HOP_CHUNKS: usize = 64;
 
 /// Shared mutable base pointer for disjoint-index writes from parallel
-/// chunks.
+/// chunks (used by the owned and dense engine backends).
 ///
-/// Soundness contract (upheld by `step`): the per-hop recompute list is
-/// sorted and deduplicated, and chunks partition its *positions*, so no
-/// two chunks ever touch the same vertex slot or stats slot.
-struct SyncPtr<T>(*mut T);
+/// Soundness contract (upheld by the `step` implementations): the
+/// per-hop recompute list is sorted and deduplicated, and chunks
+/// partition its *positions*, so no two chunks ever touch the same
+/// vertex slot (or row window) or stats slot.
+pub(crate) struct SyncPtr<T>(pub(crate) *mut T);
 
 unsafe impl<T: Send> Sync for SyncPtr<T> {}
 
@@ -241,8 +242,73 @@ impl<T> SyncPtr<T> {
     ///
     /// Safety: the caller must own index `i` exclusively (see the struct
     /// docs) and stay within the allocation the base pointer came from.
-    unsafe fn slot(&self, i: usize) -> *mut T {
+    pub(crate) unsafe fn slot(&self, i: usize) -> *mut T {
         unsafe { self.0.add(i) }
+    }
+}
+
+/// Generation-stamped taint table shared by the arena and dense
+/// engines: a tainted vertex was externally rewritten since its last
+/// recomputation (it has absorbed nothing), so its next recomputation
+/// must merge every neighbor even under an absorption-stable skip.
+/// Kept in one place so the resize/wrap-around semantics cannot
+/// diverge between the backends.
+#[derive(Clone, Debug)]
+pub(crate) struct TaintTable {
+    mark: Vec<u32>,
+    gen: u32,
+}
+
+impl TaintTable {
+    pub(crate) fn new() -> Self {
+        TaintTable {
+            mark: Vec::new(),
+            gen: 1,
+        }
+    }
+
+    /// Sizes the table for `n` vertices if needed, without clearing
+    /// existing taints on a same-size table.
+    pub(crate) fn ensure_sized(&mut self, n: usize) {
+        if self.mark.len() != n {
+            self.mark.clear();
+            self.mark.resize(n, 0);
+            self.gen = 1;
+        }
+    }
+
+    /// Sizes for `n` vertices and discharges every taint (the engine's
+    /// `mark_all_dirty` path: the next hop merges everything anyway).
+    pub(crate) fn reset(&mut self, n: usize) {
+        if self.mark.len() != n {
+            self.mark.clear();
+            self.mark.resize(n, 0);
+            self.gen = 1;
+        } else {
+            self.gen = self.gen.wrapping_add(1);
+            if self.gen == 0 {
+                self.mark.iter_mut().for_each(|m| *m = 0);
+                self.gen = 1;
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn taint(&mut self, v: NodeId) {
+        self.mark[v as usize] = self.gen;
+    }
+
+    #[inline]
+    pub(crate) fn is_tainted(&self, v: NodeId) -> bool {
+        self.mark[v as usize] == self.gen
+    }
+
+    /// Discharges `v`'s taint (after a full-merge recomputation).
+    #[inline]
+    pub(crate) fn discharge(&mut self, v: NodeId) {
+        if self.is_tainted(v) {
+            self.mark[v as usize] = 0;
+        }
     }
 }
 
@@ -356,6 +422,31 @@ impl FrontierSchedule {
         out.extend_from_slice(&self.log);
         self.log.clear();
         bump_generation(&mut self.log_gen, &mut self.log_mark);
+    }
+
+    /// Sizes the mark vectors for `g` (if needed) with an **empty**
+    /// frontier — unlike [`FrontierSchedule::mark_all_dirty`], nothing
+    /// is made dirty. Lets a caller prime a fresh schedule so a later
+    /// [`FrontierSchedule::mark_dirty`] seeds exactly its vertices
+    /// instead of falling back to the all-dirty restart.
+    pub(crate) fn ensure_sized(&mut self, g: &Graph) {
+        let n = g.n();
+        if self.frontier_mark.len() != n {
+            self.frontier_mark.clear();
+            self.frontier_mark.resize(n, 0);
+            // Marks are all 0: the generation must be nonzero so no
+            // vertex reads as a frontier member.
+            self.frontier_gen = 1;
+            self.frontier.clear();
+            self.frontier_degree = 0;
+            self.touched_mark.clear();
+            self.touched_mark.resize(n, 0);
+            self.touched_gen = 0;
+            self.log_mark.clear();
+            self.log_mark.resize(n, 0);
+            self.log_gen = 1;
+            self.log.clear();
+        }
     }
 
     pub(crate) fn mark_all_dirty(&mut self, g: &Graph) {
@@ -682,7 +773,7 @@ impl<A: MbfAlgorithm> MbfEngine<A> {
             touched_vertices,
             bytes_copied,
             alloc_count,
-            arena_bytes: 0,
+            ..WorkStats::default()
         };
         (work, any_changed)
     }

@@ -364,6 +364,10 @@ impl MbfAlgorithm for LeListAlgorithm {
 }
 
 impl ArenaMbfAlgorithm for LeListAlgorithm {
+    /// The LE lists are the rank column's *raison d'être*: the probe
+    /// reads `(dist, rank)` pairs straight from the pool.
+    const USES_RANK_COLUMN: bool = true;
+
     /// The pool's rank column carries each entry's permutation rank, so
     /// the arena probe never chases the rank table.
     #[inline]

@@ -9,6 +9,12 @@
 //!   ([`mte_algebra::store`]), bit-identical to the owned `Vec` paths
 //!   (which remain the semantics reference) while paying copy traffic
 //!   only for states that actually changed,
+//! * [`dense`] — the **dense-block backend** for APSP-class workloads:
+//!   state vectors as flat row-major semiring matrices
+//!   ([`mte_algebra::dense`]) relaxed by contiguous cache-tiled row
+//!   kernels, plus the Ligra-style representation-switching hybrid
+//!   store (sparse maps → dense rows → matrix-mode hops) and the
+//!   dense oracle routing,
 //! * [`catalog`] — every example MBF-like algorithm of Section 3
 //!   (source detection, SSSP, k-SSP, APSP, MSSP, forest fire, widest
 //!   paths, k-SDP, k-DSDP, connectivity),
@@ -27,6 +33,7 @@
 
 pub mod arena;
 pub mod catalog;
+pub mod dense;
 pub mod engine;
 pub mod frt;
 pub mod metric;
@@ -35,6 +42,7 @@ pub mod simgraph;
 pub mod work;
 
 pub use arena::{ArenaEngine, ArenaMbfAlgorithm};
+pub use dense::{DenseEngine, DenseMbfAlgorithm, SwitchThresholds, SwitchingEngine};
 pub use engine::{EngineStrategy, MbfAlgorithm, MbfEngine, MbfRun};
 pub use simgraph::{LevelAssignment, SimulatedGraph};
 pub use work::WorkStats;

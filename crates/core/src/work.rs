@@ -57,6 +57,14 @@ pub struct WorkStats {
     /// backend). **Max-combined**, not summed, by [`AddAssign`]: the
     /// high-water mark of a run is the max over its hops.
     pub arena_bytes: u64,
+    /// Representation-switching activity: vertices whose state crossed
+    /// the row-density threshold and flipped to a dense row
+    /// (`mte_core::dense`). 0 for the purely sparse and purely dense
+    /// backends.
+    pub dense_flips: u64,
+    /// Hops executed in whole-matrix mode (every state a dense row,
+    /// relaxations through the contiguous row kernels).
+    pub dense_hops: u64,
 }
 
 impl WorkStats {
@@ -77,6 +85,8 @@ impl AddAssign for WorkStats {
         // A high-water mark, not a flow: combining two tallies keeps the
         // larger footprint.
         self.arena_bytes = self.arena_bytes.max(rhs.arena_bytes);
+        self.dense_flips += rhs.dense_flips;
+        self.dense_hops += rhs.dense_hops;
     }
 }
 
@@ -94,6 +104,8 @@ mod tests {
             bytes_copied: 100,
             alloc_count: 3,
             arena_bytes: 64,
+            dense_flips: 2,
+            dense_hops: 1,
         };
         a += WorkStats {
             iterations: 2,
@@ -103,6 +115,8 @@ mod tests {
             bytes_copied: 20,
             alloc_count: 1,
             arena_bytes: 32,
+            dense_flips: 3,
+            dense_hops: 4,
         };
         assert_eq!(
             a,
@@ -115,6 +129,8 @@ mod tests {
                 alloc_count: 4,
                 // Max-combined: the peak footprint, not the sum.
                 arena_bytes: 64,
+                dense_flips: 5,
+                dense_hops: 5,
             }
         );
     }

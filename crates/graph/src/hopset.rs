@@ -92,22 +92,34 @@ impl Hopset {
 
         let hubs: Vec<NodeId> = (0..n as NodeId).filter(|_| rng.gen_bool(p)).collect();
 
-        // Exact distances from every hub (parallel over hubs), then a
-        // shortcut clique over the hubs.
-        let hub_dists: Vec<Vec<mte_algebra::Dist>> = hubs
-            .par_iter()
-            .map(|&h| sssp(g, h).all().to_vec())
-            .collect();
-
+        // Shortcut clique over the hubs, emitted inside the per-hub
+        // parallel map: each task runs one SSSP and keeps only the
+        // `O(|hubs|)` shortcut edges it produces, so the transient
+        // footprint is one distance vector per in-flight task instead
+        // of the former Θ(|hubs|·n) all-hub distance table. Hub order
+        // is preserved by the parallel collect, so the edge list is
+        // deterministic.
         let inflate = 1.0 + config.epsilon;
-        let mut edges = Vec::with_capacity(hubs.len() * hubs.len() / 2);
-        for (i, &h) in hubs.iter().enumerate() {
-            for &h2 in hubs.iter().skip(i + 1) {
-                let d = hub_dists[i][h2 as usize];
-                if d.is_finite() && d.value() > 0.0 {
-                    edges.push((h, h2, d.value() * inflate));
-                }
-            }
+        let hubs_ref: &[NodeId] = &hubs;
+        let per_hub: Vec<Vec<(NodeId, NodeId, f64)>> = hubs
+            .par_iter()
+            .enumerate()
+            .map(|(i, &h)| {
+                let dists = sssp(g, h);
+                hubs_ref[i + 1..]
+                    .iter()
+                    .filter_map(|&h2| {
+                        let d = dists.dist(h2);
+                        (d.is_finite() && d.value() > 0.0).then(|| (h, h2, d.value() * inflate))
+                    })
+                    .collect()
+            })
+            .collect();
+        // Exact-size concatenation — no hubs²/2 over-reservation.
+        let total: usize = per_hub.iter().map(Vec::len).sum();
+        let mut edges = Vec::with_capacity(total);
+        for chunk in per_hub {
+            edges.extend(chunk);
         }
         Hopset {
             edges,

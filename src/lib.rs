@@ -57,9 +57,17 @@
 //! ([`algebra::store::EpochStore`]) with copy-on-write commits — an
 //! unchanged vertex keeps its span at zero cost, changed states are
 //! appended through per-chunk regions with a deterministic layout, and
-//! garbage amortizes away in high-water compactions. The owned `Vec`
-//! engine remains the semantics reference; the differential suite
-//! asserts both backends bit-identical under `MTE_THREADS ∈ {1, 4}`.
+//! garbage amortizes away in high-water compactions (the per-entry
+//! rank column is opt-in per algorithm; only the LE lists carry it).
+//! APSP-class workloads whose states converge to full rows
+//! (`SourceDetection::apsp`, all-pairs connectivity, widest paths) run
+//! on the **dense-block backend** ([`core::dense`]): the state vector
+//! as one flat row-major semiring matrix ([`algebra::dense`]) relaxed
+//! by contiguous cache-tiled row kernels, with a Ligra-style
+//! representation-switching hybrid (sparse maps until rows saturate,
+//! matrix-mode hops after). The owned `Vec` engine remains the
+//! semantics reference; the differential suite asserts all backends
+//! bit-identical under `MTE_THREADS ∈ {1, 4}`.
 //! `cargo run --release -p mte-bench --bin exp_baseline` runs
 //! the engine suite (dense vs frontier vs hybrid on the standard
 //! catalog) and the thread-scaling sweep, writing the

@@ -13,7 +13,11 @@ use metric_tree_embedding::core::arena::{
     initial_store, oracle_run_arena_with_schedule, run_to_fixpoint_arena_with, ArenaEngine,
     ArenaMbfAlgorithm,
 };
-use metric_tree_embedding::core::catalog::SourceDetection;
+use metric_tree_embedding::core::catalog::{Connectivity, SourceDetection, WidestPaths};
+use metric_tree_embedding::core::dense::{
+    oracle_run_dense_with_schedule, run_to_fixpoint_dense_with, run_to_fixpoint_switching_with,
+    SwitchThresholds, SwitchingEngine,
+};
 use metric_tree_embedding::core::engine::{
     initial_states, run_to_fixpoint_with, EngineStrategy, MbfAlgorithm, MbfEngine,
 };
@@ -461,6 +465,156 @@ fn arena_oracle_bit_identical_to_owned_oracle() {
 }
 
 // ---------------------------------------------------------------------
+// Dense-block backend: flat matrix kernels must be bit-identical to the
+// owned reference — min over f64 is order-independent and every dense
+// relaxation computes the same single `x + w` the sparse merges do, so
+// the comparison is exact equality, not approximate.
+// ---------------------------------------------------------------------
+
+#[test]
+fn dense_block_backend_bit_identical_to_owned() {
+    for (name, g) in workload_graphs() {
+        for strategy in STRATEGIES {
+            // APSP: the headline dense workload.
+            let alg = SourceDetection::apsp(g.n());
+            let owned = run_to_fixpoint_with(&alg, &g, g.n() + 1, strategy);
+            let dense = run_to_fixpoint_dense_with(&alg, &g, g.n() + 1, strategy);
+            assert_eq!(
+                owned.states, dense.states,
+                "{name}/{strategy:?}: dense apsp diverged from owned"
+            );
+            assert_eq!(owned.iterations, dense.iterations, "{name}/{strategy:?}");
+            assert_eq!(owned.fixpoint, dense.fixpoint, "{name}/{strategy:?}");
+            // Shared schedule: the scheduling counters agree exactly
+            // (entries_processed counts a different currency — dense
+            // coordinates — and is not compared).
+            // The dense backend may skip provably-absorbed merges, so its
+            // relaxation count can only be lower.
+            assert!(dense.work.edge_relaxations <= owned.work.edge_relaxations);
+            assert_eq!(owned.work.touched_vertices, dense.work.touched_vertices);
+
+            // Boolean semiring: all-pairs connectivity.
+            let alg = Connectivity::all_pairs(g.n());
+            let owned = run_to_fixpoint_with(&alg, &g, g.n() + 1, strategy);
+            let dense = run_to_fixpoint_dense_with(&alg, &g, g.n() + 1, strategy);
+            assert_eq!(
+                owned.states, dense.states,
+                "{name}/{strategy:?}/connectivity"
+            );
+            assert_eq!(owned.iterations, dense.iterations);
+
+            // Max-min semiring: all-pairs widest paths.
+            let alg = WidestPaths::apwp(g.n());
+            let owned = run_to_fixpoint_with(&alg, &g, g.n() + 1, strategy);
+            let dense = run_to_fixpoint_dense_with(&alg, &g, g.n() + 1, strategy);
+            assert_eq!(owned.states, dense.states, "{name}/{strategy:?}/widest");
+            assert_eq!(owned.iterations, dense.iterations);
+        }
+    }
+}
+
+#[test]
+fn dense_block_bit_identical_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(0x53EC);
+    let g = gnm_graph(180, 520, 1.0..9.0, &mut rng);
+    let alg = SourceDetection::apsp(g.n());
+    let g = &g;
+    let alg = &alg;
+    let run = |threads: usize| {
+        with_threads(threads, move || {
+            run_to_fixpoint_dense_with(alg, g, g.n() + 1, EngineStrategy::default())
+        })
+    };
+    let reference = with_threads(1, move || {
+        run_to_fixpoint_with(alg, g, g.n() + 1, EngineStrategy::default())
+    });
+    for threads in [1, 4] {
+        let dense = run(threads);
+        assert_eq!(
+            dense.states, reference.states,
+            "dense run on {threads} threads diverged"
+        );
+        assert_eq!(dense.iterations, reference.iterations);
+        assert_eq!(dense.fixpoint, reference.fixpoint);
+    }
+    // And the two dense runs agree on every counter (the reduction
+    // tree is thread-count independent).
+    assert_eq!(run(1).work, run(4).work);
+}
+
+#[test]
+fn switching_engine_bit_identical_across_thread_counts_and_thresholds() {
+    let mut rng = StdRng::seed_from_u64(0x53ED);
+    let g = gnm_graph(120, 340, 1.0..8.0, &mut rng);
+    let alg = SourceDetection::apsp(g.n());
+    let owned = run_to_fixpoint_with(&alg, &g, g.n() + 1, EngineStrategy::default());
+    let g = &g;
+    let alg = &alg;
+    for thresholds in [
+        SwitchThresholds::default(),
+        // Aggressive: flips early in the run.
+        SwitchThresholds {
+            row_density: 0.1,
+            saturation: 0.1,
+            revert: 0.01,
+        },
+        // Unreachable: stays sparse throughout.
+        SwitchThresholds {
+            row_density: 2.0,
+            saturation: 2.0,
+            revert: 0.0,
+        },
+    ] {
+        let run = |threads: usize| {
+            with_threads(threads, move || {
+                run_to_fixpoint_switching_with(
+                    alg,
+                    g,
+                    g.n() + 1,
+                    EngineStrategy::default(),
+                    thresholds,
+                )
+            })
+        };
+        let r1 = run(1);
+        assert_eq!(
+            r1.states, owned.states,
+            "{thresholds:?}: switching run diverged from owned"
+        );
+        assert_eq!(r1.iterations, owned.iterations, "{thresholds:?}");
+        assert_eq!(r1.fixpoint, owned.fixpoint, "{thresholds:?}");
+        let r4 = run(4);
+        assert_eq!(r1.states, r4.states, "{thresholds:?}: thread divergence");
+        // The switching decisions are driven by deterministic density
+        // statistics: even the switching counters are thread-invariant.
+        assert_eq!(r1.work, r4.work, "{thresholds:?}");
+    }
+}
+
+#[test]
+fn dense_oracle_bit_identical_to_owned_oracle_across_threads() {
+    let (g, sim) = oracle_fixture();
+    let cap = 4 * g.n();
+    let alg = SourceDetection::apsp(g.n());
+    let reference = oracle_run_with_schedule(&alg, &sim, cap, EngineStrategy::Frontier, true);
+    let sim = &sim;
+    let alg = &alg;
+    for threads in [1, 4] {
+        for carry_over in [true, false] {
+            let dense = with_threads(threads, move || {
+                oracle_run_dense_with_schedule(alg, sim, cap, EngineStrategy::Frontier, carry_over)
+            });
+            assert_eq!(
+                dense.states, reference.states,
+                "{threads} threads, carry={carry_over}: dense oracle diverged"
+            );
+            assert_eq!(dense.h_iterations, reference.h_iterations);
+            assert_eq!(dense.fixpoint, reference.fixpoint);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Property fuzz: random (possibly disconnected) graphs.
 // ---------------------------------------------------------------------
 
@@ -588,5 +742,73 @@ proptest! {
             }
         }
         prop_assert_eq!(store.export(), owned_states);
+    }
+
+    /// The representation-switching engine stays bit-identical to the
+    /// owned engine, hop for hop, on arbitrary random graphs under
+    /// arbitrary switching thresholds, with sparse external edits
+    /// (`assign_dirty`) interleaved — shrinking edits on a grown run
+    /// force dense→sparse reverts, and the run's own growth under
+    /// aggressive thresholds forces sparse→dense flips mid-run.
+    #[test]
+    fn random_graphs_thresholds_and_edits_keep_switching_engine_identical(
+        n in 4usize..24,
+        extra in 0usize..30,
+        seed in any::<u64>(),
+        rounds in 1usize..6,
+        row_density in 0.05f64..1.5,
+        saturation in 0.05f64..1.5,
+        revert in 0.0f64..0.6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gnm_graph(n, (n - 1 + extra).min(n * (n - 1) / 2), 1.0..9.0, &mut rng);
+        let alg = SourceDetection::apsp(g.n());
+        let thresholds = SwitchThresholds { row_density, saturation, revert };
+
+        let mut owned_states = initial_states(&alg, g.n());
+        let mut owned_engine = MbfEngine::new(EngineStrategy::default());
+        owned_engine.mark_all_dirty(&g);
+        let mut switching = SwitchingEngine::new(&alg, &g, EngineStrategy::default(), thresholds);
+
+        let mut salt = seed | 1;
+        let mut saw_matrix = false;
+        for round in 0..rounds {
+            // Sparse external edits applied to both backends: shrinking
+            // a grown state collapses the live density (dense→sparse
+            // pressure); the run regrows it afterwards (sparse→dense).
+            for e in 0..(1 + round % 3) {
+                salt = salt
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let v = ((salt >> 33) as usize % g.n()) as NodeId;
+                let edit = alg.init(((v as usize + e + 1) % g.n()) as NodeId);
+                owned_states[v as usize] = edit.clone();
+                owned_engine.mark_dirty(&g, [v]);
+                switching.assign_dirty(&alg, &g, v, &edit);
+            }
+            for _ in 0..=(salt % 3) as usize {
+                let (_, c_owned) = owned_engine.step(&alg, &g, &mut owned_states, 1.0);
+                let (_, c_switch) = switching.step(&alg, &g, 1.0);
+                prop_assert_eq!(c_owned, c_switch);
+                saw_matrix |= switching.in_matrix_mode();
+            }
+            prop_assert_eq!(&switching.export_states(), &owned_states);
+        }
+        // Drive both to the fixpoint and compare once more.
+        for _ in 0..2 * g.n() + 4 {
+            let (_, c_owned) = owned_engine.step(&alg, &g, &mut owned_states, 1.0);
+            let (_, c_switch) = switching.step(&alg, &g, 1.0);
+            prop_assert_eq!(c_owned, c_switch);
+            saw_matrix |= switching.in_matrix_mode();
+            if !c_owned {
+                break;
+            }
+        }
+        prop_assert_eq!(switching.export_states(), owned_states);
+        // Aggressive thresholds must actually exercise matrix mode
+        // (APSP states grow to full rows, so saturation is guaranteed).
+        if row_density <= 0.5 && saturation <= 0.5 {
+            prop_assert!(saw_matrix, "thresholds {thresholds:?} never flipped");
+        }
     }
 }
