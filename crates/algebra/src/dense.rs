@@ -677,6 +677,7 @@ pub fn rows_equal<S: DenseKernel>(a: &[S], b: &[S]) -> bool {
 /// slice order — exactly the order the untiled neighbor loop uses — so
 /// tiling never changes a result, even for non-commutative folds.
 pub fn relax_rows_into<S: DenseKernel>(dst: &mut [S], srcs: &[(&[S], S)]) {
+    dense_kernel_fault(dst);
     let k = dst.len();
     let mut start = 0;
     while start < k {
@@ -700,6 +701,7 @@ pub fn relax_rows_into<S: DenseKernel>(dst: &mut [S], srcs: &[(&[S], S)]) {
 /// never return, so "some pass moved some lane" ⟺ `dst != base`. With
 /// `srcs` empty the row is copied verbatim (`false`).
 pub fn relax_rows_tracked<S: DenseKernel>(dst: &mut [S], base: &[S], srcs: &[(&[S], S)]) -> bool {
+    dense_kernel_fault(dst);
     let k = dst.len();
     debug_assert_eq!(k, base.len());
     let Some((first, rest)) = srcs.split_first() else {
@@ -722,6 +724,30 @@ pub fn relax_rows_tracked<S: DenseKernel>(dst: &mut [S], base: &[S], srcs: &[(&[
         start = end;
     }
     changed
+}
+
+/// Fault-injection hook shared by the row kernels: a `panic` fault
+/// unwinds mid-relaxation, a `poison_nan` fault corrupts the first
+/// destination element before the kernel runs.
+#[inline]
+fn dense_kernel_fault<S: Semiring>(dst: &mut [S]) {
+    match mte_faults::check_for(
+        mte_faults::FaultSite::DenseRowKernel,
+        &[
+            mte_faults::FaultKind::Panic,
+            mte_faults::FaultKind::PoisonNan,
+        ],
+    ) {
+        Some(mte_faults::FaultKind::Panic) => {
+            mte_faults::trigger_panic(mte_faults::FaultSite::DenseRowKernel)
+        }
+        Some(mte_faults::FaultKind::PoisonNan) => {
+            if let Some(d) = dst.first_mut() {
+                d.poison();
+            }
+        }
+        _ => {}
+    }
 }
 
 /// A semimodule state that admits a dense row representation over the
@@ -800,6 +826,38 @@ impl DenseState<Bool> for NodeSet {
     }
 }
 
+/// A dense-block allocation was refused: the requested matrix exceeds
+/// the configured memory budget, or a simulated allocation failure was
+/// injected. Recoverable — the switching engine declines the flip and
+/// completes on the sparse representation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DenseAllocError {
+    /// Bytes the refused block would have occupied.
+    pub requested_bytes: u64,
+    /// The budget in force, if any (`None` for an injected failure
+    /// under an unlimited budget).
+    pub budget_bytes: Option<u64>,
+}
+
+impl std::fmt::Display for DenseAllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.budget_bytes {
+            Some(b) => write!(
+                f,
+                "dense block allocation of {} bytes exceeds budget of {} bytes",
+                self.requested_bytes, b
+            ),
+            None => write!(
+                f,
+                "dense block allocation of {} bytes failed",
+                self.requested_bytes
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DenseAllocError {}
+
 /// A whole state vector `x ∈ M^V` as one flat row-major matrix: `rows`
 /// vertices × `cols` coordinates of semiring values, vertex `v`'s state
 /// at `values[v·cols .. (v+1)·cols]`. See the module docs for the
@@ -821,6 +879,40 @@ impl<S: Semiring + Copy> DenseBlock<S> {
         }
     }
 
+    /// Bytes the value storage of a `rows × cols` block would occupy.
+    #[inline]
+    pub fn bytes_for(rows: usize, cols: usize) -> u64 {
+        rows as u64 * cols as u64 * std::mem::size_of::<S>() as u64
+    }
+
+    /// Like [`DenseBlock::new`], but refuses to allocate past
+    /// `budget_bytes` — the graceful-degradation hook the switching
+    /// engine uses to decline a dense flip instead of overcommitting
+    /// memory. An armed `alloc_fail` fault at the `dense_row_kernel`
+    /// site simulates exhaustion even under no (or a large) budget; it
+    /// is logged as **handled** because the caller answers with a typed
+    /// error or a recorded degradation, never silent corruption.
+    pub fn try_new(
+        rows: usize,
+        cols: usize,
+        budget_bytes: Option<u64>,
+    ) -> Result<Self, DenseAllocError> {
+        let requested_bytes = Self::bytes_for(rows, cols);
+        let over_budget = budget_bytes.is_some_and(|b| requested_bytes > b);
+        let injected = mte_faults::check_handled(
+            mte_faults::FaultSite::DenseRowKernel,
+            &[mte_faults::FaultKind::AllocFail],
+        )
+        .is_some();
+        if over_budget || injected {
+            return Err(DenseAllocError {
+                requested_bytes,
+                budget_bytes,
+            });
+        }
+        Ok(DenseBlock::new(rows, cols))
+    }
+
     /// Builds a block from a sparse state vector (`cols` columns per
     /// row; states must not hold coordinates ≥ `cols`).
     pub fn from_states<M: DenseState<S>>(states: &[M], cols: usize) -> Self {
@@ -829,6 +921,19 @@ impl<S: Semiring + Copy> DenseBlock<S> {
             x.write_dense(block.row_mut(v as NodeId));
         }
         block
+    }
+
+    /// Budget-checked [`DenseBlock::from_states`].
+    pub fn try_from_states<M: DenseState<S>>(
+        states: &[M],
+        cols: usize,
+        budget_bytes: Option<u64>,
+    ) -> Result<Self, DenseAllocError> {
+        let mut block = DenseBlock::try_new(states.len(), cols, budget_bytes)?;
+        for (v, x) in states.iter().enumerate() {
+            x.write_dense(block.row_mut(v as NodeId));
+        }
+        Ok(block)
     }
 
     /// Exports every row back to the sparse representation

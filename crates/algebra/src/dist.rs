@@ -45,6 +45,23 @@ impl Dist {
         self.0.is_finite()
     }
 
+    /// A NaN distance, bypassing the [`Dist::new`] validation.
+    ///
+    /// **Fault-injection only.** The `mte_faults` harness uses this to
+    /// corrupt states and assert the pipeline either detects the
+    /// corruption or panics; no production path constructs it.
+    #[inline]
+    pub fn poisoned() -> Dist {
+        Dist(f64::NAN)
+    }
+
+    /// `true` iff this distance holds the NaN payload that only
+    /// [`Dist::poisoned`] can produce.
+    #[inline]
+    pub fn is_poisoned(self) -> bool {
+        self.0.is_nan()
+    }
+
     /// Minimum of two distances (`⊕` of min-plus).
     #[inline]
     pub fn min(self, other: Dist) -> Dist {

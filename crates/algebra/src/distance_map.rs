@@ -409,6 +409,18 @@ impl Semimodule<MinPlus> for DistanceMap {
             entries: self.entries.iter().map(|&(v, x)| (v, x + d)).collect(),
         }
     }
+
+    #[inline]
+    fn is_sane(&self) -> bool {
+        self.entries.iter().all(|&(_, d)| !d.is_poisoned())
+    }
+
+    fn poison(&mut self) {
+        match self.entries.first_mut() {
+            Some(entry) => entry.1 = Dist::poisoned(),
+            None => self.entries.push((0, Dist::poisoned())),
+        }
+    }
 }
 
 impl FromIterator<(NodeId, Dist)> for DistanceMap {

@@ -54,6 +54,16 @@ impl Semiring for Width {
     fn mul(&self, rhs: &Self) -> Self {
         Width(self.0.min(rhs.0))
     }
+
+    #[inline]
+    fn is_sane(&self) -> bool {
+        !self.0.is_poisoned()
+    }
+
+    #[inline]
+    fn poison(&mut self) {
+        self.0 = Dist::poisoned();
+    }
 }
 
 #[cfg(test)]

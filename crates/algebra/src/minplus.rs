@@ -48,6 +48,16 @@ impl Semiring for MinPlus {
     fn mul(&self, rhs: &Self) -> Self {
         MinPlus(self.0 + rhs.0)
     }
+
+    #[inline]
+    fn is_sane(&self) -> bool {
+        !self.0.is_poisoned()
+    }
+
+    #[inline]
+    fn poison(&mut self) {
+        self.0 = Dist::poisoned();
+    }
 }
 
 impl From<Dist> for MinPlus {

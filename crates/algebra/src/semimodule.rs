@@ -38,6 +38,22 @@ pub trait Semimodule<S: Semiring>: Clone + PartialEq + Debug + Send + Sync + 'st
     fn is_zero(&self) -> bool {
         *self == Self::zero()
     }
+
+    /// Returns `false` iff `self` contains a value no semimodule operation
+    /// can produce (e.g. a NaN distance injected by the fault harness).
+    ///
+    /// Defense-in-depth for the robustness audit; the fault registry's
+    /// fired log remains the primary detector, since poisoned entries can
+    /// be overwritten by later aggregations.
+    #[inline]
+    fn is_sane(&self) -> bool {
+        true
+    }
+
+    /// Corrupts `self` with an insane value if the representation has one.
+    /// Fault-injection only; the default is a no-op.
+    #[inline]
+    fn poison(&mut self) {}
 }
 
 /// Every semiring is a zero-preserving semimodule over itself
@@ -56,5 +72,15 @@ impl<S: Semiring> Semimodule<S> for S {
     #[inline]
     fn scale(&self, s: &S) -> Self {
         s.mul(self)
+    }
+
+    #[inline]
+    fn is_sane(&self) -> bool {
+        Semiring::is_sane(self)
+    }
+
+    #[inline]
+    fn poison(&mut self) {
+        Semiring::poison(self);
     }
 }

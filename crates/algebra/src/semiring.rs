@@ -28,4 +28,23 @@ pub trait Semiring: Clone + PartialEq + Debug + Send + Sync + 'static {
     fn is_zero(&self) -> bool {
         *self == Self::zero()
     }
+
+    /// Returns `false` iff `self` holds a value no semiring operation can
+    /// produce (e.g. a NaN distance injected by the fault harness).
+    ///
+    /// The default claims sanity; semirings backed by floating point
+    /// override it. Used by the robustness audit as a defense-in-depth
+    /// scan — the fault registry's fired log is the primary detector.
+    #[inline]
+    fn is_sane(&self) -> bool {
+        true
+    }
+
+    /// Overwrites `self` with an insane value if the semiring has one.
+    ///
+    /// Fault-injection only: the default is a no-op, so poisoning a
+    /// semiring without an insane representation silently does nothing
+    /// (the differential harness then expects bit-identical output).
+    #[inline]
+    fn poison(&mut self) {}
 }

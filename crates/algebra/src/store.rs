@@ -286,7 +286,22 @@ impl EpochStore {
     #[inline]
     pub fn get(&self, v: NodeId) -> DistanceSlice<'_> {
         let s = self.spans[v as usize];
-        let (a, b) = (s.off as usize, s.off as usize + s.len as usize);
+        let (a, mut b) = (s.off as usize, s.off as usize + s.len as usize);
+        match mte_faults::check_for(
+            mte_faults::FaultSite::ArenaSpanRead,
+            &[
+                mte_faults::FaultKind::Panic,
+                mte_faults::FaultKind::TruncateSpan,
+            ],
+        ) {
+            Some(mte_faults::FaultKind::Panic) => {
+                mte_faults::trigger_panic(mte_faults::FaultSite::ArenaSpanRead)
+            }
+            Some(mte_faults::FaultKind::TruncateSpan) => {
+                b = a + (b - a).saturating_sub(1);
+            }
+            _ => {}
+        }
         DistanceSlice {
             entries: &self.entries[a..b],
             ranks: if self.ranked { &self.ranks[a..b] } else { &[] },

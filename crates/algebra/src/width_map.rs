@@ -158,6 +158,18 @@ impl Semimodule<Width> for WidthMap {
                 .collect(),
         }
     }
+
+    #[inline]
+    fn is_sane(&self) -> bool {
+        self.entries.iter().all(|&(_, w)| !w.0.is_poisoned())
+    }
+
+    fn poison(&mut self) {
+        match self.entries.first_mut() {
+            Some(entry) => entry.1 = Width(Dist::poisoned()),
+            None => self.entries.push((0, Width(Dist::poisoned()))),
+        }
+    }
 }
 
 #[cfg(test)]

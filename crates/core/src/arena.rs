@@ -52,6 +52,7 @@
 //! [`crate::oracle::oracle_run_with_schedule`].
 
 use crate::engine::{initial_states, EngineStrategy, FrontierSchedule, MbfAlgorithm, MbfRun};
+use crate::error::{RunError, RunReport};
 use crate::oracle::OracleRun;
 use crate::simgraph::SimulatedGraph;
 use crate::work::WorkStats;
@@ -434,6 +435,17 @@ impl ArenaEngine {
         // epoch — possibly compacting first — then concatenate the
         // chunk regions into the pool in chunk order and retarget the
         // spans of changed vertices.
+        //
+        // Fault-injection site: a `panic` here unwinds with the commit
+        // not yet applied, leaving the store on the previous epoch.
+        if mte_faults::check_for(
+            mte_faults::FaultSite::EngineHopCommit,
+            &[mte_faults::FaultKind::Panic],
+        )
+        .is_some()
+        {
+            mte_faults::trigger_panic(mte_faults::FaultSite::EngineHopCommit);
+        }
         let before = store.stats();
         let total_new: usize = self.chunk_bufs[..k].iter().map(|b| b.entries.len()).sum();
         store.begin_epoch(total_new);
@@ -554,6 +566,25 @@ pub fn run_to_fixpoint_arena<A: ArenaMbfAlgorithm>(
     cap: usize,
 ) -> MbfRun<DistanceMap> {
     run_to_fixpoint_arena_with(alg, g, cap, EngineStrategy::default())
+}
+
+/// Guarded [`run_to_fixpoint_arena_with`] (cf.
+/// [`crate::engine::try_run_to_fixpoint_with`]): panics become typed
+/// errors, injected faults are audited, exported states are scanned.
+pub fn try_run_to_fixpoint_arena_with<A: ArenaMbfAlgorithm>(
+    alg: &A,
+    g: &Graph,
+    cap: usize,
+    strategy: EngineStrategy,
+) -> Result<(MbfRun<DistanceMap>, RunReport), RunError> {
+    let run = crate::error::run_guarded(|| run_to_fixpoint_arena_with(alg, g, cap, strategy))?;
+    crate::error::check_states::<MinPlus, DistanceMap>(&run.states)?;
+    let report = RunReport {
+        converged: run.fixpoint,
+        hops: run.iterations as u64,
+        degradations: Vec::new(),
+    };
+    Ok((run, report))
 }
 
 // ---------------------------------------------------------------------
@@ -781,6 +812,8 @@ pub fn oracle_run_arena_with_schedule<A: ArenaMbfAlgorithm>(
         states,
         h_iterations: executed,
         fixpoint,
+        converged: fixpoint,
+        hops: work.iterations,
         work,
     }
 }

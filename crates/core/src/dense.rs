@@ -64,6 +64,7 @@
 use crate::engine::{
     initial_states, EngineStrategy, FrontierSchedule, MbfAlgorithm, MbfEngine, MbfRun, SyncPtr,
 };
+use crate::error::{Degradation, RunError, RunReport};
 use crate::oracle::OracleRun;
 use crate::simgraph::SimulatedGraph;
 use crate::work::WorkStats;
@@ -383,6 +384,27 @@ where
         let per_vertex: &[(u64, u64, bool)] = &self.per_vertex;
         self.sched.refresh(g, |p| per_vertex[p].2);
 
+        // Fault-injection site: the hop's commit just completed; a
+        // `panic` unwinds mid-run, a `poison_nan` corrupts one matrix
+        // element.
+        match mte_faults::check_for(
+            mte_faults::FaultSite::EngineHopCommit,
+            &[
+                mte_faults::FaultKind::Panic,
+                mte_faults::FaultKind::PoisonNan,
+            ],
+        ) {
+            Some(mte_faults::FaultKind::Panic) => {
+                mte_faults::trigger_panic(mte_faults::FaultSite::EngineHopCommit)
+            }
+            Some(mte_faults::FaultKind::PoisonNan) => {
+                if let Some(s) = block.values_mut().first_mut() {
+                    Semiring::poison(s);
+                }
+            }
+            _ => {}
+        }
+
         let work = WorkStats {
             iterations: 1,
             entries_processed: entries,
@@ -498,18 +520,35 @@ pub struct SwitchThresholds {
     /// below `row_density · saturation` so the two switches have
     /// hysteresis.
     pub revert: f64,
+    /// Memory budget for the dense block, in bytes. A flip whose
+    /// `n × k` allocation would exceed it is **declined**: the engine
+    /// stays sparse (bit-identical output, recorded in
+    /// `WorkStats::dense_declined` and the run report's degradations).
+    /// `None` = unlimited.
+    pub budget_bytes: Option<u64>,
 }
 
 impl Default for SwitchThresholds {
     /// Flip a row at half density, the hop at a quarter of the vertices
-    /// dense, revert below 5% live density.
+    /// dense, revert below 5% live density. The memory budget comes
+    /// from `MTE_DENSE_BUDGET_BYTES` (unlimited when unset).
     fn default() -> Self {
         SwitchThresholds {
             row_density: 0.5,
             saturation: 0.25,
             revert: 0.05,
+            budget_bytes: dense_budget_from_env(),
         }
     }
+}
+
+/// Dense-block memory budget requested by the environment:
+/// `MTE_DENSE_BUDGET_BYTES` parsed as bytes, `None` when unset or
+/// unparsable (unlimited).
+pub fn dense_budget_from_env() -> Option<u64> {
+    std::env::var("MTE_DENSE_BUDGET_BYTES")
+        .ok()
+        .and_then(|raw| raw.trim().parse::<u64>().ok())
 }
 
 /// Which store currently holds the states.
@@ -549,6 +588,15 @@ where
     /// Upward row-density crossings since the last step (external edits
     /// included), drained into the next step's `WorkStats`.
     pending_flips: u64,
+    /// `false` once a flip was declined for exceeding the memory
+    /// budget: the engine then completes sparse without re-attempting
+    /// the allocation every hop.
+    dense_allowed: bool,
+    /// Declined flips since the last step, drained into the next step's
+    /// `WorkStats::dense_declined`.
+    pending_declined: u64,
+    /// Degradations taken so far (for the run report).
+    degradations: Vec<Degradation>,
     changed_scratch: Vec<NodeId>,
     frontier_scratch: Vec<NodeId>,
 }
@@ -604,9 +652,17 @@ where
             is_dense_row,
             dense_rows,
             pending_flips,
+            dense_allowed: true,
+            pending_declined: 0,
+            degradations: Vec::new(),
             changed_scratch: Vec::new(),
             frontier_scratch: Vec::new(),
         }
+    }
+
+    /// Degradations this engine took so far (declined dense flips).
+    pub fn degradations(&self) -> &[Degradation] {
+        &self.degradations
     }
 
     /// `true` iff the engine currently holds the states as a dense
@@ -662,15 +718,32 @@ where
 
     /// Converts the sparse store into the dense block and hands the
     /// frontier over (states bit-identical; only the representation
-    /// changes).
+    /// changes). If the block allocation exceeds the memory budget the
+    /// flip is **declined**: the engine records the degradation, stops
+    /// attempting further flips, and completes on the sparse store —
+    /// the output stays bit-identical, only the performance profile
+    /// changes.
     fn flip_to_matrix(&mut self, g: &Graph) {
         let n = g.n();
         if self.block.rows() == n && self.block.cols() == n {
+            // The block is already allocated (an earlier flip/revert
+            // cycle): reuse is free, no budget decision to make.
             for (v, x) in self.states.iter().enumerate() {
                 self.block.set_row(v as NodeId, x);
             }
         } else {
-            self.block = DenseBlock::from_states(&self.states, n);
+            match DenseBlock::try_from_states(&self.states, n, self.thresholds.budget_bytes) {
+                Ok(block) => self.block = block,
+                Err(e) => {
+                    self.dense_allowed = false;
+                    self.pending_declined += 1;
+                    self.degradations.push(Degradation::DenseFlipDeclined {
+                        requested_bytes: e.requested_bytes,
+                        budget_bytes: e.budget_bytes,
+                    });
+                    return;
+                }
+            }
         }
         // Release the sparse heap buffers; the vector itself is kept
         // for the reverse conversion.
@@ -717,7 +790,9 @@ where
                     let v = self.changed_scratch[i];
                     self.note_row_len(v, alg.state_size(&self.states[v as usize]));
                 }
-                if (self.dense_rows as f64) >= self.thresholds.saturation * n as f64 {
+                if self.dense_allowed
+                    && (self.dense_rows as f64) >= self.thresholds.saturation * n as f64
+                {
                     self.flip_to_matrix(g);
                 }
                 (work, changed)
@@ -742,6 +817,7 @@ where
             }
         };
         work.dense_flips += std::mem::take(&mut self.pending_flips);
+        work.dense_declined += std::mem::take(&mut self.pending_declined);
         (work, changed)
     }
 }
@@ -780,6 +856,90 @@ where
         fixpoint,
         work,
     }
+}
+
+/// Guarded [`run_to_fixpoint_switching_with`]: panics become typed
+/// errors, injected faults are audited, exported states are scanned —
+/// and degradations the engine took (declined dense flips) surface in
+/// the [`RunReport`] instead of failing the run.
+pub fn try_run_to_fixpoint_switching_with<A>(
+    alg: &A,
+    g: &Graph,
+    cap: usize,
+    strategy: EngineStrategy,
+    thresholds: SwitchThresholds,
+) -> Result<(MbfRun<A::M>, RunReport), RunError>
+where
+    A: DenseMbfAlgorithm,
+    A::S: DenseKernel,
+    A::M: DenseState<A::S>,
+{
+    let (run, degradations) = crate::error::run_guarded(|| {
+        let mut engine = SwitchingEngine::new(alg, g, strategy, thresholds);
+        let mut work = WorkStats::new();
+        let mut iterations = 0;
+        let mut fixpoint = false;
+        while iterations < cap {
+            let (w, changed) = engine.step(alg, g, 1.0);
+            work += w;
+            iterations += 1;
+            if !changed {
+                fixpoint = true;
+                break;
+            }
+        }
+        let run = MbfRun {
+            states: engine.export_states(),
+            iterations,
+            fixpoint,
+            work,
+        };
+        (run, engine.degradations().to_vec())
+    })?;
+    crate::error::check_states::<A::S, A::M>(&run.states)?;
+    let report = RunReport {
+        converged: run.fixpoint,
+        hops: run.iterations as u64,
+        degradations,
+    };
+    Ok((run, report))
+}
+
+/// Guarded [`run_to_fixpoint_dense_with`] with an explicit memory
+/// budget. Unlike the switching engine — which *degrades* to sparse —
+/// a dense-only run that cannot afford its `n × n` block has no
+/// fallback: the budget violation is a typed
+/// [`RunError::DenseBudgetExceeded`], checked before any allocation.
+pub fn try_run_to_fixpoint_dense_with<A>(
+    alg: &A,
+    g: &Graph,
+    cap: usize,
+    strategy: EngineStrategy,
+    budget_bytes: Option<u64>,
+) -> Result<(MbfRun<A::M>, RunReport), RunError>
+where
+    A: DenseMbfAlgorithm,
+    A::S: DenseKernel,
+    A::M: DenseState<A::S>,
+{
+    let n = g.n();
+    let requested = DenseBlock::<A::S>::bytes_for(n, n);
+    if let Some(budget) = budget_bytes {
+        if requested > budget {
+            return Err(RunError::DenseBudgetExceeded {
+                requested_bytes: requested,
+                budget_bytes: budget,
+            });
+        }
+    }
+    let run = crate::error::run_guarded(|| run_to_fixpoint_dense_with(alg, g, cap, strategy))?;
+    crate::error::check_states::<A::S, A::M>(&run.states)?;
+    let report = RunReport {
+        converged: run.fixpoint,
+        hops: run.iterations as u64,
+        degradations: Vec::new(),
+    };
+    Ok((run, report))
 }
 
 // ---------------------------------------------------------------------
@@ -996,6 +1156,8 @@ where
         states: x.export(),
         h_iterations: executed,
         fixpoint,
+        converged: fixpoint,
+        hops: work.iterations,
         work,
     }
 }
@@ -1144,6 +1306,7 @@ mod tests {
                 row_density: 0.2,
                 saturation: 0.2,
                 revert: 0.01,
+                budget_bytes: None,
             },
         );
         assert_eq!(owned.states, switching.states);
@@ -1168,6 +1331,7 @@ mod tests {
                 row_density: 2.0, // unreachable: never a candidate
                 saturation: 2.0,
                 revert: 0.0,
+                budget_bytes: None,
             },
         );
         assert_eq!(owned.states, switching.states);
@@ -1185,6 +1349,7 @@ mod tests {
             row_density: 0.2,
             saturation: 0.2,
             revert: 0.3, // high: shrinink edits drop below this quickly
+            budget_bytes: None,
         };
         let mut engine = SwitchingEngine::new(&alg, &g, EngineStrategy::default(), thresholds);
         for _ in 0..g.n() {

@@ -84,6 +84,7 @@
 //! merge-everything-then-filter reference (differential-tested by
 //! `tests/schedule_equivalence.rs`).
 
+use crate::error::{RunError, RunReport};
 use crate::work::WorkStats;
 use mte_algebra::{Filter, NodeId, Semimodule, Semiring};
 use mte_graph::Graph;
@@ -766,6 +767,27 @@ impl<A: MbfAlgorithm> MbfEngine<A> {
         let per_vertex: &[(u64, u64, u64, bool)] = &self.per_vertex;
         self.sched.refresh(g, |p| per_vertex[p].3);
 
+        // Fault-injection site: the hop's commit just completed; a
+        // `panic` unwinds mid-run, a `poison_nan` corrupts one committed
+        // state (the audit in `error::run_guarded` catches either).
+        match mte_faults::check_for(
+            mte_faults::FaultSite::EngineHopCommit,
+            &[
+                mte_faults::FaultKind::Panic,
+                mte_faults::FaultKind::PoisonNan,
+            ],
+        ) {
+            Some(mte_faults::FaultKind::Panic) => {
+                mte_faults::trigger_panic(mte_faults::FaultSite::EngineHopCommit)
+            }
+            Some(mte_faults::FaultKind::PoisonNan) => {
+                if let Some(&v) = self.sched.touched().first() {
+                    states[v as usize].poison();
+                }
+            }
+            _ => {}
+        }
+
         let work = WorkStats {
             iterations: 1,
             entries_processed: entries,
@@ -896,6 +918,44 @@ where
     A::M: PartialEq,
 {
     run_to_fixpoint_with(alg, g, cap, EngineStrategy::default())
+}
+
+/// Guarded [`run_with`]: panics become typed errors, injected faults
+/// are audited, final states are sanity-scanned. On success the
+/// [`RunReport`] carries convergence and hop metadata.
+pub fn try_run_with<A: MbfAlgorithm>(
+    alg: &A,
+    g: &Graph,
+    h: usize,
+    strategy: EngineStrategy,
+) -> Result<(MbfRun<A::M>, RunReport), RunError> {
+    let run = crate::error::run_guarded(|| run_with(alg, g, h, strategy))?;
+    crate::error::check_states::<A::S, A::M>(&run.states)?;
+    let report = RunReport {
+        converged: run.fixpoint,
+        hops: run.iterations as u64,
+        degradations: Vec::new(),
+    };
+    Ok((run, report))
+}
+
+/// Guarded [`run_to_fixpoint_with`] (see [`try_run_with`]). A run that
+/// exhausts `cap` without reaching the fixpoint is *not* an error; it
+/// returns `converged: false`.
+pub fn try_run_to_fixpoint_with<A: MbfAlgorithm>(
+    alg: &A,
+    g: &Graph,
+    cap: usize,
+    strategy: EngineStrategy,
+) -> Result<(MbfRun<A::M>, RunReport), RunError> {
+    let run = crate::error::run_guarded(|| run_to_fixpoint_with(alg, g, cap, strategy))?;
+    crate::error::check_states::<A::S, A::M>(&run.states)?;
+    let report = RunReport {
+        converged: run.fixpoint,
+        hops: run.iterations as u64,
+        degradations: Vec::new(),
+    };
+    Ok((run, report))
 }
 
 /// Applies a [`Filter`] component-wise to a state vector: the paper's

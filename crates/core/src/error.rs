@@ -1,0 +1,201 @@
+//! Typed run errors and run reports for the MBF pipeline.
+//!
+//! The `try_*` entry points on the engines and the oracle wrap a run in
+//! [`run_guarded`]: the closure executes under `catch_unwind`, and after
+//! it returns the fault registry's fired log is audited for injected
+//! faults that no layer absorbed. The contract the differential fault
+//! harness enforces is
+//!
+//! > a run either returns a typed [`RunError`], or its output is
+//! > bit-identical to the clean run,
+//!
+//! and the fired-log audit is what makes it sound: a poisoned (NaN)
+//! entry can be *overwritten* by a later aggregation and leave behind a
+//! plausible but wrong finite value, so scanning the final states
+//! ([`check_states`]) is only defense in depth — the log never forgets
+//! that a fault fired. Faults a layer handles by design (an `alloc_fail`
+//! absorbed by the switching engine's sparse fallback, an `io` fault
+//! answered by the parser's typed error) are logged as *handled* and do
+//! not fail the audit.
+
+use mte_algebra::{NodeId, Semimodule, Semiring};
+use mte_faults::{FaultKind, FaultSite, InjectedPanic};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A guarded run failed. Every variant is a *detected* failure — the
+/// differential harness treats any of them as an acceptable outcome,
+/// whereas silent corruption is not.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunError {
+    /// An injected fault fired and was not absorbed by any layer.
+    InjectedFault { site: FaultSite, kind: FaultKind },
+    /// The run panicked (injected panics that identify themselves are
+    /// reported as [`RunError::InjectedFault`] instead).
+    Panicked { message: String },
+    /// The final states contain a value no semiring operation can
+    /// produce (NaN poison that survived to the end).
+    CorruptState { vertex: NodeId },
+    /// A dense-only run could not allocate its matrix within the budget
+    /// (the switching engine degrades instead; see
+    /// [`Degradation::DenseFlipDeclined`]).
+    DenseBudgetExceeded {
+        requested_bytes: u64,
+        budget_bytes: u64,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::InjectedFault { site, kind } => {
+                write!(f, "injected fault at site {site} ({kind}) was not handled")
+            }
+            RunError::Panicked { message } => write!(f, "run panicked: {message}"),
+            RunError::CorruptState { vertex } => {
+                write!(f, "corrupt state detected at vertex {vertex}")
+            }
+            RunError::DenseBudgetExceeded {
+                requested_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "dense run needs {requested_bytes} bytes, budget is {budget_bytes} bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// A degradation a run took to complete instead of failing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Degradation {
+    /// The switching engine declined (or could not take) a dense flip
+    /// because the block allocation exceeded the memory budget, and
+    /// completed on the sparse representation instead — bit-identical
+    /// output, different performance.
+    DenseFlipDeclined {
+        requested_bytes: u64,
+        budget_bytes: Option<u64>,
+    },
+}
+
+impl std::fmt::Display for Degradation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Degradation::DenseFlipDeclined {
+                requested_bytes,
+                budget_bytes,
+            } => match budget_bytes {
+                Some(b) => write!(
+                    f,
+                    "dense flip declined: {requested_bytes} bytes over budget {b}"
+                ),
+                None => write!(
+                    f,
+                    "dense flip declined: allocation of {requested_bytes} bytes failed"
+                ),
+            },
+        }
+    }
+}
+
+/// How a guarded run went: the success-side metadata of the `try_*`
+/// entry points.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// `true` iff the run reached its fixpoint within the hop cap.
+    pub converged: bool,
+    /// Hops executed.
+    pub hops: u64,
+    /// Degradations taken to complete (empty for a clean run).
+    pub degradations: Vec<Degradation>,
+}
+
+/// Runs `f` under `catch_unwind` and audits the fault registry's fired
+/// log around it. Returns `f`'s value only if no panic unwound *and*
+/// no unhandled injected fault fired during the run.
+pub fn run_guarded<T>(f: impl FnOnce() -> T) -> Result<T, RunError> {
+    let serial = mte_faults::fired_serial();
+    let outcome = catch_unwind(AssertUnwindSafe(f));
+    let value = match outcome {
+        Ok(value) => value,
+        Err(payload) => return Err(panic_to_error(payload)),
+    };
+    if let Some(fired) = mte_faults::first_unhandled_since(serial) {
+        return Err(RunError::InjectedFault {
+            site: fired.site,
+            kind: fired.kind,
+        });
+    }
+    Ok(value)
+}
+
+/// Maps a caught panic payload to a [`RunError`], identifying injected
+/// panics by their typed payload.
+fn panic_to_error(payload: Box<dyn std::any::Any + Send>) -> RunError {
+    if let Some(injected) = payload.downcast_ref::<InjectedPanic>() {
+        return RunError::InjectedFault {
+            site: injected.site,
+            kind: FaultKind::Panic,
+        };
+    }
+    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    RunError::Panicked { message }
+}
+
+/// Defense-in-depth scan of a final state vector: reports the first
+/// vertex whose state fails [`Semimodule::is_sane`].
+pub fn check_states<S, M>(states: &[M]) -> Result<(), RunError>
+where
+    S: Semiring,
+    M: Semimodule<S>,
+{
+    match states.iter().position(|x| !x.is_sane()) {
+        Some(v) => Err(RunError::CorruptState {
+            vertex: v as NodeId,
+        }),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mte_algebra::MinPlus;
+
+    #[test]
+    fn guarded_run_passes_values_through() {
+        mte_faults::clear();
+        assert_eq!(run_guarded(|| 7), Ok(7));
+    }
+
+    #[test]
+    fn guarded_run_reports_plain_panics() {
+        mte_faults::clear();
+        let err = run_guarded(|| -> u32 { panic!("boom") }).unwrap_err();
+        assert_eq!(
+            err,
+            RunError::Panicked {
+                message: "boom".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn state_scan_flags_poison() {
+        let mut states = vec![MinPlus::new(1.0), MinPlus::new(2.0)];
+        assert_eq!(check_states::<MinPlus, MinPlus>(&states), Ok(()));
+        Semiring::poison(&mut states[1]);
+        assert_eq!(
+            check_states::<MinPlus, MinPlus>(&states),
+            Err(RunError::CorruptState { vertex: 1 })
+        );
+    }
+}

@@ -35,6 +35,7 @@ pub mod arena;
 pub mod catalog;
 pub mod dense;
 pub mod engine;
+pub mod error;
 pub mod frt;
 pub mod metric;
 pub mod oracle;
@@ -44,5 +45,6 @@ pub mod work;
 pub use arena::{ArenaEngine, ArenaMbfAlgorithm};
 pub use dense::{DenseEngine, DenseMbfAlgorithm, SwitchThresholds, SwitchingEngine};
 pub use engine::{EngineStrategy, MbfAlgorithm, MbfEngine, MbfRun};
+pub use error::{Degradation, RunError, RunReport};
 pub use simgraph::{LevelAssignment, SimulatedGraph};
 pub use work::WorkStats;

@@ -76,6 +76,13 @@ pub struct OracleRun<M> {
     pub h_iterations: usize,
     /// Whether a fixpoint on `H` was reached (`h > SPD(H)`).
     pub fixpoint: bool,
+    /// Alias of [`fixpoint`](OracleRun::fixpoint) under the run-report
+    /// vocabulary: `true` iff the simulation converged within its
+    /// iteration budget.
+    pub converged: bool,
+    /// Total inner `G'`-hops executed across all levels and simulated
+    /// iterations (`work.iterations`).
+    pub hops: u64,
     /// Work spent, including all inner `G'`-iterations.
     pub work: WorkStats,
 }
@@ -220,6 +227,26 @@ where
         .enumerate()
         .map(|(lambda, level)| {
             let lambda = lambda as u32;
+            // Fault-injection site: one level task fails (`panic`) or
+            // corrupts its level state (`poison_nan`) while the sibling
+            // levels keep running.
+            match mte_faults::check_for(
+                mte_faults::FaultSite::OracleLevelLoop,
+                &[
+                    mte_faults::FaultKind::Panic,
+                    mte_faults::FaultKind::PoisonNan,
+                ],
+            ) {
+                Some(mte_faults::FaultKind::Panic) => {
+                    mte_faults::trigger_panic(mte_faults::FaultSite::OracleLevelLoop)
+                }
+                Some(mte_faults::FaultKind::PoisonNan) => {
+                    if let Some(slot) = level.y.first_mut() {
+                        slot.poison();
+                    }
+                }
+                _ => {}
+            }
             let scale = sim.level_scale(lambda);
             let wholesale = !level.primed || !carry_over;
             // The previous round left `moved` (or `moved_all`); this
@@ -479,6 +506,8 @@ where
         states,
         h_iterations: executed,
         fixpoint,
+        converged: fixpoint,
+        hops: work.iterations,
         work,
     }
 }
@@ -518,6 +547,42 @@ where
     oracle_run_to_fixpoint_with(alg, sim, cap, EngineStrategy::default())
 }
 
+/// Guarded [`oracle_run_with`]: panics become typed errors, injected
+/// faults are audited, final states are sanity-scanned. An exhausted
+/// iteration budget is reported as `converged: false`, not an error.
+pub fn try_oracle_run_with<A>(
+    alg: &A,
+    sim: &SimulatedGraph,
+    h: usize,
+    strategy: EngineStrategy,
+) -> Result<(OracleRun<A::M>, crate::error::RunReport), crate::error::RunError>
+where
+    A: MbfAlgorithm<S = MinPlus>,
+{
+    let run = crate::error::run_guarded(|| oracle_run_with(alg, sim, h, strategy))?;
+    crate::error::check_states::<A::S, A::M>(&run.states)?;
+    let report = crate::error::RunReport {
+        converged: run.converged,
+        hops: run.hops,
+        degradations: Vec::new(),
+    };
+    Ok((run, report))
+}
+
+/// Guarded [`oracle_run_to_fixpoint_with`] (see [`try_oracle_run_with`]).
+pub fn try_oracle_run_to_fixpoint_with<A>(
+    alg: &A,
+    sim: &SimulatedGraph,
+    cap: usize,
+    strategy: EngineStrategy,
+) -> Result<(OracleRun<A::M>, crate::error::RunReport), crate::error::RunError>
+where
+    A: MbfAlgorithm<S = MinPlus>,
+    A::M: PartialEq,
+{
+    try_oracle_run_with(alg, sim, cap, strategy)
+}
+
 /// Default iteration cap: `SPD(H) ∈ O(log² n)` w.h.p. (Theorem 4.5), with
 /// a generous constant; the fixpoint check stops earlier in practice.
 pub fn default_iteration_cap(n: usize) -> usize {
@@ -548,6 +613,9 @@ mod tests {
         let alg = SourceDetection::apsp(g.n());
         let via_oracle = oracle_run_to_fixpoint(&alg, &sim, 4 * g.n());
         assert!(via_oracle.fixpoint);
+        // The run metadata mirrors the flags it summarizes.
+        assert!(via_oracle.converged);
+        assert_eq!(via_oracle.hops, via_oracle.work.iterations);
         let via_h = run_to_fixpoint(&alg, &h_explicit, 4 * g.n());
         assert!(via_h.fixpoint);
 
@@ -601,6 +669,10 @@ mod tests {
             "took {} iterations",
             run.h_iterations
         );
+        assert!(run.converged);
+        // Each H-iteration drives Λ+1 inner level loops, so the total
+        // G'-hop count dominates the H-iteration count.
+        assert!(run.hops >= run.h_iterations as u64);
     }
 
     #[test]
@@ -623,9 +695,12 @@ mod tests {
         let fix = oracle_run_to_fixpoint(&alg, &sim, budget);
         assert_eq!(run.states, fix.states);
         assert_eq!(run.h_iterations, fix.h_iterations);
+        assert!(run.converged);
+        assert_eq!(run.hops, fix.hops);
         // A budget too small to converge reports honestly.
         let short = oracle_run(&alg, &sim, 1);
         assert!(!short.fixpoint);
+        assert!(!short.converged);
         assert_eq!(short.h_iterations, 1);
     }
 
@@ -643,5 +718,9 @@ mod tests {
         assert_eq!(dense.states, frontier.states);
         assert_eq!(dense.h_iterations, frontier.h_iterations);
         assert!(frontier.work.edge_relaxations <= dense.work.edge_relaxations);
+        // Convergence metadata is strategy-invariant (hop counts are
+        // not: the frontier engine confirms levels with fewer hops).
+        assert_eq!(dense.converged, frontier.converged);
+        assert!(dense.converged);
     }
 }

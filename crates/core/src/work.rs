@@ -65,6 +65,10 @@ pub struct WorkStats {
     /// Hops executed in whole-matrix mode (every state a dense row,
     /// relaxations through the contiguous row kernels).
     pub dense_hops: u64,
+    /// Dense flips the switching engine *declined* because the block
+    /// allocation exceeded the memory budget (graceful degradation:
+    /// the run completed sparse with bit-identical output).
+    pub dense_declined: u64,
 }
 
 impl WorkStats {
@@ -87,6 +91,7 @@ impl AddAssign for WorkStats {
         self.arena_bytes = self.arena_bytes.max(rhs.arena_bytes);
         self.dense_flips += rhs.dense_flips;
         self.dense_hops += rhs.dense_hops;
+        self.dense_declined += rhs.dense_declined;
     }
 }
 
@@ -106,6 +111,7 @@ mod tests {
             arena_bytes: 64,
             dense_flips: 2,
             dense_hops: 1,
+            dense_declined: 1,
         };
         a += WorkStats {
             iterations: 2,
@@ -117,6 +123,7 @@ mod tests {
             arena_bytes: 32,
             dense_flips: 3,
             dense_hops: 4,
+            dense_declined: 2,
         };
         assert_eq!(
             a,
@@ -131,6 +138,7 @@ mod tests {
                 arena_bytes: 64,
                 dense_flips: 5,
                 dense_hops: 5,
+                dense_declined: 3,
             }
         );
     }

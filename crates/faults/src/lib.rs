@@ -1,0 +1,580 @@
+//! Deterministic fault injection for the MBF pipeline.
+//!
+//! # Design
+//!
+//! Production layers (query serving, external ingestion, dynamic edits)
+//! sit on top of a compute core whose failure behavior must be *proved*,
+//! not assumed: a fault anywhere in the pipeline must surface as a typed
+//! error or leave the output bit-identical to a clean run — never a
+//! silently wrong answer. This crate provides the instrumentation side
+//! of that proof:
+//!
+//! * **Named injection sites** ([`FaultSite`]) — fixed points in the
+//!   pipeline (engine hop commit, arena span read, dense row kernel,
+//!   oracle level loop, worker-pool chunk, `.gr` parser) that consult
+//!   the registry on every pass.
+//! * **Fault plans** ([`FaultPlan`]) — a deterministic list of
+//!   injections, each "at the `nth` arrival at `site`, fire `kind`",
+//!   built in code or parsed from the `MTE_FAULT_PLAN` environment
+//!   variable.
+//! * **A fired-fault log** — every fault that actually fired is
+//!   recorded with a monotonic serial. The typed run API
+//!   (`mte_core::error`) snapshots the serial before a run and treats
+//!   any *unhandled* fault fired during the run as grounds for a typed
+//!   error, even if the corruption it injected would otherwise go
+//!   unnoticed (a NaN poisoned into a min-plus state can be "healed"
+//!   to a plausible but *wrong* finite value by later merges — the log
+//!   is the ground truth, state scans are defense in depth).
+//!
+//! Sites that **handle** a fault gracefully (e.g. the dense-block
+//! allocator treating [`FaultKind::AllocFail`] as budget exhaustion and
+//! degrading to the sparse path) record it via [`check_handled`]; the
+//! audit in [`first_unhandled_since`] skips those, so a gracefully
+//! degraded run still reports success.
+//!
+//! # Cost when disarmed
+//!
+//! [`check_for`] is a single relaxed atomic load on the hot path once
+//! the registry is initialized (first call reads `MTE_FAULT_PLAN`).
+//! Sites can therefore be compiled in unconditionally.
+//!
+//! # Determinism
+//!
+//! Arrival counters are global, so under a multi-threaded pool the
+//! *which arrival wins* race is nondeterministic — but the contract
+//! verified by the differential harness quantifies over that: for every
+//! interleaving, the run either errors or matches the clean output.
+//! With `MTE_THREADS=1` arrivals are fully deterministic.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Environment variable holding a fault-plan spec (see
+/// [`FaultPlan::parse`]); read once, on the first [`check_for`] call.
+pub const FAULT_PLAN_ENV: &str = "MTE_FAULT_PLAN";
+
+/// A named injection point in the pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// `MbfEngine`/`ArenaEngine`/`DenseEngine::step`, end of the commit
+    /// phase (once per hop).
+    EngineHopCommit,
+    /// `EpochStore::get`: a borrowed span view handed to a recompute.
+    ArenaSpanRead,
+    /// The dense row kernels (`relax_rows_into`/`relax_rows_tracked`)
+    /// and the dense-block allocator (`DenseBlock::try_new`).
+    DenseRowKernel,
+    /// The oracle's per-level task, once per level per simulated
+    /// iteration.
+    OracleLevelLoop,
+    /// The worker pool, at the start of every claimed chunk body.
+    WorkerChunk,
+    /// `read_gr`, before any input is consumed.
+    GrParser,
+}
+
+impl FaultSite {
+    /// Every site, for exhaustive harness sweeps.
+    pub const ALL: [FaultSite; 6] = [
+        FaultSite::EngineHopCommit,
+        FaultSite::ArenaSpanRead,
+        FaultSite::DenseRowKernel,
+        FaultSite::OracleLevelLoop,
+        FaultSite::WorkerChunk,
+        FaultSite::GrParser,
+    ];
+
+    /// The spec name used by [`FaultPlan::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::EngineHopCommit => "engine_hop_commit",
+            FaultSite::ArenaSpanRead => "arena_span_read",
+            FaultSite::DenseRowKernel => "dense_row_kernel",
+            FaultSite::OracleLevelLoop => "oracle_level_loop",
+            FaultSite::WorkerChunk => "worker_chunk",
+            FaultSite::GrParser => "gr_parser",
+        }
+    }
+
+    fn parse(s: &str) -> Option<FaultSite> {
+        FaultSite::ALL.into_iter().find(|site| site.name() == s)
+    }
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What an injection does when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// `panic_any(InjectedPanic { site })` at the site.
+    Panic,
+    /// Corrupt one state entry with a NaN/poisoned value
+    /// (`Semimodule::poison`).
+    PoisonNan,
+    /// Hand out a span view one entry shorter than the real state.
+    TruncateSpan,
+    /// Simulated allocation failure (dense-block allocator).
+    AllocFail,
+    /// Simulated I/O failure (`.gr` parser).
+    Io,
+}
+
+impl FaultKind {
+    /// Every kind, for exhaustive harness sweeps.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::Panic,
+        FaultKind::PoisonNan,
+        FaultKind::TruncateSpan,
+        FaultKind::AllocFail,
+        FaultKind::Io,
+    ];
+
+    /// The spec name used by [`FaultPlan::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::PoisonNan => "poison_nan",
+            FaultKind::TruncateSpan => "truncate_span",
+            FaultKind::AllocFail => "alloc_fail",
+            FaultKind::Io => "io",
+        }
+    }
+
+    fn parse(s: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|kind| kind.name() == s)
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One planned injection: at the `nth` arrival at `site` (1-based,
+/// counting only arrivals whose accept set contains `kind`), fire
+/// `kind`; keep firing on later arrivals until `hits` fires happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Injection {
+    pub site: FaultSite,
+    pub kind: FaultKind,
+    /// 1-based arrival index of the first fire.
+    pub nth: u64,
+    /// Number of times the injection fires (usually 1).
+    pub hits: u64,
+}
+
+/// A deterministic list of [`Injection`]s.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    pub injections: Vec<Injection>,
+}
+
+impl FaultPlan {
+    /// The empty plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Builder: adds "fire `kind` at the `nth` arrival at `site`,
+    /// once".
+    pub fn inject(mut self, site: FaultSite, kind: FaultKind, nth: u64) -> FaultPlan {
+        self.injections.push(Injection {
+            site,
+            kind,
+            nth: nth.max(1),
+            hits: 1,
+        });
+        self
+    }
+
+    /// A plan with exactly one injection.
+    pub fn single(site: FaultSite, kind: FaultKind, nth: u64) -> FaultPlan {
+        FaultPlan::new().inject(site, kind, nth)
+    }
+
+    /// Parses a spec of the form
+    /// `site:kind:nth[:hits][;site:kind:nth[:hits]...]`, e.g.
+    /// `engine_hop_commit:panic:1` or
+    /// `arena_span_read:truncate_span:5;gr_parser:io:1`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new();
+        for part in spec.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = part.split(':').collect();
+            if fields.len() < 3 || fields.len() > 4 {
+                return Err(format!("bad injection {part:?}: want site:kind:nth[:hits]"));
+            }
+            let site = FaultSite::parse(fields[0])
+                .ok_or_else(|| format!("unknown fault site {:?}", fields[0]))?;
+            let kind = FaultKind::parse(fields[1])
+                .ok_or_else(|| format!("unknown fault kind {:?}", fields[1]))?;
+            let nth: u64 = fields[2]
+                .parse()
+                .map_err(|_| format!("bad arrival index {:?}", fields[2]))?;
+            let hits: u64 = match fields.get(3) {
+                Some(h) => h.parse().map_err(|_| format!("bad hit count {h:?}"))?,
+                None => 1,
+            };
+            plan.injections.push(Injection {
+                site,
+                kind,
+                nth: nth.max(1),
+                hits: hits.max(1),
+            });
+        }
+        Ok(plan)
+    }
+
+    /// The plan named by [`FAULT_PLAN_ENV`], if the variable is set and
+    /// parses (a malformed spec is reported on stderr and ignored —
+    /// fault injection must never corrupt a run *by accident*).
+    pub fn from_env() -> Option<FaultPlan> {
+        let spec = std::env::var(FAULT_PLAN_ENV).ok()?;
+        if spec.trim().is_empty() {
+            return None;
+        }
+        match FaultPlan::parse(&spec) {
+            Ok(plan) if !plan.injections.is_empty() => Some(plan),
+            Ok(_) => None,
+            Err(err) => {
+                eprintln!("ignoring malformed {FAULT_PLAN_ENV}: {err}");
+                None
+            }
+        }
+    }
+}
+
+/// A fault that actually fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FiredFault {
+    pub site: FaultSite,
+    pub kind: FaultKind,
+    /// Monotonic fire serial (1-based, never reset).
+    pub serial: u64,
+    /// `true` iff the site absorbed the fault gracefully (recorded via
+    /// [`check_handled`]); handled faults do not fail the audit.
+    pub handled: bool,
+}
+
+/// The panic payload of [`trigger_panic`]; the typed run API downcasts
+/// caught payloads to this to map an injected panic back to its site.
+#[derive(Clone, Copy, Debug)]
+pub struct InjectedPanic {
+    pub site: FaultSite,
+}
+
+struct ArmedInjection {
+    site: FaultSite,
+    kind: FaultKind,
+    nth: u64,
+    hits_left: u64,
+    arrivals: u64,
+}
+
+struct Registry {
+    injections: Vec<ArmedInjection>,
+    log: Vec<FiredFault>,
+    serial: u64,
+}
+
+const STATUS_UNINIT: u32 = 0;
+const STATUS_DISARMED: u32 = 1;
+const STATUS_ARMED: u32 = 2;
+
+/// Fast-path gate: `check_for` is one relaxed load of this while
+/// disarmed.
+static STATUS: AtomicU32 = AtomicU32::new(STATUS_UNINIT);
+
+static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+    injections: Vec::new(),
+    log: Vec::new(),
+    serial: 0,
+});
+
+fn registry() -> MutexGuard<'static, Registry> {
+    // A panic while holding the lock (injected panics never do — the
+    // lock is released before `trigger_panic` — but belt and braces)
+    // must not wedge every later run.
+    REGISTRY
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Installs `plan` as the process-global fault plan, replacing any
+/// previous plan and clearing the fired log (the serial keeps
+/// counting).
+pub fn install(plan: FaultPlan) {
+    let mut reg = registry();
+    reg.injections = plan
+        .injections
+        .iter()
+        .map(|i| ArmedInjection {
+            site: i.site,
+            kind: i.kind,
+            nth: i.nth.max(1),
+            hits_left: i.hits.max(1),
+            arrivals: 0,
+        })
+        .collect();
+    reg.log.clear();
+    let armed = !reg.injections.is_empty();
+    STATUS.store(
+        if armed { STATUS_ARMED } else { STATUS_DISARMED },
+        Ordering::SeqCst,
+    );
+}
+
+/// Removes the installed plan; subsequent [`check_for`] calls are a
+/// single relaxed load.
+pub fn clear() {
+    let mut reg = registry();
+    reg.injections.clear();
+    reg.log.clear();
+    STATUS.store(STATUS_DISARMED, Ordering::SeqCst);
+}
+
+/// `true` iff a non-empty plan is installed.
+pub fn is_armed() -> bool {
+    STATUS.load(Ordering::Relaxed) == STATUS_ARMED
+}
+
+#[cold]
+fn init_from_env() {
+    match FaultPlan::from_env() {
+        Some(plan) => install(plan),
+        None => {
+            // Racing initializers both read the same environment; the
+            // exchange failing just means someone else got there first.
+            let _ = STATUS.compare_exchange(
+                STATUS_UNINIT,
+                STATUS_DISARMED,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+        }
+    }
+}
+
+/// The site hook: counts this arrival against every installed injection
+/// for `site` whose kind is in `accepts`, and returns the kind to
+/// inject if one fires. The fire is recorded as **unhandled** — a run
+/// during which it happened fails the typed-error audit.
+#[inline]
+pub fn check_for(site: FaultSite, accepts: &[FaultKind]) -> Option<FaultKind> {
+    match STATUS.load(Ordering::Relaxed) {
+        STATUS_DISARMED => None,
+        STATUS_UNINIT => {
+            init_from_env();
+            if STATUS.load(Ordering::Relaxed) == STATUS_ARMED {
+                check_slow(site, accepts, false)
+            } else {
+                None
+            }
+        }
+        _ => check_slow(site, accepts, false),
+    }
+}
+
+/// [`check_for`] for sites that absorb the fault gracefully (simulated
+/// allocation failure answered by degradation, simulated I/O failure
+/// answered by a typed parse error): the fire is recorded as
+/// **handled** and does not fail the audit.
+#[inline]
+pub fn check_handled(site: FaultSite, accepts: &[FaultKind]) -> Option<FaultKind> {
+    match STATUS.load(Ordering::Relaxed) {
+        STATUS_DISARMED => None,
+        STATUS_UNINIT => {
+            init_from_env();
+            if STATUS.load(Ordering::Relaxed) == STATUS_ARMED {
+                check_slow(site, accepts, true)
+            } else {
+                None
+            }
+        }
+        _ => check_slow(site, accepts, true),
+    }
+}
+
+#[cold]
+fn check_slow(site: FaultSite, accepts: &[FaultKind], handled: bool) -> Option<FaultKind> {
+    let mut reg = registry();
+    let Registry {
+        injections,
+        log,
+        serial,
+    } = &mut *reg;
+    for inj in injections.iter_mut() {
+        if inj.site != site || inj.hits_left == 0 || !accepts.contains(&inj.kind) {
+            continue;
+        }
+        inj.arrivals += 1;
+        if inj.arrivals >= inj.nth {
+            inj.hits_left -= 1;
+            *serial += 1;
+            let fired = FiredFault {
+                site,
+                kind: inj.kind,
+                serial: *serial,
+                handled,
+            };
+            log.push(fired);
+            return Some(inj.kind);
+        }
+    }
+    None
+}
+
+/// The current fire serial — snapshot this before a run to audit it
+/// afterwards.
+pub fn fired_serial() -> u64 {
+    registry().serial
+}
+
+/// Every fault fired after `serial`, in fire order.
+pub fn fired_since(serial: u64) -> Vec<FiredFault> {
+    registry()
+        .log
+        .iter()
+        .filter(|f| f.serial > serial)
+        .copied()
+        .collect()
+}
+
+/// The first **unhandled** fault fired after `serial`, if any — the
+/// typed run API's audit primitive.
+pub fn first_unhandled_since(serial: u64) -> Option<FiredFault> {
+    registry()
+        .log
+        .iter()
+        .find(|f| f.serial > serial && !f.handled)
+        .copied()
+}
+
+/// Panics with an [`InjectedPanic`] payload attributing the unwind to
+/// `site`.
+pub fn trigger_panic(site: FaultSite) -> ! {
+    std::panic::panic_any(InjectedPanic { site })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global; tests serialize on this.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn serial_test() -> MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn nth_arrival_fires_once() {
+        let _guard = serial_test();
+        install(FaultPlan::single(
+            FaultSite::EngineHopCommit,
+            FaultKind::Panic,
+            3,
+        ));
+        let accepts = [FaultKind::Panic];
+        assert_eq!(check_for(FaultSite::EngineHopCommit, &accepts), None);
+        // A different site never counts an arrival.
+        assert_eq!(check_for(FaultSite::GrParser, &accepts), None);
+        assert_eq!(check_for(FaultSite::EngineHopCommit, &accepts), None);
+        assert_eq!(
+            check_for(FaultSite::EngineHopCommit, &accepts),
+            Some(FaultKind::Panic)
+        );
+        // hits = 1: exhausted.
+        assert_eq!(check_for(FaultSite::EngineHopCommit, &accepts), None);
+        clear();
+    }
+
+    #[test]
+    fn accept_set_filters_arrivals() {
+        let _guard = serial_test();
+        install(FaultPlan::single(
+            FaultSite::DenseRowKernel,
+            FaultKind::AllocFail,
+            1,
+        ));
+        // A kernel that only accepts Panic/PoisonNan neither fires nor
+        // consumes the AllocFail injection's arrival budget.
+        assert_eq!(
+            check_for(
+                FaultSite::DenseRowKernel,
+                &[FaultKind::Panic, FaultKind::PoisonNan]
+            ),
+            None
+        );
+        assert_eq!(
+            check_handled(FaultSite::DenseRowKernel, &[FaultKind::AllocFail]),
+            Some(FaultKind::AllocFail)
+        );
+        clear();
+    }
+
+    #[test]
+    fn audit_sees_unhandled_but_not_handled_fires() {
+        let _guard = serial_test();
+        install(
+            FaultPlan::new()
+                .inject(FaultSite::DenseRowKernel, FaultKind::AllocFail, 1)
+                .inject(FaultSite::ArenaSpanRead, FaultKind::TruncateSpan, 1),
+        );
+        let before = fired_serial();
+        assert!(check_handled(FaultSite::DenseRowKernel, &[FaultKind::AllocFail]).is_some());
+        assert_eq!(first_unhandled_since(before), None);
+        assert!(check_for(FaultSite::ArenaSpanRead, &[FaultKind::TruncateSpan]).is_some());
+        let fired = first_unhandled_since(before).expect("unhandled fire recorded");
+        assert_eq!(fired.site, FaultSite::ArenaSpanRead);
+        assert_eq!(fired.kind, FaultKind::TruncateSpan);
+        assert_eq!(fired_since(before).len(), 2);
+        clear();
+    }
+
+    #[test]
+    fn plan_spec_roundtrip() {
+        let _guard = serial_test();
+        let plan = FaultPlan::parse("engine_hop_commit:panic:1; arena_span_read:truncate_span:5:2")
+            .unwrap();
+        assert_eq!(
+            plan.injections,
+            vec![
+                Injection {
+                    site: FaultSite::EngineHopCommit,
+                    kind: FaultKind::Panic,
+                    nth: 1,
+                    hits: 1
+                },
+                Injection {
+                    site: FaultSite::ArenaSpanRead,
+                    kind: FaultKind::TruncateSpan,
+                    nth: 5,
+                    hits: 2
+                },
+            ]
+        );
+        assert!(FaultPlan::parse("bogus_site:panic:1").is_err());
+        assert!(FaultPlan::parse("gr_parser:bogus_kind:1").is_err());
+        assert!(FaultPlan::parse("gr_parser:io").is_err());
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::new());
+    }
+
+    #[test]
+    fn clear_disarms() {
+        let _guard = serial_test();
+        install(FaultPlan::single(FaultSite::GrParser, FaultKind::Io, 1));
+        assert!(is_armed());
+        clear();
+        assert!(!is_armed());
+        assert_eq!(check_for(FaultSite::GrParser, &[FaultKind::Io]), None);
+    }
+}

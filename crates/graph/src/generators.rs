@@ -50,16 +50,17 @@ pub fn gnm_graph(n: usize, m: usize, weights: Range<f64>, rng: &mut impl Rng) ->
         }
         edges.push((u, v, rand_weight(&weights, rng)));
     }
-    Graph::from_edges(n, edges)
+    Graph::try_from_edges(n, edges).expect("generator produced an invalid edge list")
 }
 
 /// Path `0 − 1 − … − (n−1)` with uniform weight: SPD(G) = n − 1, the
 /// paper's worst case for plain MBF iteration counts.
 pub fn path_graph(n: usize, weight: f64) -> Graph {
-    Graph::from_edges(
+    Graph::try_from_edges(
         n,
         (0..n.saturating_sub(1)).map(|i| (i as NodeId, (i + 1) as NodeId, weight)),
     )
+    .expect("generator produced an invalid edge list")
 }
 
 /// Cycle on `n ≥ 3` nodes with uniform weight: the paper's example of a
@@ -67,10 +68,11 @@ pub fn path_graph(n: usize, weight: f64) -> Graph {
 /// `Ω(n)` (Section 1.1, Metric Tree Embeddings).
 pub fn cycle_graph(n: usize, weight: f64) -> Graph {
     assert!(n >= 3);
-    Graph::from_edges(
+    Graph::try_from_edges(
         n,
         (0..n).map(|i| (i as NodeId, ((i + 1) % n) as NodeId, weight)),
     )
+    .expect("generator produced an invalid edge list")
 }
 
 /// `rows × cols` grid with unit-range random weights.
@@ -87,16 +89,17 @@ pub fn grid_graph(rows: usize, cols: usize, weights: Range<f64>, rng: &mut impl 
             }
         }
     }
-    Graph::from_edges(rows * cols, edges)
+    Graph::try_from_edges(rows * cols, edges).expect("generator produced an invalid edge list")
 }
 
 /// Star: node 0 is the hub. SPD(G) = 2 — the easy case for MBF.
 pub fn star_graph(n: usize, weights: Range<f64>, rng: &mut impl Rng) -> Graph {
     assert!(n >= 2);
-    Graph::from_edges(
+    Graph::try_from_edges(
         n,
         (1..n).map(|i| (0, i as NodeId, rand_weight(&weights, rng))),
     )
+    .expect("generator produced an invalid edge list")
 }
 
 /// Uniformly random recursive tree with random weights.
@@ -105,7 +108,7 @@ pub fn tree_graph(n: usize, weights: Range<f64>, rng: &mut impl Rng) -> Graph {
         .into_iter()
         .map(|(u, v)| (u, v, rand_weight(&weights, rng)))
         .collect();
-    Graph::from_edges(n, edges)
+    Graph::try_from_edges(n, edges).expect("generator produced an invalid edge list")
 }
 
 /// Caterpillar: a spine path of `spine` nodes (weight `spine_weight`) with
@@ -130,7 +133,7 @@ pub fn caterpillar_graph(
             rand_weight(&leg_weights, rng),
         ));
     }
-    Graph::from_edges(spine + legs, edges)
+    Graph::try_from_edges(spine + legs, edges).expect("generator produced an invalid edge list")
 }
 
 /// "Highway" graph: a unit-weight spine path of `spine` nodes plus heavy
@@ -151,7 +154,7 @@ pub fn highway_graph(spine: usize, hub_weight: f64) -> Graph {
     for v in 2..spine {
         edges.push((0, v as NodeId, hub_weight));
     }
-    Graph::from_edges(spine, edges)
+    Graph::try_from_edges(spine, edges).expect("generator produced an invalid edge list")
 }
 
 /// Random geometric graph: `n` points in the unit square, edges between
@@ -187,7 +190,7 @@ pub fn random_geometric_graph(
             .unwrap();
         edges.push((j as NodeId, i as NodeId, d.max(1e-9) * weight_scale));
     }
-    Graph::from_edges(n, edges)
+    Graph::try_from_edges(n, edges).expect("generator produced an invalid edge list")
 }
 
 /// Expander-like random regular multigraph: the union of `deg/2` random
@@ -208,7 +211,7 @@ pub fn expander_graph(n: usize, deg: usize, weights: Range<f64>, rng: &mut impl 
         }
     }
     // A cycle through all nodes is part of the union, so it is connected.
-    Graph::from_edges(n, edges)
+    Graph::try_from_edges(n, edges).expect("generator produced an invalid edge list")
 }
 
 #[cfg(test)]

@@ -5,6 +5,42 @@ use mte_algebra::NodeId;
 /// An edge list: `(u, v, weight)` triples with `u ≠ v` and `weight > 0`.
 pub type EdgeList = Vec<(NodeId, NodeId, f64)>;
 
+/// An edge list violated the graph invariants (checked construction,
+/// [`Graph::try_from_edges`]). Reports the first offending edge in
+/// input order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GraphBuildError {
+    /// Edge `index` is a loop on `node`.
+    Loop { index: usize, node: NodeId },
+    /// Edge `index` references `node`, outside `0..n`.
+    EndpointOutOfRange {
+        index: usize,
+        node: NodeId,
+        n: usize,
+    },
+    /// Edge `index` carries a weight that is not positive and finite
+    /// (zero, negative, NaN or `∞`).
+    BadWeight { index: usize, weight: f64 },
+}
+
+impl std::fmt::Display for GraphBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            GraphBuildError::Loop { index, node } => {
+                write!(f, "edge {index} is a loop on node {node}")
+            }
+            GraphBuildError::EndpointOutOfRange { index, node, n } => {
+                write!(f, "edge {index} endpoint {node} out of range for n = {n}")
+            }
+            GraphBuildError::BadWeight { index, weight } => {
+                write!(f, "edge {index} weight {weight} is not positive and finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphBuildError {}
+
 /// A weighted undirected graph `G = (V, E, ω)` (paper Section 1.2):
 /// no loops, no parallel edges, `ω : E → R_{>0}`.
 ///
@@ -23,11 +59,13 @@ impl Graph {
     ///
     /// Loops are rejected; parallel edges are merged keeping the minimum
     /// weight (the only weight relevant to any distance-like semiring);
-    /// weights must be positive and finite.
+    /// weights must be positive and finite. Invariants are checked by
+    /// debug assertions only — callers handling untrusted input use
+    /// [`Graph::try_from_edges`].
     pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (NodeId, NodeId, f64)>) -> Graph {
-        let mut normalized: EdgeList = edges
-            .into_iter()
-            .map(|(u, v, w)| {
+        let normalized: EdgeList = edges.into_iter().collect();
+        if cfg!(debug_assertions) {
+            for &(u, v, w) in &normalized {
                 assert!(u != v, "loops are not allowed (node {u})");
                 assert!(
                     w > 0.0 && w.is_finite(),
@@ -37,13 +75,49 @@ impl Graph {
                     (u as usize) < n && (v as usize) < n,
                     "edge endpoint out of range"
                 );
-                if u < v {
-                    (u, v, w)
-                } else {
-                    (v, u, w)
-                }
-            })
-            .collect();
+            }
+        }
+        Graph::build_unchecked(n, normalized)
+    }
+
+    /// Checked [`Graph::from_edges`]: validates every edge (in input
+    /// order) and reports the first violation as a typed error instead
+    /// of panicking. This is the boundary for untrusted input — the
+    /// `.gr` parser and the generators route through it.
+    pub fn try_from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (NodeId, NodeId, f64)>,
+    ) -> Result<Graph, GraphBuildError> {
+        let normalized: EdgeList = edges.into_iter().collect();
+        for (index, &(u, v, w)) in normalized.iter().enumerate() {
+            if u == v {
+                return Err(GraphBuildError::Loop { index, node: u });
+            }
+            let weight_ok = w > 0.0 && w.is_finite();
+            if !weight_ok {
+                return Err(GraphBuildError::BadWeight { index, weight: w });
+            }
+            let node = if (u as usize) >= n {
+                Some(u)
+            } else if (v as usize) >= n {
+                Some(v)
+            } else {
+                None
+            };
+            if let Some(node) = node {
+                return Err(GraphBuildError::EndpointOutOfRange { index, node, n });
+            }
+        }
+        Ok(Graph::build_unchecked(n, normalized))
+    }
+
+    /// CSR construction on a validated edge list.
+    fn build_unchecked(n: usize, mut normalized: EdgeList) -> Graph {
+        for e in &mut normalized {
+            if e.0 > e.1 {
+                std::mem::swap(&mut e.0, &mut e.1);
+            }
+        }
         normalized.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2)));
         normalized.dedup_by(|next, prev| prev.0 == next.0 && prev.1 == next.1);
 
@@ -214,6 +288,40 @@ mod tests {
     #[should_panic]
     fn nonpositive_weight_rejected() {
         let _ = Graph::from_edges(2, vec![(0, 1, 0.0)]);
+    }
+
+    #[test]
+    fn try_from_edges_accepts_valid_input() {
+        let g = Graph::try_from_edges(3, vec![(0, 1, 1.0), (1, 2, 2.0)]).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn try_from_edges_reports_first_violation() {
+        assert_eq!(
+            Graph::try_from_edges(2, vec![(0, 1, 1.0), (1, 1, 1.0)]).unwrap_err(),
+            GraphBuildError::Loop { index: 1, node: 1 }
+        );
+        assert!(matches!(
+            Graph::try_from_edges(2, vec![(0, 1, f64::NAN)]),
+            Err(GraphBuildError::BadWeight { index: 0, weight }) if weight.is_nan()
+        ));
+        assert_eq!(
+            Graph::try_from_edges(2, vec![(0, 1, -3.0)]).unwrap_err(),
+            GraphBuildError::BadWeight {
+                index: 0,
+                weight: -3.0
+            }
+        );
+        assert_eq!(
+            Graph::try_from_edges(2, vec![(0, 2, 1.0)]).unwrap_err(),
+            GraphBuildError::EndpointOutOfRange {
+                index: 0,
+                node: 2,
+                n: 2
+            }
+        );
     }
 
     #[test]

@@ -17,22 +17,43 @@ use std::io::{BufRead, BufReader, Read};
 /// Errors raised while parsing a `.gr` file.
 #[derive(Debug, PartialEq, Eq)]
 pub enum GraphParseError {
+    /// The underlying reader failed; carries the I/O error's message.
+    Io(String),
     /// Missing or malformed `p sp n m` line.
     MissingHeader,
+    /// A second `p` line on the given line number.
+    DuplicateHeader(usize),
     /// An arc line was malformed (wrong arity or unparsable numbers).
     BadArc(usize),
     /// A node id was outside `1..=n`.
     NodeOutOfRange(usize),
+    /// The header declared `declared` edges but the document carried
+    /// `parsed` arc lines.
+    EdgeCountMismatch { declared: usize, parsed: usize },
+    /// The arcs parsed but violate the graph invariants (loop,
+    /// non-positive or non-finite weight).
+    InvalidGraph(String),
 }
 
 impl std::fmt::Display for GraphParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            GraphParseError::Io(msg) => write!(f, "I/O error: {msg}"),
             GraphParseError::MissingHeader => write!(f, "missing 'p sp <n> <m>' header"),
+            GraphParseError::DuplicateHeader(line) => {
+                write!(f, "duplicate 'p' header on line {line}")
+            }
             GraphParseError::BadArc(line) => write!(f, "malformed arc on line {line}"),
             GraphParseError::NodeOutOfRange(line) => {
                 write!(f, "node id out of range on line {line}")
             }
+            GraphParseError::EdgeCountMismatch { declared, parsed } => {
+                write!(
+                    f,
+                    "header declares {declared} edges but {parsed} were parsed"
+                )
+            }
+            GraphParseError::InvalidGraph(msg) => write!(f, "invalid graph: {msg}"),
         }
     }
 }
@@ -40,26 +61,48 @@ impl std::fmt::Display for GraphParseError {
 impl std::error::Error for GraphParseError {}
 
 /// Parses a DIMACS-style `.gr` document.
+///
+/// Every failure maps to a typed [`GraphParseError`]: reader failures
+/// to [`Io`](GraphParseError::Io), malformed lines to line-numbered
+/// variants, a declared/parsed edge-count disagreement to
+/// [`EdgeCountMismatch`](GraphParseError::EdgeCountMismatch), and
+/// invariant violations (loops, bad weights) to
+/// [`InvalidGraph`](GraphParseError::InvalidGraph) via
+/// [`Graph::try_from_edges`]. No input makes this function panic.
 pub fn read_gr(reader: impl Read) -> Result<Graph, GraphParseError> {
+    if mte_faults::check_handled(
+        mte_faults::FaultSite::GrParser,
+        &[mte_faults::FaultKind::Io],
+    )
+    .is_some()
+    {
+        return Err(GraphParseError::Io("injected I/O failure".to_string()));
+    }
     let buf = BufReader::new(reader);
-    let mut n: Option<usize> = None;
+    let mut header: Option<(usize, usize)> = None;
     let mut edges: Vec<(NodeId, NodeId, f64)> = Vec::new();
     for (idx, line) in buf.lines().enumerate() {
-        let line = line.map_err(|_| GraphParseError::BadArc(idx + 1))?;
+        let line = line.map_err(|e| GraphParseError::Io(e.to_string()))?;
         let mut parts = line.split_whitespace();
         match parts.next() {
             Some("c") | None => continue,
             Some("p") => {
+                if header.is_some() {
+                    return Err(GraphParseError::DuplicateHeader(idx + 1));
+                }
                 let _sp = parts.next();
                 let nn = parts
                     .next()
                     .and_then(|s| s.parse::<usize>().ok())
                     .ok_or(GraphParseError::MissingHeader)?;
-                let _m = parts.next();
-                n = Some(nn);
+                let mm = parts
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .ok_or(GraphParseError::MissingHeader)?;
+                header = Some((nn, mm));
             }
             Some("a") => {
-                let n = n.ok_or(GraphParseError::MissingHeader)?;
+                let (n, _) = header.ok_or(GraphParseError::MissingHeader)?;
                 let u = parts
                     .next()
                     .and_then(|s| s.parse::<usize>().ok())
@@ -80,8 +123,14 @@ pub fn read_gr(reader: impl Read) -> Result<Graph, GraphParseError> {
             Some(_) => continue, // unknown directive: skip
         }
     }
-    let n = n.ok_or(GraphParseError::MissingHeader)?;
-    Ok(Graph::from_edges(n, edges))
+    let (n, m) = header.ok_or(GraphParseError::MissingHeader)?;
+    if edges.len() != m {
+        return Err(GraphParseError::EdgeCountMismatch {
+            declared: m,
+            parsed: edges.len(),
+        });
+    }
+    Graph::try_from_edges(n, edges).map_err(|e| GraphParseError::InvalidGraph(e.to_string()))
 }
 
 /// Serializes a graph in the `.gr` dialect.

@@ -20,6 +20,6 @@ pub mod hopset;
 pub mod io;
 pub mod spanner;
 
-pub use graph::{EdgeList, Graph};
+pub use graph::{EdgeList, Graph, GraphBuildError};
 pub use hopset::{Hopset, HopsetConfig};
 pub use spanner::baswana_sen_spanner;

@@ -102,6 +102,10 @@ fn drive<P: ParallelIterator, R: Send>(iter: P, eval: &(dyn Fn(P) -> R + Sync)) 
     let len = iter.split_len();
     let k = (len / iter.min_chunk_len().max(1)).clamp(1, MAX_CHUNKS);
     if k == 1 {
+        // Single-chunk operations never reach the pool, but they are
+        // still one "chunk" of work: give the fault-injection site its
+        // arrival so `worker_chunk` plans cover the small-input regime.
+        pool::chunk_boundary();
         return vec![eval(iter)];
     }
     let mut parts = Vec::with_capacity(k);

@@ -85,6 +85,29 @@ struct JobCore {
     panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
 }
 
+/// Fault-injection hook at the chunk boundary: an armed `worker_chunk`
+/// panic fault unwinds here, exercising the per-chunk `catch_unwind`
+/// isolation (pool and workers survive; the submitter re-raises).
+/// Chunk-boundary hook for parallel operations that bypass the pool
+/// (single-chunk `drive` calls): fires an armed `worker_chunk` fault on
+/// the caller, where it unwinds like any chunk panic of an inline run.
+#[inline]
+pub(crate) fn chunk_boundary() {
+    worker_chunk_fault();
+}
+
+#[inline]
+fn worker_chunk_fault() {
+    if mte_faults::check_for(
+        mte_faults::FaultSite::WorkerChunk,
+        &[mte_faults::FaultKind::Panic],
+    )
+    .is_some()
+    {
+        mte_faults::trigger_panic(mte_faults::FaultSite::WorkerChunk);
+    }
+}
+
 impl JobCore {
     /// Claims and runs chunks until the claim counter is exhausted.
     fn participate(&self) {
@@ -93,7 +116,10 @@ impl JobCore {
             if i >= self.total {
                 return;
             }
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.func)(i))) {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                worker_chunk_fault();
+                (self.func)(i)
+            })) {
                 let mut slot = self.panic.lock().unwrap();
                 if slot.is_none() {
                     *slot = Some(payload);
@@ -128,7 +154,11 @@ pub(crate) fn execute(pool: &Arc<PoolInner>, total: usize, f: &(dyn Fn(usize) + 
     }
     if pool.threads <= 1 || total == 1 {
         // Inline fast path: no workers to enlist (or nothing to split).
+        // The chunk fault fires here too, so single-threaded runs
+        // exercise the same injection sites (the panic propagates
+        // directly — there is no pool state to protect).
         for i in 0..total {
+            worker_chunk_fault();
             f(i);
         }
         return;

@@ -96,6 +96,7 @@ pub use mte_algebra as algebra;
 pub use mte_apps as apps;
 pub use mte_congest as congest;
 pub use mte_core as core;
+pub use mte_faults as faults;
 pub use mte_graph as graph;
 
 /// Convenient re-exports of the most frequently used items.

@@ -1,0 +1,443 @@
+//! Differential fault-injection harness (PR 6 tentpole §4).
+//!
+//! The contract under test: **a fault either surfaces as a typed
+//! [`RunError`] or it does not exist** — whenever a guarded run returns
+//! `Ok`, its states must be bit-identical to the clean run's, for every
+//! wired injection site × fault kind × thread count in {1, 4}. No third
+//! outcome (silent corruption, torn state, hung pool) is acceptable.
+//!
+//! The fault registry is process-global, so every test that installs a
+//! plan serializes on [`FAULT_LOCK`] and clears the registry before
+//! releasing it. Expected injected panics are silenced with a no-op
+//! panic hook for the duration of the sweep.
+
+use metric_tree_embedding::core::arena::try_run_to_fixpoint_arena_with;
+use metric_tree_embedding::core::catalog::SourceDetection;
+use metric_tree_embedding::core::dense::{
+    try_run_to_fixpoint_dense_with, try_run_to_fixpoint_switching_with, SwitchThresholds,
+};
+use metric_tree_embedding::core::engine::{try_run_to_fixpoint_with, EngineStrategy};
+use metric_tree_embedding::core::oracle::try_oracle_run_to_fixpoint_with;
+use metric_tree_embedding::core::simgraph::SimulatedGraph;
+use metric_tree_embedding::core::{Degradation, RunError, RunReport};
+use metric_tree_embedding::faults::{self, FaultKind, FaultPlan, FaultSite};
+use metric_tree_embedding::graph::io::{read_gr, GraphParseError};
+use metric_tree_embedding::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+/// Serializes every test that touches the global fault registry.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds the registry lock, silences the default panic hook (injected
+/// panics are expected noise here), and guarantees `faults::clear()` +
+/// hook restoration on drop — even when an assertion fails mid-sweep.
+struct FaultGuard {
+    _lock: std::sync::MutexGuard<'static, ()>,
+}
+
+impl FaultGuard {
+    fn acquire() -> FaultGuard {
+        let lock = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        faults::clear();
+        std::panic::set_hook(Box::new(|_| {}));
+        FaultGuard { _lock: lock }
+    }
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        faults::clear();
+        // The hook registry cannot be touched from a panicking thread
+        // (it would abort the process, masking the assertion failure);
+        // a failing test then leaves the no-op hook for the next guard
+        // to replace, losing nothing but one backtrace.
+        if !std::thread::panicking() {
+            let _ = std::panic::take_hook();
+        }
+    }
+}
+
+/// Runs `f` on a dedicated pool of the given total parallelism.
+fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool build cannot fail")
+        .install(f)
+}
+
+/// Large enough (`n > 2 × min_chunk_len`) that per-vertex parallel
+/// operations decompose into multiple chunks and actually enter the
+/// worker pool; the single-chunk inline regime is covered by the
+/// oracle fixture's smaller graph.
+fn fixture_graph() -> Graph {
+    let mut rng = StdRng::seed_from_u64(0xFA01);
+    gnm_graph(150, 430, 1.0..9.0, &mut rng)
+}
+
+fn oracle_fixture() -> (Graph, SimulatedGraph) {
+    let mut rng = StdRng::seed_from_u64(0xFA02);
+    let g = gnm_graph(40, 110, 1.0..8.0, &mut rng);
+    let sim = SimulatedGraph::without_hopset(&g, 16, 0.2, &mut rng);
+    (g, sim)
+}
+
+/// The pipelines a fault plan can be pointed at, each pairing a guarded
+/// entry point with the sites it exercises.
+#[derive(Clone, Copy, Debug)]
+enum Pipeline {
+    Owned,
+    Arena,
+    Dense,
+    Switching,
+    Oracle,
+}
+
+impl Pipeline {
+    /// The (site, kind) pairs wired into this pipeline's hop loop.
+    fn wired_faults(self) -> Vec<(FaultSite, FaultKind)> {
+        match self {
+            Pipeline::Owned => vec![
+                (FaultSite::EngineHopCommit, FaultKind::Panic),
+                (FaultSite::EngineHopCommit, FaultKind::PoisonNan),
+                (FaultSite::WorkerChunk, FaultKind::Panic),
+            ],
+            Pipeline::Arena => vec![
+                (FaultSite::EngineHopCommit, FaultKind::Panic),
+                (FaultSite::ArenaSpanRead, FaultKind::Panic),
+                (FaultSite::ArenaSpanRead, FaultKind::TruncateSpan),
+                (FaultSite::WorkerChunk, FaultKind::Panic),
+            ],
+            Pipeline::Dense | Pipeline::Switching => vec![
+                (FaultSite::EngineHopCommit, FaultKind::Panic),
+                (FaultSite::EngineHopCommit, FaultKind::PoisonNan),
+                (FaultSite::DenseRowKernel, FaultKind::Panic),
+                (FaultSite::DenseRowKernel, FaultKind::PoisonNan),
+                (FaultSite::WorkerChunk, FaultKind::Panic),
+            ],
+            Pipeline::Oracle => vec![
+                (FaultSite::OracleLevelLoop, FaultKind::Panic),
+                (FaultSite::OracleLevelLoop, FaultKind::PoisonNan),
+                (FaultSite::WorkerChunk, FaultKind::Panic),
+            ],
+        }
+    }
+
+    /// Runs the pipeline guarded, returning the state vector on success.
+    /// Every pipeline funnels into `Result<(states, report), RunError>`
+    /// so one sweep loop covers all of them.
+    fn run(
+        self,
+        g: &Graph,
+        sim: &SimulatedGraph,
+    ) -> Result<(Vec<DistanceMap>, RunReport), RunError> {
+        let cap = g.n() + 1;
+        let strategy = EngineStrategy::default();
+        match self {
+            Pipeline::Owned => {
+                let alg = SourceDetection::k_ssp(g.n(), 4);
+                try_run_to_fixpoint_with(&alg, g, cap, strategy)
+                    .map(|(run, report)| (run.states, report))
+            }
+            Pipeline::Arena => {
+                let alg = metric_tree_embedding::core::catalog::SourceDetection::k_ssp(g.n(), 4);
+                try_run_to_fixpoint_arena_with(&alg, g, cap, strategy)
+                    .map(|(run, report)| (run.states, report))
+            }
+            Pipeline::Dense => {
+                let alg = SourceDetection::apsp(g.n());
+                try_run_to_fixpoint_dense_with(&alg, g, cap, strategy, None)
+                    .map(|(run, report)| (run.states, report))
+            }
+            Pipeline::Switching => {
+                let alg = SourceDetection::apsp(g.n());
+                let thresholds = SwitchThresholds {
+                    row_density: 0.1,
+                    saturation: 0.1,
+                    revert: 0.01,
+                    budget_bytes: None,
+                };
+                try_run_to_fixpoint_switching_with(&alg, g, cap, strategy, thresholds)
+                    .map(|(run, report)| (run.states, report))
+            }
+            Pipeline::Oracle => {
+                let alg = SourceDetection::apsp(g.n());
+                try_oracle_run_to_fixpoint_with(&alg, sim, 4 * g.n(), strategy)
+                    .map(|(run, report)| (run.states, report))
+            }
+        }
+    }
+}
+
+const PIPELINES: [Pipeline; 5] = [
+    Pipeline::Owned,
+    Pipeline::Arena,
+    Pipeline::Dense,
+    Pipeline::Switching,
+    Pipeline::Oracle,
+];
+
+/// The tentpole sweep: every pipeline × wired (site, kind) × arrival
+/// index × thread count either errors typed or matches the clean run
+/// bit for bit.
+#[test]
+fn every_injected_fault_errors_typed_or_leaves_output_bit_identical() {
+    let _guard = FaultGuard::acquire();
+    let g = fixture_graph();
+    let (_og, sim) = oracle_fixture();
+
+    for pipeline in PIPELINES {
+        // Clean baseline per thread count (they must agree anyway, but
+        // compare like with like).
+        let mut baselines = Vec::new();
+        for threads in [1usize, 4] {
+            let (g, sim) = (&g, &sim);
+            let clean = with_threads(threads, move || pipeline.run(g, sim))
+                .unwrap_or_else(|e| panic!("clean {pipeline:?} run failed: {e}"));
+            baselines.push(clean.0);
+        }
+        assert_eq!(
+            baselines[0], baselines[1],
+            "{pipeline:?}: clean thread divergence"
+        );
+
+        for (site, kind) in pipeline.wired_faults() {
+            // nth 0 fires on the first arrival (always reached); a large
+            // nth is never reached, exercising the armed-but-silent path.
+            for nth in [0u64, 3, 1_000_000] {
+                for (ti, threads) in [1usize, 4].into_iter().enumerate() {
+                    faults::install(FaultPlan::single(site, kind, nth));
+                    let (g, sim) = (&g, &sim);
+                    let outcome = with_threads(threads, move || pipeline.run(g, sim));
+                    faults::clear();
+                    match outcome {
+                        Err(RunError::InjectedFault { .. })
+                        | Err(RunError::Panicked { .. })
+                        | Err(RunError::CorruptState { .. }) => {}
+                        Err(other) => panic!(
+                            "{pipeline:?}/{site}/{kind}/nth={nth}/t={threads}: \
+                             unexpected error class {other:?}"
+                        ),
+                        Ok((states, _)) => assert_eq!(
+                            states, baselines[ti],
+                            "{pipeline:?}/{site}/{kind}/nth={nth}/t={threads}: \
+                             Ok run diverged from clean baseline"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// An injected panic at a specific arrival index maps to the
+/// `InjectedFault` variant carrying its site — not a generic panic.
+#[test]
+fn injected_panics_carry_their_site_in_the_typed_error() {
+    let _guard = FaultGuard::acquire();
+    let g = fixture_graph();
+    let alg = SourceDetection::k_ssp(g.n(), 4);
+    faults::install(FaultPlan::single(
+        FaultSite::EngineHopCommit,
+        FaultKind::Panic,
+        0,
+    ));
+    let out = try_run_to_fixpoint_with(&alg, &g, g.n() + 1, EngineStrategy::default());
+    faults::clear();
+    match out {
+        Err(RunError::InjectedFault { site, kind }) => {
+            assert_eq!(site, FaultSite::EngineHopCommit);
+            assert_eq!(kind, FaultKind::Panic);
+        }
+        other => panic!("expected InjectedFault, got {other:?}"),
+    }
+}
+
+/// A worker-chunk panic is isolated at the chunk boundary: the pool
+/// survives, and the *same* pool completes a clean run afterwards.
+#[test]
+fn worker_pool_survives_a_chunk_panic() {
+    let _guard = FaultGuard::acquire();
+    let g = fixture_graph();
+    let alg = SourceDetection::k_ssp(g.n(), 4);
+    let (g, alg) = (&g, &alg);
+    with_threads(4, move || {
+        let clean = try_run_to_fixpoint_with(alg, g, g.n() + 1, EngineStrategy::default())
+            .expect("clean run");
+        faults::install(FaultPlan::single(
+            FaultSite::WorkerChunk,
+            FaultKind::Panic,
+            0,
+        ));
+        let faulted = try_run_to_fixpoint_with(alg, g, g.n() + 1, EngineStrategy::default());
+        faults::clear();
+        assert!(faulted.is_err(), "chunk panic must surface as an error");
+        // Same pool, same workers: the panic did not wedge or kill them.
+        let after = try_run_to_fixpoint_with(alg, g, g.n() + 1, EngineStrategy::default())
+            .expect("post-fault run on the surviving pool");
+        assert_eq!(after.0.states, clean.0.states);
+        assert_eq!(after.1, clean.1);
+    });
+}
+
+/// Graceful degradation: a dense budget too small for the `n × n` block
+/// makes the switching engine decline the flip and finish sparse —
+/// bit-identical to the owned reference, with the degradation recorded
+/// in both `WorkStats` and the `RunReport`.
+#[test]
+fn dense_budget_exhaustion_degrades_to_sparse_bit_identically() {
+    let _guard = FaultGuard::acquire();
+    let g = fixture_graph();
+    let alg = SourceDetection::apsp(g.n());
+    let reference = try_run_to_fixpoint_with(&alg, &g, g.n() + 1, EngineStrategy::default())
+        .expect("owned reference");
+    // Aggressive flip thresholds + an 8-byte budget: the flip is
+    // attempted early and must be declined every time.
+    let thresholds = SwitchThresholds {
+        row_density: 0.1,
+        saturation: 0.1,
+        revert: 0.01,
+        budget_bytes: Some(8),
+    };
+    let (run, report) = try_run_to_fixpoint_switching_with(
+        &alg,
+        &g,
+        g.n() + 1,
+        EngineStrategy::default(),
+        thresholds,
+    )
+    .expect("budget exhaustion must degrade, not fail");
+    assert_eq!(run.states, reference.0.states, "degraded run diverged");
+    assert_eq!(run.iterations, reference.0.iterations);
+    assert_eq!(run.fixpoint, reference.0.fixpoint);
+    assert!(run.work.dense_declined >= 1, "decline not counted");
+    assert_eq!(
+        run.work.dense_hops, 0,
+        "no hop may run dense under an 8-byte budget"
+    );
+    assert!(
+        report
+            .degradations
+            .iter()
+            .any(|d| matches!(d, Degradation::DenseFlipDeclined { .. })),
+        "degradation missing from the report: {report:?}"
+    );
+}
+
+/// The same degradation driven by fault injection instead of a budget:
+/// a simulated allocation failure at the flip is *handled* — the run
+/// completes sparse and the audit does not convert it into an error.
+#[test]
+fn injected_alloc_failure_at_the_flip_is_absorbed() {
+    let _guard = FaultGuard::acquire();
+    let g = fixture_graph();
+    let alg = SourceDetection::apsp(g.n());
+    let reference = try_run_to_fixpoint_with(&alg, &g, g.n() + 1, EngineStrategy::default())
+        .expect("owned reference");
+    let thresholds = SwitchThresholds {
+        row_density: 0.1,
+        saturation: 0.1,
+        revert: 0.01,
+        budget_bytes: None,
+    };
+    faults::install(FaultPlan::single(
+        FaultSite::DenseRowKernel,
+        FaultKind::AllocFail,
+        0,
+    ));
+    let out = try_run_to_fixpoint_switching_with(
+        &alg,
+        &g,
+        g.n() + 1,
+        EngineStrategy::default(),
+        thresholds,
+    );
+    faults::clear();
+    let (run, report) = out.expect("a handled alloc failure is a degradation, not an error");
+    assert_eq!(run.states, reference.0.states);
+    assert!(run.work.dense_declined >= 1);
+    assert!(!report.degradations.is_empty());
+}
+
+/// A dense-only run has no sparse fallback: the budget violation is the
+/// typed `DenseBudgetExceeded` error, raised before any allocation.
+#[test]
+fn dense_only_budget_violation_is_a_typed_error() {
+    let _guard = FaultGuard::acquire();
+    let g = fixture_graph();
+    let alg = SourceDetection::apsp(g.n());
+    let out =
+        try_run_to_fixpoint_dense_with(&alg, &g, g.n() + 1, EngineStrategy::default(), Some(8));
+    match out {
+        Err(RunError::DenseBudgetExceeded {
+            requested_bytes,
+            budget_bytes,
+        }) => {
+            assert!(requested_bytes > budget_bytes);
+            assert_eq!(budget_bytes, 8);
+        }
+        other => panic!(
+            "expected DenseBudgetExceeded, got Ok/err {:?}",
+            other.map(|_| ())
+        ),
+    }
+}
+
+/// A run that exhausts its iteration cap is not an error — it reports
+/// `converged: false` with the hops it used.
+#[test]
+fn cap_exhaustion_reports_converged_false() {
+    let _guard = FaultGuard::acquire();
+    let g = path_graph(40, 1.0);
+    let alg = SourceDetection::sssp(g.n(), 0);
+    let (run, report) = try_run_to_fixpoint_with(&alg, &g, 3, EngineStrategy::default())
+        .expect("cap exhaustion is not an error");
+    assert!(!report.converged);
+    assert_eq!(report.hops, 3);
+    assert!(!run.fixpoint);
+    // The full run converges and says so.
+    let (_, full) =
+        try_run_to_fixpoint_with(&alg, &g, g.n() + 1, EngineStrategy::default()).expect("full run");
+    assert!(full.converged);
+    assert!(full.hops > 3);
+}
+
+/// The injected parser I/O fault surfaces as the typed
+/// `GraphParseError::Io`, not a panic — and is logged handled, so a
+/// subsequent guarded engine run is not polluted by the stale fire.
+#[test]
+fn injected_parser_io_failure_is_a_typed_parse_error() {
+    let _guard = FaultGuard::acquire();
+    let doc = "p sp 3 2\na 1 2 1.5\na 2 3 2.0\n";
+    faults::install(FaultPlan::single(FaultSite::GrParser, FaultKind::Io, 0));
+    let out = read_gr(doc.as_bytes());
+    faults::clear();
+    assert!(
+        matches!(out, Err(GraphParseError::Io(_))),
+        "expected Io error, got {out:?}"
+    );
+    // The fire was handled: a fresh guarded run sees a clean audit.
+    let g = fixture_graph();
+    let alg = SourceDetection::k_ssp(g.n(), 4);
+    try_run_to_fixpoint_with(&alg, &g, g.n() + 1, EngineStrategy::default())
+        .expect("stale handled fire must not fail a later run");
+}
+
+/// `MTE_FAULT_PLAN`-style specs parse into the same plans the builder
+/// produces, and bad specs are rejected with a message.
+#[test]
+fn fault_plan_spec_round_trip() {
+    let parsed = FaultPlan::parse("engine_hop_commit:panic:0;gr_parser:io:2:3").expect("valid");
+    let built = FaultPlan::new()
+        .inject(FaultSite::EngineHopCommit, FaultKind::Panic, 0)
+        .inject(FaultSite::GrParser, FaultKind::Io, 2);
+    // Hit counts differ (3 vs default), so compare debug forms loosely:
+    // both must list the same sites in order.
+    let (p, b) = (format!("{parsed:?}"), format!("{built:?}"));
+    assert!(p.contains("EngineHopCommit") && p.contains("GrParser"));
+    assert!(b.contains("EngineHopCommit") && b.contains("GrParser"));
+    assert!(FaultPlan::parse("no_such_site:panic:0").is_err());
+    assert!(FaultPlan::parse("engine_hop_commit:no_such_kind:0").is_err());
+}

@@ -557,12 +557,14 @@ fn switching_engine_bit_identical_across_thread_counts_and_thresholds() {
             row_density: 0.1,
             saturation: 0.1,
             revert: 0.01,
+            budget_bytes: None,
         },
         // Unreachable: stays sparse throughout.
         SwitchThresholds {
             row_density: 2.0,
             saturation: 2.0,
             revert: 0.0,
+            budget_bytes: None,
         },
     ] {
         let run = |threads: usize| {
@@ -763,7 +765,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let g = gnm_graph(n, (n - 1 + extra).min(n * (n - 1) / 2), 1.0..9.0, &mut rng);
         let alg = SourceDetection::apsp(g.n());
-        let thresholds = SwitchThresholds { row_density, saturation, revert };
+        let thresholds = SwitchThresholds { row_density, saturation, revert, budget_bytes: None };
 
         let mut owned_states = initial_states(&alg, g.n());
         let mut owned_engine = MbfEngine::new(EngineStrategy::default());
