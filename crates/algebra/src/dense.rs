@@ -168,7 +168,7 @@ impl DenseKernel for MinPlus {
     fn relax_row(dst: &mut [MinPlus], src: &[MinPlus], w: MinPlus) {
         #[cfg(all(target_arch = "x86_64", not(miri)))]
         if simd::avx_available() {
-            // Safety: AVX support was just checked; `MinPlus` is
+            // SAFETY: AVX support was just checked; `MinPlus` is
             // `repr(transparent)` over `f64` (see `as_f64s`).
             unsafe { simd::minplus_relax(as_f64s_mut(dst), as_f64s(src), w.0.value()) };
             return;
@@ -180,7 +180,7 @@ impl DenseKernel for MinPlus {
     fn fold_row(dst: &mut [MinPlus], src: &[MinPlus]) {
         #[cfg(all(target_arch = "x86_64", not(miri)))]
         if simd::avx_available() {
-            // Safety: as in `relax_row`.
+            // SAFETY: as in `relax_row`.
             unsafe { simd::minplus_fold(as_f64s_mut(dst), as_f64s(src)) };
             return;
         }
@@ -191,7 +191,7 @@ impl DenseKernel for MinPlus {
     fn rows_equal(a: &[MinPlus], b: &[MinPlus]) -> bool {
         #[cfg(all(target_arch = "x86_64", not(miri)))]
         if simd::avx_available() {
-            // Safety: as in `relax_row`.
+            // SAFETY: as in `relax_row`.
             return unsafe { simd::f64_rows_equal(as_f64s(a), as_f64s(b)) };
         }
         a == b
@@ -201,7 +201,7 @@ impl DenseKernel for MinPlus {
     fn relax_row_init(dst: &mut [MinPlus], base: &[MinPlus], src: &[MinPlus], w: MinPlus) -> bool {
         #[cfg(all(target_arch = "x86_64", not(miri)))]
         if simd::avx_available() {
-            // Safety: as in `relax_row`.
+            // SAFETY: as in `relax_row`.
             return unsafe {
                 simd::minplus_relax_init(as_f64s_mut(dst), as_f64s(base), as_f64s(src), w.0.value())
             };
@@ -213,7 +213,7 @@ impl DenseKernel for MinPlus {
     fn relax_row_track(dst: &mut [MinPlus], src: &[MinPlus], w: MinPlus) -> bool {
         #[cfg(all(target_arch = "x86_64", not(miri)))]
         if simd::avx_available() {
-            // Safety: as in `relax_row`.
+            // SAFETY: as in `relax_row`.
             return unsafe {
                 simd::minplus_relax_track(as_f64s_mut(dst), as_f64s(src), w.0.value())
             };
@@ -227,7 +227,7 @@ impl DenseKernel for Width {
     fn relax_row(dst: &mut [Width], src: &[Width], w: Width) {
         #[cfg(all(target_arch = "x86_64", not(miri)))]
         if simd::avx_available() {
-            // Safety: AVX support was just checked; `Width` is
+            // SAFETY: AVX support was just checked; `Width` is
             // `repr(transparent)` over `f64` (see `as_f64s`).
             unsafe { simd::maxmin_relax(width_f64s_mut(dst), width_f64s(src), w.0.value()) };
             return;
@@ -239,7 +239,7 @@ impl DenseKernel for Width {
     fn fold_row(dst: &mut [Width], src: &[Width]) {
         #[cfg(all(target_arch = "x86_64", not(miri)))]
         if simd::avx_available() {
-            // Safety: as in `relax_row`.
+            // SAFETY: as in `relax_row`.
             unsafe { simd::maxmin_fold(width_f64s_mut(dst), width_f64s(src)) };
             return;
         }
@@ -250,7 +250,7 @@ impl DenseKernel for Width {
     fn rows_equal(a: &[Width], b: &[Width]) -> bool {
         #[cfg(all(target_arch = "x86_64", not(miri)))]
         if simd::avx_available() {
-            // Safety: as in `relax_row`.
+            // SAFETY: as in `relax_row`.
             return unsafe { simd::f64_rows_equal(width_f64s(a), width_f64s(b)) };
         }
         a == b
@@ -260,7 +260,7 @@ impl DenseKernel for Width {
     fn relax_row_init(dst: &mut [Width], base: &[Width], src: &[Width], w: Width) -> bool {
         #[cfg(all(target_arch = "x86_64", not(miri)))]
         if simd::avx_available() {
-            // Safety: as in `relax_row`.
+            // SAFETY: as in `relax_row`.
             return unsafe {
                 simd::maxmin_relax_init(
                     width_f64s_mut(dst),
@@ -277,7 +277,7 @@ impl DenseKernel for Width {
     fn relax_row_track(dst: &mut [Width], src: &[Width], w: Width) -> bool {
         #[cfg(all(target_arch = "x86_64", not(miri)))]
         if simd::avx_available() {
-            // Safety: as in `relax_row`.
+            // SAFETY: as in `relax_row`.
             return unsafe {
                 simd::maxmin_relax_track(width_f64s_mut(dst), width_f64s(src), w.0.value())
             };
@@ -294,12 +294,17 @@ impl DenseKernel for Width {
 #[cfg(all(target_arch = "x86_64", not(miri)))]
 #[inline]
 fn as_f64s(row: &[MinPlus]) -> &[f64] {
+    // SAFETY: `MinPlus` (and its inner `Dist`) is a `repr(transparent)`
+    // single-field wrapper over `f64`, so the slice layouts coincide and
+    // the lifetime/length are carried over unchanged.
     unsafe { std::slice::from_raw_parts(row.as_ptr() as *const f64, row.len()) }
 }
 
 #[cfg(all(target_arch = "x86_64", not(miri)))]
 #[inline]
 fn as_f64s_mut(row: &mut [MinPlus]) -> &mut [f64] {
+    // SAFETY: as in `as_f64s`, plus the `&mut` borrow is unique, so no
+    // aliasing view exists for the reborrow's lifetime.
     unsafe { std::slice::from_raw_parts_mut(row.as_mut_ptr() as *mut f64, row.len()) }
 }
 
@@ -307,12 +312,17 @@ fn as_f64s_mut(row: &mut [MinPlus]) -> &mut [f64] {
 #[cfg(all(target_arch = "x86_64", not(miri)))]
 #[inline]
 fn width_f64s(row: &[Width]) -> &[f64] {
+    // SAFETY: `Width` (and its inner `Dist`) is a `repr(transparent)`
+    // single-field wrapper over `f64`, so the slice layouts coincide and
+    // the lifetime/length are carried over unchanged.
     unsafe { std::slice::from_raw_parts(row.as_ptr() as *const f64, row.len()) }
 }
 
 #[cfg(all(target_arch = "x86_64", not(miri)))]
 #[inline]
 fn width_f64s_mut(row: &mut [Width]) -> &mut [f64] {
+    // SAFETY: as in `width_f64s`, plus the `&mut` borrow is unique, so
+    // no aliasing view exists for the reborrow's lifetime.
     unsafe { std::slice::from_raw_parts_mut(row.as_mut_ptr() as *mut f64, row.len()) }
 }
 
@@ -342,25 +352,30 @@ mod simd {
     /// AVX must be available; `dst` and `src` must have equal length.
     #[target_feature(enable = "avx")]
     pub unsafe fn minplus_relax(dst: &mut [f64], src: &[f64], w: f64) {
-        debug_assert_eq!(dst.len(), src.len());
-        let n = dst.len();
-        let d = dst.as_mut_ptr();
-        let s = src.as_ptr();
-        let wv = _mm256_set1_pd(w);
-        let mut i = 0;
-        while i + 4 <= n {
-            let dv = _mm256_loadu_pd(d.add(i));
-            let cand = _mm256_add_pd(_mm256_loadu_pd(s.add(i)), wv);
-            // keep dst where dst <= cand — the `Dist::min` select.
-            let keep = _mm256_cmp_pd::<_CMP_LE_OQ>(dv, cand);
-            _mm256_storeu_pd(d.add(i), _mm256_blendv_pd(cand, dv, keep));
-            i += 4;
-        }
-        while i < n {
-            let cand = *s.add(i) + w;
-            let dv = *d.add(i);
-            *d.add(i) = if dv <= cand { dv } else { cand };
-            i += 1;
+        // SAFETY: the caller guarantees AVX support and the slice-length
+        // contract in the doc comment; every pointer below is derived from
+        // one of the argument slices and offset by an index < its length.
+        unsafe {
+            debug_assert_eq!(dst.len(), src.len());
+            let n = dst.len();
+            let d = dst.as_mut_ptr();
+            let s = src.as_ptr();
+            let wv = _mm256_set1_pd(w);
+            let mut i = 0;
+            while i + 4 <= n {
+                let dv = _mm256_loadu_pd(d.add(i));
+                let cand = _mm256_add_pd(_mm256_loadu_pd(s.add(i)), wv);
+                // keep dst where dst <= cand — the `Dist::min` select.
+                let keep = _mm256_cmp_pd::<_CMP_LE_OQ>(dv, cand);
+                _mm256_storeu_pd(d.add(i), _mm256_blendv_pd(cand, dv, keep));
+                i += 4;
+            }
+            while i < n {
+                let cand = *s.add(i) + w;
+                let dv = *d.add(i);
+                *d.add(i) = if dv <= cand { dv } else { cand };
+                i += 1;
+            }
         }
     }
 
@@ -371,23 +386,28 @@ mod simd {
     /// AVX must be available; `dst` and `src` must have equal length.
     #[target_feature(enable = "avx")]
     pub unsafe fn minplus_fold(dst: &mut [f64], src: &[f64]) {
-        debug_assert_eq!(dst.len(), src.len());
-        let n = dst.len();
-        let d = dst.as_mut_ptr();
-        let s = src.as_ptr();
-        let mut i = 0;
-        while i + 4 <= n {
-            let dv = _mm256_loadu_pd(d.add(i));
-            let sv = _mm256_loadu_pd(s.add(i));
-            let keep = _mm256_cmp_pd::<_CMP_LE_OQ>(dv, sv);
-            _mm256_storeu_pd(d.add(i), _mm256_blendv_pd(sv, dv, keep));
-            i += 4;
-        }
-        while i < n {
-            let dv = *d.add(i);
-            let sv = *s.add(i);
-            *d.add(i) = if dv <= sv { dv } else { sv };
-            i += 1;
+        // SAFETY: the caller guarantees AVX support and the slice-length
+        // contract in the doc comment; every pointer below is derived from
+        // one of the argument slices and offset by an index < its length.
+        unsafe {
+            debug_assert_eq!(dst.len(), src.len());
+            let n = dst.len();
+            let d = dst.as_mut_ptr();
+            let s = src.as_ptr();
+            let mut i = 0;
+            while i + 4 <= n {
+                let dv = _mm256_loadu_pd(d.add(i));
+                let sv = _mm256_loadu_pd(s.add(i));
+                let keep = _mm256_cmp_pd::<_CMP_LE_OQ>(dv, sv);
+                _mm256_storeu_pd(d.add(i), _mm256_blendv_pd(sv, dv, keep));
+                i += 4;
+            }
+            while i < n {
+                let dv = *d.add(i);
+                let sv = *s.add(i);
+                *d.add(i) = if dv <= sv { dv } else { sv };
+                i += 1;
+            }
         }
     }
 
@@ -398,30 +418,35 @@ mod simd {
     /// AVX must be available; `dst` and `src` must have equal length.
     #[target_feature(enable = "avx")]
     pub unsafe fn maxmin_relax(dst: &mut [f64], src: &[f64], w: f64) {
-        debug_assert_eq!(dst.len(), src.len());
-        let n = dst.len();
-        let d = dst.as_mut_ptr();
-        let s = src.as_ptr();
-        let wv = _mm256_set1_pd(w);
-        let mut i = 0;
-        while i + 4 <= n {
-            let dv = _mm256_loadu_pd(d.add(i));
-            let sv = _mm256_loadu_pd(s.add(i));
-            // cand = if src <= w { src } else { w } — the `Dist::min`
-            // select of `Width::mul`.
-            let keep_s = _mm256_cmp_pd::<_CMP_LE_OQ>(sv, wv);
-            let cand = _mm256_blendv_pd(wv, sv, keep_s);
-            // out = if dst >= cand { dst } else { cand } — `Dist::max`.
-            let keep_d = _mm256_cmp_pd::<_CMP_GE_OQ>(dv, cand);
-            _mm256_storeu_pd(d.add(i), _mm256_blendv_pd(cand, dv, keep_d));
-            i += 4;
-        }
-        while i < n {
-            let sv = *s.add(i);
-            let cand = if sv <= w { sv } else { w };
-            let dv = *d.add(i);
-            *d.add(i) = if dv >= cand { dv } else { cand };
-            i += 1;
+        // SAFETY: the caller guarantees AVX support and the slice-length
+        // contract in the doc comment; every pointer below is derived from
+        // one of the argument slices and offset by an index < its length.
+        unsafe {
+            debug_assert_eq!(dst.len(), src.len());
+            let n = dst.len();
+            let d = dst.as_mut_ptr();
+            let s = src.as_ptr();
+            let wv = _mm256_set1_pd(w);
+            let mut i = 0;
+            while i + 4 <= n {
+                let dv = _mm256_loadu_pd(d.add(i));
+                let sv = _mm256_loadu_pd(s.add(i));
+                // cand = if src <= w { src } else { w } — the `Dist::min`
+                // select of `Width::mul`.
+                let keep_s = _mm256_cmp_pd::<_CMP_LE_OQ>(sv, wv);
+                let cand = _mm256_blendv_pd(wv, sv, keep_s);
+                // out = if dst >= cand { dst } else { cand } — `Dist::max`.
+                let keep_d = _mm256_cmp_pd::<_CMP_GE_OQ>(dv, cand);
+                _mm256_storeu_pd(d.add(i), _mm256_blendv_pd(cand, dv, keep_d));
+                i += 4;
+            }
+            while i < n {
+                let sv = *s.add(i);
+                let cand = if sv <= w { sv } else { w };
+                let dv = *d.add(i);
+                *d.add(i) = if dv >= cand { dv } else { cand };
+                i += 1;
+            }
         }
     }
 
@@ -432,23 +457,28 @@ mod simd {
     /// AVX must be available; `dst` and `src` must have equal length.
     #[target_feature(enable = "avx")]
     pub unsafe fn maxmin_fold(dst: &mut [f64], src: &[f64]) {
-        debug_assert_eq!(dst.len(), src.len());
-        let n = dst.len();
-        let d = dst.as_mut_ptr();
-        let s = src.as_ptr();
-        let mut i = 0;
-        while i + 4 <= n {
-            let dv = _mm256_loadu_pd(d.add(i));
-            let sv = _mm256_loadu_pd(s.add(i));
-            let keep = _mm256_cmp_pd::<_CMP_GE_OQ>(dv, sv);
-            _mm256_storeu_pd(d.add(i), _mm256_blendv_pd(sv, dv, keep));
-            i += 4;
-        }
-        while i < n {
-            let dv = *d.add(i);
-            let sv = *s.add(i);
-            *d.add(i) = if dv >= sv { dv } else { sv };
-            i += 1;
+        // SAFETY: the caller guarantees AVX support and the slice-length
+        // contract in the doc comment; every pointer below is derived from
+        // one of the argument slices and offset by an index < its length.
+        unsafe {
+            debug_assert_eq!(dst.len(), src.len());
+            let n = dst.len();
+            let d = dst.as_mut_ptr();
+            let s = src.as_ptr();
+            let mut i = 0;
+            while i + 4 <= n {
+                let dv = _mm256_loadu_pd(d.add(i));
+                let sv = _mm256_loadu_pd(s.add(i));
+                let keep = _mm256_cmp_pd::<_CMP_GE_OQ>(dv, sv);
+                _mm256_storeu_pd(d.add(i), _mm256_blendv_pd(sv, dv, keep));
+                i += 4;
+            }
+            while i < n {
+                let dv = *d.add(i);
+                let sv = *s.add(i);
+                *d.add(i) = if dv >= sv { dv } else { sv };
+                i += 1;
+            }
         }
     }
 
@@ -461,33 +491,38 @@ mod simd {
     /// AVX must be available; all three slices must have equal length.
     #[target_feature(enable = "avx")]
     pub unsafe fn minplus_relax_init(dst: &mut [f64], base: &[f64], src: &[f64], w: f64) -> bool {
-        debug_assert!(dst.len() == base.len() && dst.len() == src.len());
-        let n = dst.len();
-        let d = dst.as_mut_ptr();
-        let b = base.as_ptr();
-        let s = src.as_ptr();
-        let wv = _mm256_set1_pd(w);
-        let mut acc = _mm256_setzero_pd();
-        let mut i = 0;
-        while i + 4 <= n {
-            let bv = _mm256_loadu_pd(b.add(i));
-            let cand = _mm256_add_pd(_mm256_loadu_pd(s.add(i)), wv);
-            let keep = _mm256_cmp_pd::<_CMP_LE_OQ>(bv, cand);
-            let out = _mm256_blendv_pd(cand, bv, keep);
-            acc = _mm256_or_pd(acc, _mm256_cmp_pd::<_CMP_NEQ_UQ>(out, bv));
-            _mm256_storeu_pd(d.add(i), out);
-            i += 4;
+        // SAFETY: the caller guarantees AVX support and the slice-length
+        // contract in the doc comment; every pointer below is derived from
+        // one of the argument slices and offset by an index < its length.
+        unsafe {
+            debug_assert!(dst.len() == base.len() && dst.len() == src.len());
+            let n = dst.len();
+            let d = dst.as_mut_ptr();
+            let b = base.as_ptr();
+            let s = src.as_ptr();
+            let wv = _mm256_set1_pd(w);
+            let mut acc = _mm256_setzero_pd();
+            let mut i = 0;
+            while i + 4 <= n {
+                let bv = _mm256_loadu_pd(b.add(i));
+                let cand = _mm256_add_pd(_mm256_loadu_pd(s.add(i)), wv);
+                let keep = _mm256_cmp_pd::<_CMP_LE_OQ>(bv, cand);
+                let out = _mm256_blendv_pd(cand, bv, keep);
+                acc = _mm256_or_pd(acc, _mm256_cmp_pd::<_CMP_NEQ_UQ>(out, bv));
+                _mm256_storeu_pd(d.add(i), out);
+                i += 4;
+            }
+            let mut changed = _mm256_movemask_pd(acc) != 0;
+            while i < n {
+                let bv = *b.add(i);
+                let cand = *s.add(i) + w;
+                let out = if bv <= cand { bv } else { cand };
+                changed |= out != bv;
+                *d.add(i) = out;
+                i += 1;
+            }
+            changed
         }
-        let mut changed = _mm256_movemask_pd(acc) != 0;
-        while i < n {
-            let bv = *b.add(i);
-            let cand = *s.add(i) + w;
-            let out = if bv <= cand { bv } else { cand };
-            changed |= out != bv;
-            *d.add(i) = out;
-            i += 1;
-        }
-        changed
     }
 
     /// [`minplus_relax`] with fused change tracking (cf.
@@ -497,40 +532,45 @@ mod simd {
     /// AVX must be available; `dst` and `src` must have equal length.
     #[target_feature(enable = "avx")]
     pub unsafe fn minplus_relax_track(dst: &mut [f64], src: &[f64], w: f64) -> bool {
-        debug_assert_eq!(dst.len(), src.len());
-        let n = dst.len();
-        let d = dst.as_mut_ptr();
-        let s = src.as_ptr();
-        let wv = _mm256_set1_pd(w);
-        let mut acc = _mm256_setzero_pd();
-        let mut i = 0;
-        while i + 4 <= n {
-            let dv = _mm256_loadu_pd(d.add(i));
-            let cand = _mm256_add_pd(_mm256_loadu_pd(s.add(i)), wv);
-            let moved = _mm256_cmp_pd::<_CMP_NEQ_UQ>(
-                _mm256_blendv_pd(cand, dv, _mm256_cmp_pd::<_CMP_LE_OQ>(dv, cand)),
-                dv,
-            );
-            acc = _mm256_or_pd(acc, moved);
-            // Masked store: only lanes that actually improved are
-            // written (an improved lane's new value is `cand`) — on a
-            // converging hop most lanes are quiescent and the row's
-            // cache lines stay clean.
-            _mm256_maskstore_pd(d.add(i), _mm256_castpd_si256(moved), cand);
-            i += 4;
-        }
-        let mut changed = _mm256_movemask_pd(acc) != 0;
-        while i < n {
-            let dv = *d.add(i);
-            let cand = *s.add(i) + w;
-            if dv > cand {
-                // (no NaN in the rows: dv > cand ⟺ !(dv <= cand))
-                *d.add(i) = cand;
-                changed = true;
+        // SAFETY: the caller guarantees AVX support and the slice-length
+        // contract in the doc comment; every pointer below is derived from
+        // one of the argument slices and offset by an index < its length.
+        unsafe {
+            debug_assert_eq!(dst.len(), src.len());
+            let n = dst.len();
+            let d = dst.as_mut_ptr();
+            let s = src.as_ptr();
+            let wv = _mm256_set1_pd(w);
+            let mut acc = _mm256_setzero_pd();
+            let mut i = 0;
+            while i + 4 <= n {
+                let dv = _mm256_loadu_pd(d.add(i));
+                let cand = _mm256_add_pd(_mm256_loadu_pd(s.add(i)), wv);
+                let moved = _mm256_cmp_pd::<_CMP_NEQ_UQ>(
+                    _mm256_blendv_pd(cand, dv, _mm256_cmp_pd::<_CMP_LE_OQ>(dv, cand)),
+                    dv,
+                );
+                acc = _mm256_or_pd(acc, moved);
+                // Masked store: only lanes that actually improved are
+                // written (an improved lane's new value is `cand`) — on a
+                // converging hop most lanes are quiescent and the row's
+                // cache lines stay clean.
+                _mm256_maskstore_pd(d.add(i), _mm256_castpd_si256(moved), cand);
+                i += 4;
             }
-            i += 1;
+            let mut changed = _mm256_movemask_pd(acc) != 0;
+            while i < n {
+                let dv = *d.add(i);
+                let cand = *s.add(i) + w;
+                if dv > cand {
+                    // (no NaN in the rows: dv > cand ⟺ !(dv <= cand))
+                    *d.add(i) = cand;
+                    changed = true;
+                }
+                i += 1;
+            }
+            changed
         }
-        changed
     }
 
     /// [`maxmin_relax`] in three-address form with fused change
@@ -540,36 +580,41 @@ mod simd {
     /// AVX must be available; all three slices must have equal length.
     #[target_feature(enable = "avx")]
     pub unsafe fn maxmin_relax_init(dst: &mut [f64], base: &[f64], src: &[f64], w: f64) -> bool {
-        debug_assert!(dst.len() == base.len() && dst.len() == src.len());
-        let n = dst.len();
-        let d = dst.as_mut_ptr();
-        let b = base.as_ptr();
-        let s = src.as_ptr();
-        let wv = _mm256_set1_pd(w);
-        let mut acc = _mm256_setzero_pd();
-        let mut i = 0;
-        while i + 4 <= n {
-            let bv = _mm256_loadu_pd(b.add(i));
-            let sv = _mm256_loadu_pd(s.add(i));
-            let keep_s = _mm256_cmp_pd::<_CMP_LE_OQ>(sv, wv);
-            let cand = _mm256_blendv_pd(wv, sv, keep_s);
-            let keep_b = _mm256_cmp_pd::<_CMP_GE_OQ>(bv, cand);
-            let out = _mm256_blendv_pd(cand, bv, keep_b);
-            acc = _mm256_or_pd(acc, _mm256_cmp_pd::<_CMP_NEQ_UQ>(out, bv));
-            _mm256_storeu_pd(d.add(i), out);
-            i += 4;
+        // SAFETY: the caller guarantees AVX support and the slice-length
+        // contract in the doc comment; every pointer below is derived from
+        // one of the argument slices and offset by an index < its length.
+        unsafe {
+            debug_assert!(dst.len() == base.len() && dst.len() == src.len());
+            let n = dst.len();
+            let d = dst.as_mut_ptr();
+            let b = base.as_ptr();
+            let s = src.as_ptr();
+            let wv = _mm256_set1_pd(w);
+            let mut acc = _mm256_setzero_pd();
+            let mut i = 0;
+            while i + 4 <= n {
+                let bv = _mm256_loadu_pd(b.add(i));
+                let sv = _mm256_loadu_pd(s.add(i));
+                let keep_s = _mm256_cmp_pd::<_CMP_LE_OQ>(sv, wv);
+                let cand = _mm256_blendv_pd(wv, sv, keep_s);
+                let keep_b = _mm256_cmp_pd::<_CMP_GE_OQ>(bv, cand);
+                let out = _mm256_blendv_pd(cand, bv, keep_b);
+                acc = _mm256_or_pd(acc, _mm256_cmp_pd::<_CMP_NEQ_UQ>(out, bv));
+                _mm256_storeu_pd(d.add(i), out);
+                i += 4;
+            }
+            let mut changed = _mm256_movemask_pd(acc) != 0;
+            while i < n {
+                let sv = *s.add(i);
+                let cand = if sv <= w { sv } else { w };
+                let bv = *b.add(i);
+                let out = if bv >= cand { bv } else { cand };
+                changed |= out != bv;
+                *d.add(i) = out;
+                i += 1;
+            }
+            changed
         }
-        let mut changed = _mm256_movemask_pd(acc) != 0;
-        while i < n {
-            let sv = *s.add(i);
-            let cand = if sv <= w { sv } else { w };
-            let bv = *b.add(i);
-            let out = if bv >= cand { bv } else { cand };
-            changed |= out != bv;
-            *d.add(i) = out;
-            i += 1;
-        }
-        changed
     }
 
     /// [`maxmin_relax`] with fused change tracking (two-address form).
@@ -578,39 +623,44 @@ mod simd {
     /// AVX must be available; `dst` and `src` must have equal length.
     #[target_feature(enable = "avx")]
     pub unsafe fn maxmin_relax_track(dst: &mut [f64], src: &[f64], w: f64) -> bool {
-        debug_assert_eq!(dst.len(), src.len());
-        let n = dst.len();
-        let d = dst.as_mut_ptr();
-        let s = src.as_ptr();
-        let wv = _mm256_set1_pd(w);
-        let mut acc = _mm256_setzero_pd();
-        let mut i = 0;
-        while i + 4 <= n {
-            let dv = _mm256_loadu_pd(d.add(i));
-            let sv = _mm256_loadu_pd(s.add(i));
-            let keep_s = _mm256_cmp_pd::<_CMP_LE_OQ>(sv, wv);
-            let cand = _mm256_blendv_pd(wv, sv, keep_s);
-            let keep_d = _mm256_cmp_pd::<_CMP_GE_OQ>(dv, cand);
-            let moved = _mm256_cmp_pd::<_CMP_NEQ_UQ>(_mm256_blendv_pd(cand, dv, keep_d), dv);
-            acc = _mm256_or_pd(acc, moved);
-            // Masked store (cf. `minplus_relax_track`): a moved lane's
-            // new value is `cand`; quiescent lanes stay unwritten.
-            _mm256_maskstore_pd(d.add(i), _mm256_castpd_si256(moved), cand);
-            i += 4;
-        }
-        let mut changed = _mm256_movemask_pd(acc) != 0;
-        while i < n {
-            let sv = *s.add(i);
-            let cand = if sv <= w { sv } else { w };
-            let dv = *d.add(i);
-            if dv < cand {
-                // (no NaN in the rows: dv < cand ⟺ !(dv >= cand))
-                *d.add(i) = cand;
-                changed = true;
+        // SAFETY: the caller guarantees AVX support and the slice-length
+        // contract in the doc comment; every pointer below is derived from
+        // one of the argument slices and offset by an index < its length.
+        unsafe {
+            debug_assert_eq!(dst.len(), src.len());
+            let n = dst.len();
+            let d = dst.as_mut_ptr();
+            let s = src.as_ptr();
+            let wv = _mm256_set1_pd(w);
+            let mut acc = _mm256_setzero_pd();
+            let mut i = 0;
+            while i + 4 <= n {
+                let dv = _mm256_loadu_pd(d.add(i));
+                let sv = _mm256_loadu_pd(s.add(i));
+                let keep_s = _mm256_cmp_pd::<_CMP_LE_OQ>(sv, wv);
+                let cand = _mm256_blendv_pd(wv, sv, keep_s);
+                let keep_d = _mm256_cmp_pd::<_CMP_GE_OQ>(dv, cand);
+                let moved = _mm256_cmp_pd::<_CMP_NEQ_UQ>(_mm256_blendv_pd(cand, dv, keep_d), dv);
+                acc = _mm256_or_pd(acc, moved);
+                // Masked store (cf. `minplus_relax_track`): a moved lane's
+                // new value is `cand`; quiescent lanes stay unwritten.
+                _mm256_maskstore_pd(d.add(i), _mm256_castpd_si256(moved), cand);
+                i += 4;
             }
-            i += 1;
+            let mut changed = _mm256_movemask_pd(acc) != 0;
+            while i < n {
+                let sv = *s.add(i);
+                let cand = if sv <= w { sv } else { w };
+                let dv = *d.add(i);
+                if dv < cand {
+                    // (no NaN in the rows: dv < cand ⟺ !(dv >= cand))
+                    *d.add(i) = cand;
+                    changed = true;
+                }
+                i += 1;
+            }
+            changed
         }
-        changed
     }
 
     /// Whole-row `f64` equality with IEEE `==` semantics (`_CMP_EQ_OQ`;
@@ -620,28 +670,35 @@ mod simd {
     /// AVX must be available.
     #[target_feature(enable = "avx")]
     pub unsafe fn f64_rows_equal(a: &[f64], b: &[f64]) -> bool {
-        if a.len() != b.len() {
-            return false;
-        }
-        let n = a.len();
-        let pa = a.as_ptr();
-        let pb = b.as_ptr();
-        let mut i = 0;
-        while i + 4 <= n {
-            let eq =
-                _mm256_cmp_pd::<_CMP_EQ_OQ>(_mm256_loadu_pd(pa.add(i)), _mm256_loadu_pd(pb.add(i)));
-            if _mm256_movemask_pd(eq) != 0b1111 {
+        // SAFETY: the caller guarantees AVX support and the slice-length
+        // contract in the doc comment; every pointer below is derived from
+        // one of the argument slices and offset by an index < its length.
+        unsafe {
+            if a.len() != b.len() {
                 return false;
             }
-            i += 4;
-        }
-        while i < n {
-            if *pa.add(i) != *pb.add(i) {
-                return false;
+            let n = a.len();
+            let pa = a.as_ptr();
+            let pb = b.as_ptr();
+            let mut i = 0;
+            while i + 4 <= n {
+                let eq = _mm256_cmp_pd::<_CMP_EQ_OQ>(
+                    _mm256_loadu_pd(pa.add(i)),
+                    _mm256_loadu_pd(pb.add(i)),
+                );
+                if _mm256_movemask_pd(eq) != 0b1111 {
+                    return false;
+                }
+                i += 4;
             }
-            i += 1;
+            while i < n {
+                if *pa.add(i) != *pb.add(i) {
+                    return false;
+                }
+                i += 1;
+            }
+            true
         }
-        true
     }
 }
 

@@ -23,7 +23,7 @@ use mte_core::frt::{sample_direct, BaselineSample};
 use mte_graph::algorithms::sssp;
 use mte_graph::Graph;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A cable type `(u_j, c_j)`: capacity per copy and cost per unit length
 /// per copy.
@@ -122,7 +122,9 @@ pub fn solve_on_tree(
 
     // (2) Aggregate per-tree-edge flow: climb both endpoints to the LCA.
     // tree_flow[child node index] = flow over the edge (child → parent).
-    let mut tree_flow: HashMap<usize, f64> = HashMap::new();
+    // Ordered maps here and below: the float accumulation order (and so
+    // the bit pattern of `total_cost`) follows map iteration order.
+    let mut tree_flow: BTreeMap<usize, f64> = BTreeMap::new();
     for d in &instance.demands {
         assert!(d.amount >= 0.0 && d.amount.is_finite());
         if d.amount == 0.0 || d.s == d.t {
@@ -140,7 +142,7 @@ pub fn solve_on_tree(
 
     // (3) Map used tree edges back to graph paths, accumulating per-edge
     // flow in G.
-    let mut edge_flow: HashMap<(NodeId, NodeId), f64> = HashMap::new();
+    let mut edge_flow: BTreeMap<(NodeId, NodeId), f64> = BTreeMap::new();
     for (&child, &flow) in &tree_flow {
         let embedded = embed_tree_edge(g, tree, child);
         for hop in embedded.path.windows(2) {

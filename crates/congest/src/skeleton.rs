@@ -78,8 +78,12 @@ fn pipelined_source_detection(
     ell: usize,
 ) -> (Vec<Vec<(NodeId, Dist)>>, CongestCost) {
     let n = g.n();
-    let mut dist: Vec<std::collections::HashMap<NodeId, (Dist, u32)>> =
-        vec![std::collections::HashMap::new(); n];
+    // Ordered per-node source tables: `into_iter` below feeds the output
+    // lists, so iteration order must not depend on hash state (the final
+    // sort makes the *lists* canonical, but float-free determinism is
+    // cheapest to guarantee at the container level).
+    let mut dist: Vec<std::collections::BTreeMap<NodeId, (Dist, u32)>> =
+        vec![std::collections::BTreeMap::new(); n];
     let mut queues: Vec<VecDeque<(NodeId, Dist, u32)>> = vec![VecDeque::new(); n];
     for &s in sources {
         dist[s as usize].insert(s, (Dist::ZERO, 0));

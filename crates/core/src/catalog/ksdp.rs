@@ -12,7 +12,7 @@
 use crate::engine::MbfAlgorithm;
 use mte_algebra::allpaths::{AllPaths, Path};
 use mte_algebra::{Dist, Filter, NodeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// k-SDP / k-DSDP as an MBF-like algorithm with `S = M = P_{min,+}`.
 #[derive(Clone, Debug)]
@@ -54,7 +54,9 @@ impl KShortestDistances {
         }
         entries.retain(|(p, _)| p.last() == self.target);
 
-        let mut by_start: HashMap<NodeId, Vec<(Path, Dist)>> = HashMap::new();
+        // Ordered by start node: the `kept` concatenation below follows
+        // map iteration order, which must not depend on hash state.
+        let mut by_start: BTreeMap<NodeId, Vec<(Path, Dist)>> = BTreeMap::new();
         for (p, w) in entries {
             by_start.entry(p.first()).or_default().push((p, w));
         }

@@ -287,11 +287,12 @@ where
             let mut srcs: Vec<(&[A::S], A::S)> = Vec::new();
             for p in range.clone() {
                 let v = touched[p];
-                // Safety: chunks partition positions of the sorted,
+                // SAFETY: chunks partition positions of the sorted,
                 // deduplicated `touched` list, so row window `v·k..` and
                 // stats slot `p` are owned by exactly this chunk.
                 let dst: &mut [A::S] =
                     unsafe { std::slice::from_raw_parts_mut(next_base.slot(v as usize * k), k) };
+                // SAFETY: as above — stats slot `p` belongs to this chunk.
                 let stats = unsafe { &mut *stats_base.slot(p) };
                 srcs.clear();
                 let full = !skip_clean || taint_ref.is_tainted(v);
@@ -351,7 +352,7 @@ where
                     tally.0 += entries;
                     tally.1 += relaxations;
                     if changed {
-                        // Safety: as above — disjoint rows per chunk,
+                        // SAFETY: as above — disjoint rows per chunk,
                         // and the shadow and block are distinct
                         // allocations.
                         unsafe {
@@ -1117,7 +1118,7 @@ where
         let x_imm = &x;
         let agg_base = SyncPtr(agg.as_mut_ptr());
         let fold = |v: NodeId| -> bool {
-            // Safety: callers iterate distinct vertices (a range or a
+            // SAFETY: callers iterate distinct vertices (a range or a
             // deduplicated list), so row windows are disjoint.
             let dst: &mut [A::S] =
                 unsafe { std::slice::from_raw_parts_mut(agg_base.slot(v as usize * k), k) };

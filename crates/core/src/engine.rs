@@ -234,6 +234,11 @@ const MAX_HOP_CHUNKS: usize = 64;
 /// vertex slot (or row window) or stats slot.
 pub(crate) struct SyncPtr<T>(pub(crate) *mut T);
 
+// SAFETY: the wrapper only makes the raw base pointer *shareable*; every
+// dereference goes through `slot`, whose callers uphold the disjoint-index
+// contract in the struct docs (chunks partition the recompute positions),
+// so no two threads ever form overlapping references. `T: Send` covers
+// handing the pointed-to values across threads.
 unsafe impl<T: Send> Sync for SyncPtr<T> {}
 
 impl<T> SyncPtr<T> {
@@ -244,6 +249,8 @@ impl<T> SyncPtr<T> {
     /// Safety: the caller must own index `i` exclusively (see the struct
     /// docs) and stay within the allocation the base pointer came from.
     pub(crate) unsafe fn slot(&self, i: usize) -> *mut T {
+        // SAFETY: `i` is in bounds of the allocation behind the base
+        // pointer (caller contract above).
         unsafe { self.0.add(i) }
     }
 }
@@ -718,10 +725,11 @@ impl<A: MbfAlgorithm> MbfEngine<A> {
         chunks.par_iter().with_min_len(1).for_each(|range| {
             for p in range.clone() {
                 let v = touched[p];
-                // Safety: chunks partition positions of the sorted,
+                // SAFETY: chunks partition positions of the sorted,
                 // deduplicated `touched` list, so slot `v` and stats
                 // slot `p` are owned by exactly this chunk.
                 let shadow = unsafe { &mut *next_base.slot(v as usize) };
+                // SAFETY: as above — stats slot `p` belongs to this chunk.
                 let stats = unsafe { &mut *stats_base.slot(p) };
                 let (entries, relaxations) =
                     alg.recompute_into(v, g, weight_scale, states_ref, shadow);
@@ -751,7 +759,7 @@ impl<A: MbfAlgorithm> MbfEngine<A> {
                     tally.1 += relaxations;
                     tally.2 += bytes;
                     if changed {
-                        // Safety: as above — disjoint vertices per chunk.
+                        // SAFETY: as above — disjoint vertices per chunk.
                         unsafe { std::ptr::swap(states_base.slot(v), next_base.slot(v)) };
                         tally.3 = true;
                     }

@@ -60,8 +60,8 @@ pub fn embed_tree_edge(g: &Graph, tree: &FrtTree, child: usize) -> EmbeddedTreeE
 /// Maps every tree edge to a `G`-path, reusing one Dijkstra per distinct
 /// representative leaf.
 pub fn embed_all_tree_edges(g: &Graph, tree: &FrtTree) -> Vec<EmbeddedTreeEdge> {
-    use std::collections::HashMap;
-    let mut cache: HashMap<NodeId, mte_graph::algorithms::ShortestPaths> = HashMap::new();
+    use std::collections::BTreeMap;
+    let mut cache: BTreeMap<NodeId, mte_graph::algorithms::ShortestPaths> = BTreeMap::new();
     (1..tree.len())
         .map(|child| {
             let node = &tree.nodes()[child];

@@ -15,7 +15,7 @@
 
 use crate::frt::le_list::{LeList, Ranks};
 use mte_algebra::{Dist, NodeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A node of the FRT tree.
 #[derive(Clone, Debug)]
@@ -123,7 +123,10 @@ impl FrtTree {
             repr_leaf: 0,
         };
         let mut nodes = vec![root];
-        let mut index: HashMap<(u32, NodeId, usize), usize> = HashMap::new();
+        // Ordered map: node indices are assigned in first-encounter order
+        // either way, but the deduplication structure itself must never
+        // be a nondeterministic-iteration hazard (determinism lint).
+        let mut index: BTreeMap<(u32, NodeId, usize), usize> = BTreeMap::new();
         let mut leaf = vec![0usize; n];
         for (v, seq) in sequences.iter().enumerate() {
             assert_eq!(
@@ -278,7 +281,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(51);
         let g = gnm_graph(30, 70, 1.0..9.0, &mut rng);
         let (tree, _) = build_tree(&g, 52);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for v in 0..g.n() as NodeId {
             let leaf = tree.leaf(v);
             assert_eq!(tree.nodes()[leaf].level, 0);

@@ -73,31 +73,65 @@ pub enum FaultSite {
     GrParser,
 }
 
+/// The **single source of truth** for site spec names: one `(site,
+/// name)` row per [`FaultSite`] variant, consumed by [`FaultSite::name`],
+/// [`FaultPlan::parse`] and [`FaultSite::ALL`] alike — a call site, a
+/// plan spec and the registry can therefore never disagree on a
+/// spelling. The `fault-site-registry` rule of `cargo xtask analyze`
+/// parses this table and cross-checks every `FaultSite::…` reference and
+/// every plan-spec string literal in the workspace against it.
+pub const SITE_NAMES: [(FaultSite, &str); 6] = [
+    (FaultSite::EngineHopCommit, "engine_hop_commit"),
+    (FaultSite::ArenaSpanRead, "arena_span_read"),
+    (FaultSite::DenseRowKernel, "dense_row_kernel"),
+    (FaultSite::OracleLevelLoop, "oracle_level_loop"),
+    (FaultSite::WorkerChunk, "worker_chunk"),
+    (FaultSite::GrParser, "gr_parser"),
+];
+
+/// The [`SITE_NAMES`] counterpart for [`FaultKind`] spec names.
+pub const KIND_NAMES: [(FaultKind, &str); 5] = [
+    (FaultKind::Panic, "panic"),
+    (FaultKind::PoisonNan, "poison_nan"),
+    (FaultKind::TruncateSpan, "truncate_span"),
+    (FaultKind::AllocFail, "alloc_fail"),
+    (FaultKind::Io, "io"),
+];
+
+/// Maps `site` to its row in the name table.
+const fn site_row(site: FaultSite, i: usize) -> usize {
+    // Const-evaluated linear scan; `SITE_NAMES` is exhaustive (pinned by
+    // the `name_tables_are_exhaustive` test), so the recursion always
+    // terminates before running off the table.
+    if (SITE_NAMES[i].0 as u32) == (site as u32) {
+        i
+    } else {
+        site_row(site, i + 1)
+    }
+}
+
 impl FaultSite {
-    /// Every site, for exhaustive harness sweeps.
+    /// Every site, for exhaustive harness sweeps (derived from
+    /// [`SITE_NAMES`]).
     pub const ALL: [FaultSite; 6] = [
-        FaultSite::EngineHopCommit,
-        FaultSite::ArenaSpanRead,
-        FaultSite::DenseRowKernel,
-        FaultSite::OracleLevelLoop,
-        FaultSite::WorkerChunk,
-        FaultSite::GrParser,
+        SITE_NAMES[0].0,
+        SITE_NAMES[1].0,
+        SITE_NAMES[2].0,
+        SITE_NAMES[3].0,
+        SITE_NAMES[4].0,
+        SITE_NAMES[5].0,
     ];
 
-    /// The spec name used by [`FaultPlan::parse`].
-    pub fn name(self) -> &'static str {
-        match self {
-            FaultSite::EngineHopCommit => "engine_hop_commit",
-            FaultSite::ArenaSpanRead => "arena_span_read",
-            FaultSite::DenseRowKernel => "dense_row_kernel",
-            FaultSite::OracleLevelLoop => "oracle_level_loop",
-            FaultSite::WorkerChunk => "worker_chunk",
-            FaultSite::GrParser => "gr_parser",
-        }
+    /// The spec name used by [`FaultPlan::parse`], read from
+    /// [`SITE_NAMES`].
+    pub const fn name(self) -> &'static str {
+        SITE_NAMES[site_row(self, 0)].1
     }
 
     fn parse(s: &str) -> Option<FaultSite> {
-        FaultSite::ALL.into_iter().find(|site| site.name() == s)
+        SITE_NAMES
+            .into_iter()
+            .find_map(|(site, name)| (name == s).then_some(site))
     }
 }
 
@@ -123,29 +157,36 @@ pub enum FaultKind {
     Io,
 }
 
+/// Maps `kind` to its row in the name table (cf. [`site_row`]).
+const fn kind_row(kind: FaultKind, i: usize) -> usize {
+    if (KIND_NAMES[i].0 as u32) == (kind as u32) {
+        i
+    } else {
+        kind_row(kind, i + 1)
+    }
+}
+
 impl FaultKind {
-    /// Every kind, for exhaustive harness sweeps.
+    /// Every kind, for exhaustive harness sweeps (derived from
+    /// [`KIND_NAMES`]).
     pub const ALL: [FaultKind; 5] = [
-        FaultKind::Panic,
-        FaultKind::PoisonNan,
-        FaultKind::TruncateSpan,
-        FaultKind::AllocFail,
-        FaultKind::Io,
+        KIND_NAMES[0].0,
+        KIND_NAMES[1].0,
+        KIND_NAMES[2].0,
+        KIND_NAMES[3].0,
+        KIND_NAMES[4].0,
     ];
 
-    /// The spec name used by [`FaultPlan::parse`].
-    pub fn name(self) -> &'static str {
-        match self {
-            FaultKind::Panic => "panic",
-            FaultKind::PoisonNan => "poison_nan",
-            FaultKind::TruncateSpan => "truncate_span",
-            FaultKind::AllocFail => "alloc_fail",
-            FaultKind::Io => "io",
-        }
+    /// The spec name used by [`FaultPlan::parse`], read from
+    /// [`KIND_NAMES`].
+    pub const fn name(self) -> &'static str {
+        KIND_NAMES[kind_row(self, 0)].1
     }
 
     fn parse(s: &str) -> Option<FaultKind> {
-        FaultKind::ALL.into_iter().find(|kind| kind.name() == s)
+        KIND_NAMES
+            .into_iter()
+            .find_map(|(kind, name)| (name == s).then_some(kind))
     }
 }
 
@@ -562,10 +603,31 @@ mod tests {
                 },
             ]
         );
+        // analyze: fault-spec-ok(negative parse test)
         assert!(FaultPlan::parse("bogus_site:panic:1").is_err());
+        // analyze: fault-spec-ok(negative parse test)
         assert!(FaultPlan::parse("gr_parser:bogus_kind:1").is_err());
         assert!(FaultPlan::parse("gr_parser:io").is_err());
         assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::new());
+    }
+
+    #[test]
+    fn name_tables_are_exhaustive() {
+        // Every variant has exactly one row, names are unique, and
+        // name()/parse() roundtrip through the shared tables. (The
+        // variant-list ↔ table cross-check against the *source* is done
+        // by `cargo xtask analyze`'s fault-site-registry rule.)
+        for site in FaultSite::ALL {
+            assert_eq!(SITE_NAMES.iter().filter(|(s, _)| *s == site).count(), 1);
+            assert_eq!(FaultSite::parse(site.name()), Some(site));
+        }
+        for kind in FaultKind::ALL {
+            assert_eq!(KIND_NAMES.iter().filter(|(k, _)| *k == kind).count(), 1);
+            assert_eq!(FaultKind::parse(kind.name()), Some(kind));
+        }
+        let mut site_names: Vec<&str> = SITE_NAMES.iter().map(|&(_, n)| n).collect();
+        site_names.dedup();
+        assert_eq!(site_names.len(), SITE_NAMES.len());
     }
 
     #[test]

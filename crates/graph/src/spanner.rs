@@ -9,7 +9,7 @@
 use crate::graph::Graph;
 use mte_algebra::NodeId;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 const UNCLUSTERED: NodeId = NodeId::MAX;
 
@@ -32,8 +32,10 @@ pub fn baswana_sen_spanner(g: &Graph, k: usize, rng: &mut impl Rng) -> Graph {
 
     // Phases 1 .. k−1: sample cluster centers, re-cluster vertices.
     for _phase in 1..k {
-        // Which current clusters survive to the next level?
-        let mut sampled: HashMap<NodeId, bool> = HashMap::new();
+        // Which current clusters survive to the next level? Ordered map:
+        // entries are *created* in vertex order (so the rng draw sequence
+        // is deterministic either way), but iteration must be too.
+        let mut sampled: BTreeMap<NodeId, bool> = BTreeMap::new();
         for v in 0..n {
             let c = cluster[v];
             if c != UNCLUSTERED {
@@ -60,8 +62,12 @@ pub fn baswana_sen_spanner(g: &Graph, k: usize, rng: &mut impl Rng) -> Graph {
                 continue; // vertices in sampled clusters keep everything
             }
             // Group v's active edges by the other endpoint's cluster and
-            // keep the lightest edge per neighboring cluster.
-            let mut lightest: HashMap<NodeId, (NodeId, f64)> = HashMap::new();
+            // keep the lightest edge per neighboring cluster. Ordered map:
+            // `lightest.values()` below appends spanner edges in cluster
+            // order — with a hash map the spanner's *edge order* (and so
+            // the adjacency order of everything built on it) would depend
+            // on hash state.
+            let mut lightest: BTreeMap<NodeId, (NodeId, f64)> = BTreeMap::new();
             for &(u, w) in &incident[v as usize] {
                 let cu = cluster[u as usize];
                 if cu == UNCLUSTERED || cu == c {
@@ -106,8 +112,7 @@ pub fn baswana_sen_spanner(g: &Graph, k: usize, rng: &mut impl Rng) -> Graph {
             }
         }
 
-        let settled_set: std::collections::HashSet<(NodeId, NodeId)> =
-            settled.into_iter().collect();
+        let settled_set: BTreeSet<(NodeId, NodeId)> = settled.into_iter().collect();
         let old_cluster = cluster;
         cluster = new_cluster;
 
@@ -139,7 +144,8 @@ pub fn baswana_sen_spanner(g: &Graph, k: usize, rng: &mut impl Rng) -> Graph {
         incident[v as usize].push((u, w));
     }
     for v in 0..n as NodeId {
-        let mut lightest: HashMap<NodeId, (NodeId, f64)> = HashMap::new();
+        // Ordered for the same reason as the per-phase `lightest` above.
+        let mut lightest: BTreeMap<NodeId, (NodeId, f64)> = BTreeMap::new();
         for &(u, w) in &incident[v as usize] {
             let cu = cluster[u as usize];
             if cu == UNCLUSTERED || cu == cluster[v as usize] {

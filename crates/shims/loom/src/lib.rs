@@ -1,0 +1,831 @@
+//! Offline vendored shim of the **loom** model checker.
+//!
+//! The build image has no registry access, so this crate reimplements the
+//! slice of loom's API the workspace uses — `loom::model`,
+//! `loom::thread::{spawn, JoinHandle, yield_now}`,
+//! `loom::sync::{Mutex, Condvar}`, and `loom::sync::atomic` — on top of a
+//! **cooperative scheduler with bounded exhaustive exploration**:
+//!
+//! * Model threads are real OS threads, but at most one is ever *active*:
+//!   every synchronisation operation (atomic access, mutex lock/unlock,
+//!   condvar wait/notify, spawn, join) is a *scheduling point* where the
+//!   active thread hands control to a scheduler that picks the next
+//!   thread to run. Between points a thread runs exclusively, so model
+//!   state needs no further synchronisation.
+//! * [`model`] re-runs the closure under **every** schedule reachable
+//!   within the preemption bound: a depth-first search over the choice
+//!   points, restarting the closure with a recorded decision prefix and
+//!   taking the next unexplored branch (iterative context bounding,
+//!   default 2 preemptions — override with `LOOM_MAX_PREEMPTIONS`).
+//! * A state where no thread is runnable but not all have finished is
+//!   reported as a **deadlock** — this is what catches lost-wakeup bugs
+//!   (a parked worker whose notify raced past its predicate check).
+//!
+//! Differences from real loom, by design: the memory model is
+//! sequentially consistent (orderings are accepted and ignored — relaxed
+//! reorderings are *not* explored; the ThreadSanitizer CI job covers the
+//! ordering axis on real hardware), condvars have no spurious wakeups,
+//! and `notify_one` deterministically wakes the longest-waiting thread.
+//! `Arc` is re-exported from `std` (threads are real, so `std`'s works).
+//!
+//! The shim's own unit tests run in the normal test suite (no `--cfg
+//! loom` needed — only *consumers* gate themselves); they pin both
+//! directions: racy programs are caught, correct ones pass.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc as StdArc, Condvar as StdCondvar, Mutex as StdMutex};
+
+/// Panic payload used to unwind model threads when an execution aborts
+/// (another thread failed, or a deadlock was detected). Never observed by
+/// user code: [`model`] re-raises the *original* failure.
+struct ExecutionAbort;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ThreadState {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCondvar(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+/// One scheduling decision: which runnable thread ran, out of which.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct Choice {
+    options: Vec<usize>,
+    chosen: usize,
+}
+
+struct State {
+    threads: Vec<ThreadState>,
+    active: usize,
+    /// Mutex owners by mutex id (`None` = free).
+    mutexes: Vec<Option<usize>>,
+    /// Condvar wait queues by condvar id (FIFO).
+    condvars: Vec<Vec<usize>>,
+    /// Decisions taken this execution (only multi-option points).
+    path: Vec<Choice>,
+    /// Decision prefix replayed from the previous execution.
+    seed: Vec<Choice>,
+    cursor: usize,
+    preemptions: usize,
+    max_preemptions: usize,
+    done: bool,
+    abort: bool,
+    failure: Option<Box<dyn Any + Send>>,
+}
+
+struct Exec {
+    state: StdMutex<State>,
+    cv: StdCondvar,
+    handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(StdArc<Exec>, usize)>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> (StdArc<Exec>, usize) {
+    CTX.with(|c| c.borrow().clone())
+        .expect("loom sync primitive used outside loom::model")
+}
+
+impl Exec {
+    fn new(seed: Vec<Choice>, max_preemptions: usize) -> Self {
+        Exec {
+            state: StdMutex::new(State {
+                threads: Vec::new(),
+                active: 0,
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                path: Vec::new(),
+                seed,
+                cursor: 0,
+                preemptions: 0,
+                max_preemptions,
+                done: false,
+                abort: false,
+                failure: None,
+            }),
+            cv: StdCondvar::new(),
+            handles: StdMutex::new(Vec::new()),
+        }
+    }
+
+    fn register_thread(&self) -> usize {
+        let mut st = self.state.lock().unwrap();
+        st.threads.push(ThreadState::Runnable);
+        st.threads.len() - 1
+    }
+
+    /// Core scheduler step, called with the state lock held: pick the
+    /// next active thread (or declare the execution done / deadlocked).
+    fn choose_next(&self, st: &mut State, cur: usize) {
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == ThreadState::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.threads.iter().all(|s| *s == ThreadState::Finished) {
+                st.done = true;
+            } else {
+                st.failure = Some(Box::new(format!(
+                    "deadlock: no runnable thread (states: {:?})",
+                    st.threads
+                )));
+                st.abort = true;
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let cur_runnable = runnable.contains(&cur);
+        let mut options: Vec<usize> = Vec::new();
+        if cur_runnable {
+            // Continuing the current thread is free; switching away from
+            // a runnable thread costs a preemption.
+            options.push(cur);
+            if st.preemptions < st.max_preemptions {
+                options.extend(runnable.iter().copied().filter(|&t| t != cur));
+            }
+        } else {
+            options = runnable;
+        }
+        let chosen = if options.len() == 1 {
+            options[0]
+        } else {
+            let idx = if st.cursor < st.seed.len() {
+                let c = &st.seed[st.cursor];
+                assert_eq!(
+                    c.options, options,
+                    "loom: schedule replay diverged — the model closure must be \
+                     deterministic apart from thread interleaving"
+                );
+                c.chosen
+            } else {
+                0
+            };
+            st.path.push(Choice {
+                options: options.clone(),
+                chosen: idx,
+            });
+            st.cursor += 1;
+            options[idx]
+        };
+        if cur_runnable && chosen != cur {
+            st.preemptions += 1;
+        }
+        st.active = chosen;
+        self.cv.notify_all();
+    }
+
+    /// A scheduling point for thread `me`. If `me` blocked itself before
+    /// calling, it parks here until unblocked *and* scheduled again.
+    fn schedule(&self, me: usize) {
+        let mut st = self.state.lock().unwrap();
+        if st.abort {
+            drop(st);
+            panic_any(ExecutionAbort);
+        }
+        self.choose_next(&mut st, me);
+        while !(st.abort || (st.active == me && st.threads[me] == ThreadState::Runnable)) {
+            st = self.cv.wait(st).unwrap();
+        }
+        if st.abort {
+            drop(st);
+            panic_any(ExecutionAbort);
+        }
+    }
+
+    /// Parks a freshly spawned thread until its first activation.
+    fn wait_first_activation(&self, me: usize) {
+        let mut st = self.state.lock().unwrap();
+        while !(st.abort || (st.active == me && st.threads[me] == ThreadState::Runnable)) {
+            st = self.cv.wait(st).unwrap();
+        }
+        if st.abort {
+            drop(st);
+            panic_any(ExecutionAbort);
+        }
+    }
+
+    /// Marks `me` finished, wakes joiners, and hands the token on.
+    fn finish_thread(&self, me: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.threads[me] = ThreadState::Finished;
+        for s in st.threads.iter_mut() {
+            if *s == ThreadState::BlockedJoin(me) {
+                *s = ThreadState::Runnable;
+            }
+        }
+        if st.abort {
+            self.cv.notify_all();
+            return;
+        }
+        self.choose_next(&mut st, me);
+    }
+
+    fn record_failure(&self, payload: Box<dyn Any + Send>) {
+        let mut st = self.state.lock().unwrap();
+        if st.failure.is_none() {
+            st.failure = Some(payload);
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Runs the model thread body, routing panics into the execution.
+fn run_model_thread(exec: StdArc<Exec>, me: usize, body: impl FnOnce()) {
+    CTX.with(|c| *c.borrow_mut() = Some((StdArc::clone(&exec), me)));
+    exec.wait_first_activation(me);
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(body)) {
+        if !payload.is::<ExecutionAbort>() {
+            exec.record_failure(payload);
+        }
+    }
+    exec.finish_thread(me);
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+pub mod thread {
+    //! Model-checked threads.
+
+    use super::*;
+
+    /// Handle to a model thread; mirrors [`std::thread::JoinHandle`].
+    pub struct JoinHandle<T> {
+        tid: usize,
+        result: StdArc<StdMutex<Option<T>>>,
+    }
+
+    /// Spawns a model thread. It starts only when the scheduler picks it.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (exec, me) = ctx();
+        let tid = exec.register_thread();
+        let result: StdArc<StdMutex<Option<T>>> = StdArc::new(StdMutex::new(None));
+        let slot = StdArc::clone(&result);
+        let exec2 = StdArc::clone(&exec);
+        let os_handle = std::thread::Builder::new()
+            .name(format!("loom-model-{tid}"))
+            .spawn(move || {
+                run_model_thread(exec2, tid, move || {
+                    let value = f();
+                    *slot.lock().unwrap() = Some(value);
+                });
+            })
+            .expect("failed to spawn model thread");
+        exec.handles.lock().unwrap().push(os_handle);
+        // Spawning is a scheduling point: the child is now runnable.
+        exec.schedule(me);
+        JoinHandle { tid, result }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Blocks (in model time) until the thread finishes.
+        pub fn join(self) -> std::thread::Result<T> {
+            let (exec, me) = ctx();
+            loop {
+                {
+                    let mut st = exec.state.lock().unwrap();
+                    if st.abort {
+                        drop(st);
+                        panic_any(ExecutionAbort);
+                    }
+                    if st.threads[self.tid] == ThreadState::Finished {
+                        break;
+                    }
+                    st.threads[me] = ThreadState::BlockedJoin(self.tid);
+                }
+                exec.schedule(me);
+            }
+            match self.result.lock().unwrap().take() {
+                Some(value) => Ok(value),
+                // The target unwound via ExecutionAbort: this execution is
+                // being torn down, so unwind too.
+                None => panic_any(ExecutionAbort),
+            }
+        }
+    }
+
+    /// A bare scheduling point.
+    pub fn yield_now() {
+        let (exec, me) = ctx();
+        exec.schedule(me);
+    }
+}
+
+pub mod sync {
+    //! Model-checked synchronisation primitives.
+
+    use super::*;
+    use std::cell::UnsafeCell;
+
+    pub use std::sync::Arc;
+
+    pub mod atomic {
+        //! Sequentially consistent model atomics (orderings accepted and
+        //! ignored — see the crate docs for what that trades away).
+
+        use super::super::ctx;
+        use std::cell::UnsafeCell;
+
+        pub use std::sync::atomic::Ordering;
+
+        /// An atomic usize whose every access is a scheduling point.
+        pub struct AtomicUsize {
+            v: UnsafeCell<usize>,
+        }
+
+        // SAFETY: only the single *active* model thread touches the cell,
+        // and the scheduler's std mutex/condvar handoff orders every
+        // access of one thread before the next (see crate docs).
+        unsafe impl Sync for AtomicUsize {}
+        // SAFETY: a usize is freely sendable; the cell adds no affinity.
+        unsafe impl Send for AtomicUsize {}
+
+        impl AtomicUsize {
+            pub fn new(v: usize) -> Self {
+                AtomicUsize {
+                    v: UnsafeCell::new(v),
+                }
+            }
+
+            pub fn load(&self, _order: Ordering) -> usize {
+                let (exec, me) = ctx();
+                exec.schedule(me);
+                // SAFETY: exclusive access by the active thread (see the
+                // `Sync` impl).
+                unsafe { *self.v.get() }
+            }
+
+            pub fn store(&self, v: usize, _order: Ordering) {
+                let (exec, me) = ctx();
+                exec.schedule(me);
+                // SAFETY: as for `load`.
+                unsafe { *self.v.get() = v }
+            }
+
+            pub fn fetch_add(&self, n: usize, _order: Ordering) -> usize {
+                let (exec, me) = ctx();
+                exec.schedule(me);
+                // SAFETY: as for `load`.
+                unsafe {
+                    let p = self.v.get();
+                    let old = *p;
+                    *p = old.wrapping_add(n);
+                    old
+                }
+            }
+
+            pub fn fetch_sub(&self, n: usize, _order: Ordering) -> usize {
+                let (exec, me) = ctx();
+                exec.schedule(me);
+                // SAFETY: as for `load`.
+                unsafe {
+                    let p = self.v.get();
+                    let old = *p;
+                    *p = old.wrapping_sub(n);
+                    old
+                }
+            }
+        }
+
+        /// An atomic bool whose every access is a scheduling point.
+        pub struct AtomicBool {
+            v: UnsafeCell<bool>,
+        }
+
+        // SAFETY: as for `AtomicUsize`.
+        unsafe impl Sync for AtomicBool {}
+        // SAFETY: as for `AtomicUsize`.
+        unsafe impl Send for AtomicBool {}
+
+        impl AtomicBool {
+            pub fn new(v: bool) -> Self {
+                AtomicBool {
+                    v: UnsafeCell::new(v),
+                }
+            }
+
+            pub fn load(&self, _order: Ordering) -> bool {
+                let (exec, me) = ctx();
+                exec.schedule(me);
+                // SAFETY: as for `AtomicUsize::load`.
+                unsafe { *self.v.get() }
+            }
+
+            pub fn store(&self, v: bool, _order: Ordering) {
+                let (exec, me) = ctx();
+                exec.schedule(me);
+                // SAFETY: as for `AtomicUsize::load`.
+                unsafe { *self.v.get() = v }
+            }
+        }
+    }
+
+    /// A model-checked mutex; mirrors [`std::sync::Mutex`] (without
+    /// poisoning — `lock` always returns `Ok`, like loom's).
+    pub struct Mutex<T> {
+        id: usize,
+        cell: UnsafeCell<T>,
+    }
+
+    // SAFETY: the scheduler enforces mutual exclusion — `cell` is only
+    // touched through a guard, and only one thread holds the guard.
+    unsafe impl<T: Send> Sync for Mutex<T> {}
+    // SAFETY: ownership transfer of the protected value follows `T`.
+    unsafe impl<T: Send> Send for Mutex<T> {}
+
+    /// RAII guard; unlocking is a scheduling point.
+    pub struct MutexGuard<'a, T> {
+        mutex: &'a Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            let (exec, _me) = ctx();
+            let mut st = exec.state.lock().unwrap();
+            st.mutexes.push(None);
+            Mutex {
+                id: st.mutexes.len() - 1,
+                cell: UnsafeCell::new(value),
+            }
+        }
+
+        fn acquire(&self, exec: &Exec, me: usize) {
+            loop {
+                {
+                    let mut st = exec.state.lock().unwrap();
+                    if st.abort {
+                        drop(st);
+                        panic_any(ExecutionAbort);
+                    }
+                    if st.mutexes[self.id].is_none() {
+                        st.mutexes[self.id] = Some(me);
+                        return;
+                    }
+                    st.threads[me] = ThreadState::BlockedMutex(self.id);
+                }
+                exec.schedule(me);
+            }
+        }
+
+        pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+            let (exec, me) = ctx();
+            exec.schedule(me); // contention point before acquiring
+            self.acquire(&exec, me);
+            Ok(MutexGuard { mutex: self })
+        }
+    }
+
+    fn release_mutex(st: &mut State, id: usize) {
+        st.mutexes[id] = None;
+        for s in st.threads.iter_mut() {
+            if *s == ThreadState::BlockedMutex(id) {
+                *s = ThreadState::Runnable;
+            }
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            let (exec, me) = ctx();
+            {
+                let mut st = exec.state.lock().unwrap();
+                release_mutex(&mut st, self.mutex.id);
+            }
+            // Unlock is a scheduling point — unless this drop runs during
+            // an unwind (chunk panic, execution abort), where raising a
+            // fresh panic would escalate to a process abort.
+            if !std::thread::panicking() {
+                exec.schedule(me);
+            }
+        }
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // SAFETY: this thread owns the mutex while the guard lives.
+            unsafe { &*self.mutex.cell.get() }
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // SAFETY: as for `deref`.
+            unsafe { &mut *self.mutex.cell.get() }
+        }
+    }
+
+    /// A model-checked condition variable; no spurious wakeups,
+    /// `notify_one` wakes the longest-waiting thread.
+    pub struct Condvar {
+        id: usize,
+    }
+
+    impl Condvar {
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            let (exec, _me) = ctx();
+            let mut st = exec.state.lock().unwrap();
+            st.condvars.push(Vec::new());
+            Condvar {
+                id: st.condvars.len() - 1,
+            }
+        }
+
+        pub fn wait<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+        ) -> std::sync::LockResult<MutexGuard<'a, T>> {
+            let (exec, me) = ctx();
+            let mutex = guard.mutex;
+            // Atomically (in model time): release the mutex and enqueue.
+            std::mem::forget(guard);
+            {
+                let mut st = exec.state.lock().unwrap();
+                release_mutex(&mut st, mutex.id);
+                st.condvars[self.id].push(me);
+                st.threads[me] = ThreadState::BlockedCondvar(self.id);
+            }
+            exec.schedule(me); // parks until notified *and* scheduled
+            mutex.acquire(&exec, me);
+            Ok(MutexGuard { mutex })
+        }
+
+        pub fn notify_one(&self) {
+            let (exec, me) = ctx();
+            {
+                let mut st = exec.state.lock().unwrap();
+                if !st.condvars[self.id].is_empty() {
+                    let t = st.condvars[self.id].remove(0);
+                    st.threads[t] = ThreadState::Runnable;
+                }
+            }
+            exec.schedule(me);
+        }
+
+        pub fn notify_all(&self) {
+            let (exec, me) = ctx();
+            {
+                let mut st = exec.state.lock().unwrap();
+                let waiters = std::mem::take(&mut st.condvars[self.id]);
+                for t in waiters {
+                    st.threads[t] = ThreadState::Runnable;
+                }
+            }
+            exec.schedule(me);
+        }
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|raw| raw.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Checks `f` under every thread schedule reachable within the
+/// preemption bound, panicking with the first failure (assertion,
+/// uncaught model-thread panic, or deadlock). Returns the number of
+/// executions explored.
+pub fn explored<F>(f: F) -> usize
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let max_preemptions = env_usize("LOOM_MAX_PREEMPTIONS", 2);
+    let max_iterations = env_usize("LOOM_MAX_ITERATIONS", 500_000);
+    let f = StdArc::new(f);
+    let mut seed: Vec<Choice> = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= max_iterations,
+            "loom: exceeded {max_iterations} executions \
+             (raise LOOM_MAX_ITERATIONS or shrink the model)"
+        );
+        let exec = StdArc::new(Exec::new(std::mem::take(&mut seed), max_preemptions));
+        let tid = exec.register_thread();
+        debug_assert_eq!(tid, 0);
+        let body = StdArc::clone(&f);
+        let exec2 = StdArc::clone(&exec);
+        let root = std::thread::Builder::new()
+            .name("loom-model-0".to_owned())
+            .spawn(move || run_model_thread(exec2, tid, move || body()))
+            .expect("failed to spawn model thread");
+        exec.handles.lock().unwrap().push(root);
+        // Initial state already has thread 0 active & runnable; wait for
+        // the execution to finish (all threads done, or aborted).
+        {
+            let mut st = exec.state.lock().unwrap();
+            while !(st.done || st.abort) {
+                st = exec.cv.wait(st).unwrap();
+            }
+        }
+        // Join every OS thread of this execution (spawns can no longer
+        // happen once all model threads are finished or aborting).
+        loop {
+            let handle = exec.handles.lock().unwrap().pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+        let (failure, path) = {
+            let mut st = exec.state.lock().unwrap();
+            (st.failure.take(), std::mem::take(&mut st.path))
+        };
+        if let Some(payload) = failure {
+            eprintln!(
+                "loom: schedule failed after {iterations} execution(s); \
+                 {} decision point(s) on the failing path",
+                path.len()
+            );
+            resume_unwind(payload);
+        }
+        // Backtrack: advance the deepest decision with an unexplored
+        // branch, drop everything after it, and re-run.
+        let mut next = path;
+        loop {
+            match next.last_mut() {
+                None => break,
+                Some(last) if last.chosen + 1 < last.options.len() => {
+                    last.chosen += 1;
+                    break;
+                }
+                Some(_) => {
+                    next.pop();
+                }
+            }
+        }
+        if next.is_empty() {
+            if std::env::var("LOOM_LOG").is_ok() {
+                eprintln!("loom: explored {iterations} execution(s)");
+            }
+            return iterations;
+        }
+        seed = next;
+    }
+}
+
+/// Model-checks `f` under every schedule within the preemption bound.
+/// Mirrors loom's entry point; see [`explored`] for the variant that
+/// reports how many executions ran.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    explored(f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use super::sync::{Condvar, Mutex};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::AtomicBool as StdAtomicBool;
+    use std::sync::atomic::Ordering as StdOrdering;
+    use std::sync::Arc;
+
+    #[test]
+    fn atomic_rmw_is_atomic() {
+        // fetch_add from two threads can never lose an increment.
+        let n = super::explored(|| {
+            let c = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&c);
+            let h = super::thread::spawn(move || {
+                c2.fetch_add(1, Ordering::SeqCst);
+            });
+            c.fetch_add(1, Ordering::SeqCst);
+            h.join().unwrap();
+            assert_eq!(c.load(Ordering::SeqCst), 2);
+        });
+        assert!(n >= 2, "expected both interleavings, explored {n}");
+    }
+
+    #[test]
+    fn racy_read_modify_write_is_caught() {
+        // load-then-store increments CAN lose an update; the checker must
+        // find the interleaving where the final value is 1.
+        let observed_lost = Arc::new(StdAtomicBool::new(false));
+        let seen = Arc::clone(&observed_lost);
+        super::model(move || {
+            let c = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&c);
+            let h = super::thread::spawn(move || {
+                let v = c2.load(Ordering::SeqCst);
+                c2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = c.load(Ordering::SeqCst);
+            c.store(v + 1, Ordering::SeqCst);
+            h.join().unwrap();
+            if c.load(Ordering::SeqCst) == 1 {
+                seen.store(true, StdOrdering::SeqCst);
+            }
+        });
+        assert!(
+            observed_lost.load(StdOrdering::SeqCst),
+            "the lost-update interleaving was never explored"
+        );
+    }
+
+    #[test]
+    fn mutex_prevents_lost_updates() {
+        super::model(|| {
+            let m = Arc::new(Mutex::new(0usize));
+            let m2 = Arc::clone(&m);
+            let h = super::thread::spawn(move || {
+                let mut g = m2.lock().unwrap();
+                *g += 1;
+            });
+            {
+                let mut g = m.lock().unwrap();
+                *g += 1;
+            }
+            h.join().unwrap();
+            assert_eq!(*m.lock().unwrap(), 2);
+        });
+    }
+
+    #[test]
+    fn assertion_failures_propagate() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            super::model(|| {
+                let h = super::thread::spawn(|| 41usize);
+                assert_eq!(h.join().unwrap(), 42, "intentional model failure");
+            });
+        }));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn lost_wakeup_is_reported_as_deadlock() {
+        // Buggy pattern: predicate checked *outside* the lock, so the
+        // notify can land between the check and the wait.
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            super::model(|| {
+                let flag = Arc::new(AtomicBool::new(false));
+                let pair = Arc::new((Mutex::new(()), Condvar::new()));
+                let (flag2, pair2) = (Arc::clone(&flag), Arc::clone(&pair));
+                let h = super::thread::spawn(move || {
+                    if !flag2.load(Ordering::SeqCst) {
+                        let guard = pair2.0.lock().unwrap();
+                        let _guard = pair2.1.wait(guard).unwrap();
+                    }
+                });
+                flag.store(true, Ordering::SeqCst);
+                pair.1.notify_one();
+                h.join().unwrap();
+            });
+        }));
+        let payload = err.expect_err("the lost wakeup should deadlock");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+    }
+
+    #[test]
+    fn condvar_handoff_completes() {
+        // Correct pattern: predicate under the lock; must never deadlock.
+        super::model(|| {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let state2 = Arc::clone(&state);
+            let h = super::thread::spawn(move || {
+                let mut done = state2.0.lock().unwrap();
+                *done = true;
+                state2.1.notify_one();
+            });
+            {
+                let mut done = state.0.lock().unwrap();
+                while !*done {
+                    done = state.1.wait(done).unwrap();
+                }
+            }
+            h.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn join_returns_the_thread_value() {
+        super::model(|| {
+            let h = super::thread::spawn(|| 7usize);
+            assert_eq!(h.join().unwrap(), 7);
+        });
+    }
+}

@@ -42,6 +42,10 @@ const DEFAULT_MIN_CHUNK_LEN: usize = 64;
 /// submitting thread reads results only after the job completed.
 struct Slots<T>(Vec<UnsafeCell<Option<T>>>);
 
+// SAFETY: each slot is touched by exactly one thread at a time (the
+// pool's claim counter hands out indices uniquely, and the submitter
+// reads only after the completion barrier); `T: Send` covers the
+// cross-thread handoff of the values themselves.
 unsafe impl<T: Send> Sync for Slots<T> {}
 
 impl<T> Slots<T> {
@@ -60,11 +64,14 @@ impl<T> Slots<T> {
 
     /// Caller contract: index `i` is owned by the calling thread.
     fn take(&self, i: usize) -> Option<T> {
+        // SAFETY: slot `i` is owned by this thread (caller contract via
+        // the pool's unique chunk claim), so the access cannot race.
         unsafe { (*self.0[i].get()).take() }
     }
 
     /// Caller contract: index `i` is owned by the calling thread.
     fn put(&self, i: usize, value: T) {
+        // SAFETY: as in `take` — unique ownership of slot `i`.
         unsafe { *self.0[i].get() = Some(value) };
     }
 

@@ -37,6 +37,15 @@
 pub mod iter;
 mod pool;
 
+/// Pool internals re-exported for the loom model-checking suite
+/// (`tests/loom_pool.rs`), which exhaustively explores the chunk-claim,
+/// completion, and shutdown protocols. Only exists under `--cfg loom`;
+/// the normal public API is unaffected.
+#[cfg(loom)]
+pub mod loom_internals {
+    pub use crate::pool::{build, execute, PoolInner};
+}
+
 /// The drop-in prelude, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::iter::{
@@ -55,6 +64,10 @@ use std::sync::Arc;
 /// after both tasks completed.
 struct JoinCell<F, R>(UnsafeCell<Option<F>>, UnsafeCell<Option<R>>);
 
+// SAFETY: the cells are accessed cross-thread only through `run`, which
+// the pool's claim counter invokes at most once per cell (see the struct
+// docs); `F: Send`/`R: Send` make moving the closure/result between the
+// claiming thread and the submitter sound.
 unsafe impl<F: Send, R: Send> Sync for JoinCell<F, R> {}
 
 impl<F: FnOnce() -> R, R> JoinCell<F, R> {
@@ -64,8 +77,12 @@ impl<F: FnOnce() -> R, R> JoinCell<F, R> {
 
     /// Caller contract: called at most once, by the claiming thread.
     fn run(&self) {
+        // SAFETY: only the claiming thread reaches this cell (pool claim
+        // counter), so the exclusive access cannot race.
         let f = unsafe { (*self.0.get()).take() }.expect("join task claimed twice");
         let r = f();
+        // SAFETY: as above; the submitter reads the result cell only
+        // after the job completed (pool completion barrier).
         unsafe { *self.1.get() = Some(r) };
     }
 
@@ -155,7 +172,12 @@ impl ThreadPoolBuilder {
 /// workers down.
 pub struct ThreadPool {
     inner: Arc<pool::PoolInner>,
+    #[cfg(not(loom))]
     workers: Vec<std::thread::JoinHandle<()>>,
+    // Under the model-checking build the pool spawns loom-managed
+    // threads; their handles expose the same `join` surface.
+    #[cfg(loom)]
+    workers: Vec<loom::thread::JoinHandle<()>>,
 }
 
 impl ThreadPool {

@@ -31,12 +31,27 @@ use std::any::Any;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, OnceLock};
+
+// Under `--cfg loom` the pool's synchronisation primitives come from the
+// loom model-checking shim: every lock/atomic/condvar op becomes a
+// scheduling point and `tests/loom_pool.rs` exhaustively explores the
+// claim/completion/shutdown protocols (see docs/ANALYSIS.md).
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+#[cfg(loom)]
+use loom::sync::{Condvar, Mutex};
+#[cfg(loom)]
+use loom::thread::JoinHandle;
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+#[cfg(not(loom))]
+use std::sync::{Condvar, Mutex};
+#[cfg(not(loom))]
 use std::thread::JoinHandle;
 
 /// Shared state of one worker pool.
-pub(crate) struct PoolInner {
+pub struct PoolInner {
     /// Total parallelism (participating caller + spawned workers).
     threads: usize,
     /// Pending job handles; workers pop and participate.
@@ -50,11 +65,11 @@ pub(crate) struct PoolInner {
 
 impl PoolInner {
     /// Total parallelism of this pool.
-    pub(crate) fn threads(&self) -> usize {
+    pub fn threads(&self) -> usize {
         self.threads
     }
 
-    pub(crate) fn shutdown(&self) {
+    pub fn shutdown(&self) {
         // Store + notify under the queue mutex: a worker that just saw
         // the queue empty and `stop == false` holds this lock until it
         // parks on the condvar, so the notify cannot fall between its
@@ -148,7 +163,7 @@ impl JobCore {
 /// until all calls complete. Chunk-to-thread assignment is dynamic;
 /// determinism must come from the chunk *contents* (each index touches
 /// disjoint state, combined in index order by the caller).
-pub(crate) fn execute(pool: &Arc<PoolInner>, total: usize, f: &(dyn Fn(usize) + Sync)) {
+pub fn execute(pool: &Arc<PoolInner>, total: usize, f: &(dyn Fn(usize) + Sync)) {
     if total == 0 {
         return;
     }
@@ -163,8 +178,11 @@ pub(crate) fn execute(pool: &Arc<PoolInner>, total: usize, f: &(dyn Fn(usize) + 
         }
         return;
     }
-    // Erase the borrow lifetime; sound because this function does not
-    // return until `pending == 0` (see `JobCore::func`).
+    // SAFETY: lifetime erasure of the borrowed chunk body. Sound because
+    // this function does not return until `pending == 0` — every thread
+    // that dereferences `func` has finished by then — and stragglers that
+    // observe an exhausted claim counter never dereference it (see
+    // `JobCore::func`).
     let func: &'static (dyn Fn(usize) + Sync) = unsafe {
         std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
     };
@@ -217,7 +235,7 @@ fn worker_loop(pool: Arc<PoolInner>) {
 
 /// Builds a pool of total parallelism `threads` (spawning `threads − 1`
 /// workers) and returns the shared state plus the worker handles.
-pub(crate) fn build(threads: usize) -> (Arc<PoolInner>, Vec<JoinHandle<()>>) {
+pub fn build(threads: usize) -> (Arc<PoolInner>, Vec<JoinHandle<()>>) {
     let threads = threads.max(1);
     let inner = Arc::new(PoolInner {
         threads,
@@ -228,10 +246,18 @@ pub(crate) fn build(threads: usize) -> (Arc<PoolInner>, Vec<JoinHandle<()>>) {
     let handles = (0..threads - 1)
         .map(|i| {
             let pool = Arc::clone(&inner);
-            std::thread::Builder::new()
-                .name(format!("mte-rayon-{i}"))
-                .spawn(move || worker_loop(pool))
-                .expect("failed to spawn worker thread")
+            #[cfg(loom)]
+            {
+                let _ = i;
+                loom::thread::spawn(move || worker_loop(pool))
+            }
+            #[cfg(not(loom))]
+            {
+                std::thread::Builder::new()
+                    .name(format!("mte-rayon-{i}"))
+                    .spawn(move || worker_loop(pool))
+                    .expect("failed to spawn worker thread")
+            }
         })
         .collect();
     (inner, handles)

@@ -1,0 +1,104 @@
+//! Loom model checks of the worker-pool protocol.
+//!
+//! Built only under `RUSTFLAGS="--cfg loom"`; run with
+//! `cargo test -p rayon --test loom_pool --release`. Each test explores
+//! *every* thread schedule within the preemption bound (see the loom
+//! shim's crate docs), so the properties below hold for all
+//! interleavings of the submitter and the worker, not just the ones the
+//! OS happened to produce:
+//!
+//! * the chunk-claim counter hands each chunk to exactly one thread;
+//! * a panicking chunk is isolated (`catch_unwind`), its payload
+//!   re-raised exactly once on the submitter, and the pool survives;
+//! * shutdown's store-under-the-queue-lock cannot lose the wakeup of a
+//!   worker that is between its stop check and its condvar wait — a lost
+//!   wakeup would surface here as a deadlock.
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use rayon::loom_internals::{build, execute};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+#[test]
+fn chunks_run_exactly_once() {
+    loom::model(|| {
+        let (pool, handles) = build(2);
+        let counts: Arc<Vec<AtomicUsize>> = Arc::new((0..3).map(|_| AtomicUsize::new(0)).collect());
+        execute(&pool, 3, &|i| {
+            counts[i].fetch_add(1, Ordering::SeqCst);
+        });
+        // `execute` returned, so every chunk ran — exactly once each,
+        // under every claim interleaving.
+        for c in counts.iter() {
+            assert_eq!(c.load(Ordering::SeqCst), 1);
+        }
+        pool.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+}
+
+#[test]
+fn chunk_panic_is_isolated_and_reraised() {
+    loom::model(|| {
+        let (pool, handles) = build(2);
+        let survivor_ran = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            execute(&pool, 2, &|i| {
+                if i == 1 {
+                    std::panic::panic_any("chunk boom");
+                }
+                survivor_ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }));
+        // The submitter re-raises the chunk's payload after all chunks
+        // settled; the non-panicking chunk still ran.
+        let payload = result.expect_err("chunk panic must re-raise on the submitter");
+        assert_eq!(*payload.downcast_ref::<&str>().unwrap(), "chunk boom");
+        assert_eq!(survivor_ran.load(Ordering::SeqCst), 1);
+        // Pool and worker survive the panic: a fresh job completes.
+        let reran = AtomicUsize::new(0);
+        execute(&pool, 2, &|_| {
+            reran.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(reran.load(Ordering::SeqCst), 2);
+        pool.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+}
+
+#[test]
+fn shutdown_wakes_parked_workers() {
+    // No job at all: the worker may be anywhere between startup and its
+    // condvar park when shutdown fires. If the stop store were not under
+    // the queue lock, the schedule "worker sees queue empty + stop
+    // unset → shutdown stores + notifies → worker parks" would deadlock
+    // in `join` — the model reports exactly that as a failure.
+    loom::model(|| {
+        let (pool, handles) = build(2);
+        pool.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+}
+
+#[test]
+fn shutdown_after_work_drains_and_joins() {
+    loom::model(|| {
+        let (pool, handles) = build(2);
+        let ran = AtomicUsize::new(0);
+        execute(&pool, 2, &|_| {
+            ran.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 2);
+        pool.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+}

@@ -438,6 +438,8 @@ fn fault_plan_spec_round_trip() {
     let (p, b) = (format!("{parsed:?}"), format!("{built:?}"));
     assert!(p.contains("EngineHopCommit") && p.contains("GrParser"));
     assert!(b.contains("EngineHopCommit") && b.contains("GrParser"));
+    // analyze: fault-spec-ok(negative parse test)
     assert!(FaultPlan::parse("no_such_site:panic:0").is_err());
+    // analyze: fault-spec-ok(negative parse test)
     assert!(FaultPlan::parse("engine_hop_commit:no_such_kind:0").is_err());
 }

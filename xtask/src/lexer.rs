@@ -1,0 +1,337 @@
+//! A minimal Rust source scanner.
+//!
+//! The lint rules need to tell *code* apart from *comments* and *literal
+//! contents* — `"HashMap"` inside a string must not trip the iteration
+//! rule, and `// SAFETY:` must be recognised as a comment even when the
+//! same line also holds code. A full parser (`syn`) is unavailable in the
+//! offline build image, and the rules only need token-level structure, so
+//! this hand-rolled scanner classifies every byte of a file into one of
+//! three channels:
+//!
+//! * `code`  — the source line with comments and string/char-literal
+//!   contents blanked to spaces (delimiters kept), so column positions
+//!   survive for reporting;
+//! * `comments` — the comment text that appeared on each line (line
+//!   comments, doc comments, and block comments all land here);
+//! * `strings` — every string literal's content with its starting line,
+//!   for rules that inspect literals (fault-plan specs).
+//!
+//! Handled syntax: `//`/`///`/`//!` line comments, nested `/* */` block
+//! comments, `"…"` strings with escapes, byte strings `b"…"`, raw strings
+//! `r"…"` / `r#"…"#` (any hash count) and their byte variants, char
+//! literals (including escapes), and the char-vs-lifetime ambiguity of a
+//! lone `'`.
+
+/// Per-line classification of one source file (see module docs).
+pub struct Scan {
+    /// Verbatim source lines (without trailing `\n`).
+    pub lines: Vec<String>,
+    /// Source lines with comments and literal contents blanked to spaces.
+    pub code: Vec<String>,
+    /// Comment text per line (empty string when the line has none).
+    pub comments: Vec<String>,
+    /// String-literal contents: `(0-based starting line, content)`.
+    pub strings: Vec<(usize, String)>,
+}
+
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth (Rust block comments nest).
+    BlockComment(u32),
+    /// `hashes` is `None` for an escaped string, `Some(n)` for `r#{n}"…"#{n}`.
+    Str {
+        hashes: Option<u32>,
+    },
+    CharLit,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scans `src` into per-line code/comment/string channels.
+pub fn scan(src: &str) -> Scan {
+    let b: Vec<char> = src.chars().collect();
+    let mut state = State::Code;
+    let mut out = Scan {
+        lines: src.lines().map(str::to_owned).collect(),
+        code: Vec::new(),
+        comments: Vec::new(),
+        strings: Vec::new(),
+    };
+    let mut cur_code = String::new();
+    let mut cur_comment = String::new();
+    let mut cur_str = String::new();
+    let mut str_line = 0usize;
+    let mut line = 0usize;
+    let mut prev_code_char = ' ';
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            out.code.push(std::mem::take(&mut cur_code));
+            out.comments.push(std::mem::take(&mut cur_comment));
+            line += 1;
+            if let State::Str { .. } = state {
+                cur_str.push('\n');
+            }
+            if matches!(state, State::LineComment) {
+                state = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = b.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    cur_comment.push_str("//");
+                    cur_code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    cur_comment.push_str("/*");
+                    cur_code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str { hashes: None };
+                    cur_code.push('"');
+                    cur_str.clear();
+                    str_line = line;
+                    prev_code_char = '"';
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !is_ident(prev_code_char) {
+                    // Possible raw / byte string: r" r#" b" br" br#" …
+                    let mut j = i + 1;
+                    if c == 'b' && b.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while b.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    let raw = j > i + 1 || c == 'r';
+                    if b.get(j) == Some(&'"') && (raw || c == 'b') {
+                        for &d in &b[i..=j] {
+                            cur_code.push(d);
+                        }
+                        state = State::Str {
+                            hashes: if raw { Some(hashes) } else { None },
+                        };
+                        cur_str.clear();
+                        str_line = line;
+                        prev_code_char = '"';
+                        i = j + 1;
+                    } else {
+                        cur_code.push(c);
+                        prev_code_char = c;
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Lifetime (`'a`, `'static`) vs char literal (`'x'`,
+                    // `'\n'`): an ident char after the quote with no
+                    // closing quote right behind it means lifetime.
+                    let n1 = b.get(i + 1).copied().unwrap_or(' ');
+                    let n2 = b.get(i + 2).copied().unwrap_or(' ');
+                    cur_code.push('\'');
+                    prev_code_char = '\'';
+                    if (n1.is_alphabetic() || n1 == '_') && n2 != '\'' {
+                        i += 1; // lifetime: the quote alone; idents follow as code
+                    } else {
+                        state = State::CharLit;
+                        i += 1;
+                    }
+                } else {
+                    cur_code.push(c);
+                    prev_code_char = c;
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                cur_comment.push(c);
+                cur_code.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = b.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    cur_comment.push_str("*/");
+                    cur_code.push_str("  ");
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    cur_comment.push_str("/*");
+                    cur_code.push_str("  ");
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    cur_comment.push(c);
+                    cur_code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str { hashes } => match hashes {
+                None => {
+                    if c == '\\' {
+                        cur_str.push(c);
+                        if let Some(&e) = b.get(i + 1) {
+                            cur_str.push(e);
+                            cur_code.push_str("  ");
+                            i += 2;
+                        } else {
+                            cur_code.push(' ');
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    if c == '"' {
+                        out.strings.push((str_line, std::mem::take(&mut cur_str)));
+                        cur_code.push('"');
+                        state = State::Code;
+                    } else {
+                        cur_str.push(c);
+                        cur_code.push(' ');
+                    }
+                    i += 1;
+                }
+                Some(n) => {
+                    let closes = c == '"' && (1..=n as usize).all(|k| b.get(i + k) == Some(&'#'));
+                    if closes {
+                        out.strings.push((str_line, std::mem::take(&mut cur_str)));
+                        cur_code.push('"');
+                        for _ in 0..n {
+                            cur_code.push('#');
+                        }
+                        state = State::Code;
+                        i += 1 + n as usize;
+                    } else {
+                        cur_str.push(c);
+                        cur_code.push(' ');
+                        i += 1;
+                    }
+                }
+            },
+            State::CharLit => {
+                if c == '\\' {
+                    cur_code.push(' ');
+                    if b.get(i + 1).is_some() {
+                        cur_code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                    continue;
+                }
+                if c == '\'' {
+                    cur_code.push('\'');
+                    state = State::Code;
+                } else {
+                    cur_code.push(' ');
+                }
+                i += 1;
+            }
+        }
+    }
+    out.code.push(cur_code);
+    out.comments.push(cur_comment);
+    // `str::lines` drops a trailing newline's empty line; keep the three
+    // channels the same length.
+    while out.lines.len() < out.code.len() {
+        out.lines.push(String::new());
+    }
+    while out.code.len() < out.lines.len() {
+        out.code.push(String::new());
+        out.comments.push(String::new());
+    }
+    out
+}
+
+/// Whether `line` contains `word` as a standalone token (not part of a
+/// longer identifier).
+pub fn has_word(line: &str, word: &str) -> bool {
+    find_word(line, word).is_some()
+}
+
+/// Byte offset of the first standalone occurrence of `word` in `line`.
+pub fn find_word(line: &str, word: &str) -> Option<usize> {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !line[..at]
+                .chars()
+                .next_back()
+                .map(is_ident)
+                .unwrap_or(false);
+        let after = at + word.len();
+        let after_ok =
+            after >= line.len() || !line[after..].chars().next().map(is_ident).unwrap_or(false);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + word.len();
+    }
+    None
+}
+
+/// Whether line `idx` carries an `// analyze: <key>-ok(reason)` waiver —
+/// trailing on the same line, or on a comment-only line directly above
+/// (a *trailing* comment on the line above waives only its own line).
+pub fn waived(scan: &Scan, idx: usize, key: &str) -> bool {
+    let marker = format!("analyze: {key}-ok(");
+    if scan.comments.get(idx).map(|c| c.contains(&marker)) == Some(true) {
+        return true;
+    }
+    idx.checked_sub(1)
+        .map(|p| scan.comments[p].contains(&marker) && scan.code[p].trim().is_empty())
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_masked() {
+        let s = scan("let x = \"HashMap\"; // HashMap here\nlet m: HashMap<u32, u32>;\n");
+        assert!(!has_word(&s.code[0], "HashMap"));
+        assert!(s.comments[0].contains("HashMap"));
+        assert_eq!(s.strings, vec![(0, "HashMap".to_owned())]);
+        assert!(has_word(&s.code[1], "HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_and_nested_block_comments() {
+        let s =
+            scan("let r = r#\"unsafe \" quote\"#;\n/* outer /* unsafe */ still */ let y = 1;\n");
+        assert!(!has_word(&s.code[0], "unsafe"));
+        assert_eq!(s.strings[0].1, "unsafe \" quote");
+        assert!(!has_word(&s.code[1], "unsafe"));
+        assert!(has_word(&s.code[1], "let"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scan("fn f<'a>(x: &'a str) -> char { 'x' }\nlet nl = '\\n';\n");
+        assert!(has_word(&s.code[0], "str"));
+        assert!(has_word(&s.code[0], "char"));
+        assert!(has_word(&s.code[1], "let"));
+    }
+
+    #[test]
+    fn waiver_applies_to_same_and_next_line() {
+        let s = scan(
+            "// analyze: ordered-ok(lookup only)\nlet m = HashMap::new();\nlet n = HashMap::new(); // analyze: ordered-ok(x)\nlet o = HashMap::new();\n",
+        );
+        assert!(waived(&s, 1, "ordered"));
+        assert!(waived(&s, 2, "ordered"));
+        assert!(!waived(&s, 3, "ordered"));
+    }
+}

@@ -1,0 +1,20 @@
+//! Project lint pass for the metric-tree-embedding workspace.
+//!
+//! `cargo xtask analyze` enforces determinism and soundness rules that
+//! rustc/clippy cannot express (see `docs/ANALYSIS.md`):
+//!
+//! 1. **nondet-iteration** — no `HashMap`/`HashSet` in the
+//!    determinism-critical crates unless waived with
+//!    `// analyze: ordered-ok(reason)`;
+//! 2. **unsafe-safety** — every `unsafe` block/fn/impl carries a
+//!    `// SAFETY:` comment (or a `# Safety` doc contract), and the
+//!    workspace manifests pin the supporting rustc/clippy lints;
+//! 3. **fault-registry** — fault-plan spec literals use registered
+//!    site/kind names, the shared name tables cover every enum variant,
+//!    and no registered site is dead;
+//! 4. **hygiene** — no wall-clock, ad-hoc threading, or non-shim
+//!    randomness in engine/oracle/kernel code, and `Ordering::Relaxed`
+//!    only in allowlisted files.
+
+pub mod lexer;
+pub mod rules;

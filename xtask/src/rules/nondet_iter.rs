@@ -1,0 +1,137 @@
+//! Rule family 1: **nondet-iteration**.
+//!
+//! The engine's determinism contract (bit-identical output across
+//! `MTE_THREADS` and backends) dies the moment anything iterates a
+//! hash-ordered container, because `RandomState` seeds differ per
+//! process. Rather than prove "this particular map is never iterated",
+//! the determinism-critical crates ban `HashMap`/`HashSet` outright:
+//! every occurrence of those types (including `use … as` aliases of
+//! them) is an error unless the line carries an
+//! `// analyze: ordered-ok(reason)` waiver. Waived *bindings* are still
+//! tracked: calling an iteration method on one, or `for`-looping over
+//! it, needs its own waiver at the use site.
+
+use super::Finding;
+use crate::lexer::{find_word, has_word, waived, Scan};
+
+pub const RULE: &str = "nondet-iteration";
+
+/// Crates whose output feeds the determinism contract.
+const DET_CRITICAL: [&str; 5] = [
+    "crates/core/",
+    "crates/algebra/",
+    "crates/graph/",
+    "crates/congest/",
+    "crates/shims/rayon/",
+];
+
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Methods whose call on a hash container observes hash order.
+const ITER_METHODS: [&str; 10] = [
+    ".iter()",
+    ".iter_mut()",
+    ".into_iter()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_keys()",
+    ".into_values()",
+    ".drain(",
+    ".retain(",
+];
+
+pub fn applies(path: &str) -> bool {
+    DET_CRITICAL.iter().any(|prefix| path.starts_with(prefix))
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// `let [mut] name` binding introduced on this line, if any.
+fn let_binding(code: &str) -> Option<String> {
+    let pos = find_word(code, "let")?;
+    let rest = code[pos + 3..].trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let name: String = rest.chars().take_while(|&c| is_ident(c)).collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// `… as Alias` following a hash-type token on this line, if any.
+fn type_alias(code: &str, ty: &str) -> Option<String> {
+    let pos = find_word(code, ty)?;
+    let mut rest = code[pos + ty.len()..].trim_start();
+    // Skip over generic args: `HashMap<K, V> as Alias` (rare but legal).
+    if let Some(close) = rest.starts_with('<').then(|| rest.find('>')).flatten() {
+        rest = rest[close + 1..].trim_start();
+    }
+    let rest = rest.strip_prefix("as ")?;
+    let name: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|&c| is_ident(c))
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+pub fn check(path: &str, scan: &Scan, out: &mut Vec<Finding>) {
+    if !applies(path) {
+        return;
+    }
+    // Pass 1: aliases of the banned types and (waived) hash bindings.
+    let mut flagged_types: Vec<String> = HASH_TYPES.iter().map(|&t| t.to_owned()).collect();
+    let mut bindings: Vec<String> = Vec::new();
+    for code in &scan.code {
+        for ty in HASH_TYPES {
+            if let Some(alias) = type_alias(code, ty) {
+                flagged_types.push(alias);
+            }
+            if has_word(code, ty) {
+                if let Some(name) = let_binding(code) {
+                    bindings.push(name);
+                }
+            }
+        }
+    }
+    // Pass 2: flag occurrences.
+    for (idx, code) in scan.code.iter().enumerate() {
+        if let Some(ty) = flagged_types.iter().find(|t| has_word(code, t)) {
+            if !waived(scan, idx, "ordered") {
+                out.push(Finding::new(
+                    RULE,
+                    path,
+                    idx,
+                    format!(
+                        "`{ty}` in a determinism-critical crate: iteration order is \
+                         hash-seeded; use BTreeMap/BTreeSet or an index-keyed Vec, or \
+                         waive with `// analyze: ordered-ok(reason)`"
+                    ),
+                ));
+            }
+            continue; // one finding per line
+        }
+        // Iteration over a tracked (possibly waived) hash binding.
+        for name in &bindings {
+            let iterated = (has_word(code, name) && ITER_METHODS.iter().any(|m| code.contains(m)))
+                || (code.trim_start().starts_with("for ")
+                    && code
+                        .find(" in ")
+                        .map(|p| has_word(&code[p + 4..], name))
+                        .unwrap_or(false));
+            if iterated && !waived(scan, idx, "ordered") {
+                out.push(Finding::new(
+                    RULE,
+                    path,
+                    idx,
+                    format!(
+                        "iterates hash-ordered binding `{name}`: order is hash-seeded; \
+                         collect-and-sort first or waive with \
+                         `// analyze: ordered-ok(reason)`"
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+}

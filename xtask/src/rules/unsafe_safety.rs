@@ -1,0 +1,105 @@
+//! Rule family 2: **unsafe-safety**.
+//!
+//! Every `unsafe` block, fn, or impl in the workspace must state *why*
+//! it is sound: a `// SAFETY:` comment directly above (clippy's
+//! `undocumented_unsafe_blocks` convention), or — for `unsafe fn` — a
+//! doc comment carrying the `# Safety` contract the caller must uphold.
+//! The rule walks upward from the `unsafe` token over comments,
+//! attributes (`#[target_feature]`, `#[inline]`, …), and continuation
+//! lines of the same statement; the first *completed* code line without
+//! a marker ends the search.
+//!
+//! The manifest half of the rule pins the compiler-side support: the
+//! root manifest must deny `unsafe_op_in_unsafe_fn` (every unsafe
+//! operation inside an `unsafe fn` gets its own commented block) and
+//! clippy's `undocumented_unsafe_blocks`, and every member crate must
+//! opt into the shared `[workspace.lints]` table.
+
+use super::Finding;
+use crate::lexer::{has_word, waived, Scan};
+
+pub const RULE: &str = "unsafe-safety";
+
+/// Whether the `unsafe` on line `idx` is covered by a SAFETY marker.
+fn covered(scan: &Scan, idx: usize) -> bool {
+    if scan.comments[idx].contains("SAFETY:") {
+        return true;
+    }
+    let mut k = idx;
+    let mut steps = 0;
+    while k > 0 && steps < 64 {
+        k -= 1;
+        steps += 1;
+        let comment = scan.comments[k].trim();
+        if comment.contains("SAFETY:") {
+            return true;
+        }
+        if (comment.starts_with("///") || comment.starts_with("//!")) && comment.contains("Safety")
+        {
+            return true;
+        }
+        let code = scan.code[k].trim();
+        if code.is_empty() || code.starts_with("#[") || code.starts_with("#![") {
+            continue; // comment-only, blank, or attribute line: keep walking
+        }
+        // A completed statement above means no marker precedes this
+        // `unsafe`; an unterminated line (`let x =`, an open paren list,
+        // …) is part of the same statement, so keep walking.
+        if code.ends_with(';') || code.ends_with('{') || code.ends_with('}') {
+            return false;
+        }
+    }
+    false
+}
+
+pub fn check(path: &str, scan: &Scan, out: &mut Vec<Finding>) {
+    for idx in 0..scan.code.len() {
+        if !has_word(&scan.code[idx], "unsafe") {
+            continue;
+        }
+        if waived(scan, idx, "safety") || covered(scan, idx) {
+            continue;
+        }
+        out.push(Finding::new(
+            RULE,
+            path,
+            idx,
+            "`unsafe` without a `// SAFETY:` comment (or `# Safety` doc \
+             contract for an `unsafe fn`) directly above"
+                .to_owned(),
+        ));
+    }
+}
+
+/// Manifest half: the workspace lint table and every member's opt-in.
+pub fn check_manifests(root: &std::path::Path, manifests: &[String], out: &mut Vec<Finding>) {
+    let root_manifest = root.join("Cargo.toml");
+    let text = std::fs::read_to_string(&root_manifest).unwrap_or_default();
+    for (needle, what) in [
+        (
+            "unsafe_op_in_unsafe_fn = \"deny\"",
+            "rust lint `unsafe_op_in_unsafe_fn` must be denied workspace-wide",
+        ),
+        (
+            "undocumented_unsafe_blocks = \"deny\"",
+            "clippy lint `undocumented_unsafe_blocks` must be denied workspace-wide",
+        ),
+    ] {
+        if !text.contains(needle) {
+            out.push(Finding::new(RULE, "Cargo.toml", 0, what.to_owned()));
+        }
+    }
+    for rel in manifests {
+        let text = std::fs::read_to_string(root.join(rel)).unwrap_or_default();
+        if !(text.contains("[lints]") && text.contains("workspace = true")) {
+            out.push(Finding::new(
+                RULE,
+                rel,
+                0,
+                "crate does not opt into the shared lint policy \
+                 (`[lints]\\nworkspace = true`)"
+                    .to_owned(),
+            ));
+        }
+    }
+}

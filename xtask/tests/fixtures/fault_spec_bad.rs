@@ -1,0 +1,11 @@
+// Fixture: plan-spec literals with unregistered names — both must trip
+// the fault-registry rule; the waived one must not.
+
+fn plans() -> [&'static str; 3] {
+    [
+        "no_such_site:panic:0",
+        "engine_hop_commit:panik:1:2",
+        // analyze: fault-spec-ok(negative parse test)
+        "also_not_a_site:panic:0",
+    ]
+}

@@ -1,0 +1,14 @@
+// Fixture: every construct here must trip the nondet-iteration rule
+// when treated as a determinism-critical file.
+use std::collections::HashMap;
+use std::collections::HashSet as Seen;
+
+fn hash_order_everywhere(xs: &[u32]) -> Vec<u32> {
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    let mut seen = Seen::new();
+    seen.insert(1u32);
+    counts.keys().copied().collect()
+}

@@ -1,0 +1,12 @@
+// Fixture: identical constructs, every line carrying (or sitting under)
+// an `// analyze: ordered-ok(...)` waiver — must produce zero findings.
+use std::collections::HashMap; // analyze: ordered-ok(lookup-only import)
+
+fn lookups_only(xs: &[u32]) -> u32 {
+    // analyze: ordered-ok(point lookups only; never iterated)
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts.get(&0).copied().unwrap_or(0)
+}

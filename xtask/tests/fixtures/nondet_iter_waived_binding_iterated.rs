@@ -1,0 +1,16 @@
+// Fixture: the *declaration* is waived as lookup-only, but the binding
+// is iterated later anyway — the use site must still trip the rule.
+use std::collections::HashMap; // analyze: ordered-ok(import)
+
+fn broken_promise(xs: &[u32]) -> Vec<u32> {
+    // analyze: ordered-ok(claimed lookup-only)
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    let mut out = Vec::new();
+    for (k, _) in counts.iter() {
+        out.push(*k);
+    }
+    out
+}

@@ -1,0 +1,15 @@
+// Fixture: unsafe without SAFETY coverage — each site must trip the
+// unsafe-safety rule.
+
+struct Wrapper(*mut u8);
+
+unsafe impl Sync for Wrapper {}
+
+/// Reads a byte. No safety contract documented.
+pub unsafe fn read_byte(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn caller(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,26 @@
+// Fixture: every accepted form of SAFETY coverage — must produce zero
+// findings from the unsafe-safety rule.
+
+struct Wrapper(*mut u8);
+
+// SAFETY: the pointer is only dereferenced behind indices proven
+// disjoint by the caller; `Sync` hands out no aliasing references.
+unsafe impl Sync for Wrapper {}
+
+/// Reads a byte.
+///
+/// # Safety
+/// `p` must be valid for reads.
+#[inline]
+pub unsafe fn read_byte(p: *const u8) -> u8 {
+    // SAFETY: validity is the caller's contract (doc above).
+    unsafe { *p }
+}
+
+pub fn caller(buf: &[u8]) -> u8 {
+    assert!(!buf.is_empty());
+    // SAFETY: `buf` is non-empty by the assert, so index 0 is in bounds.
+    let first =
+        unsafe { *buf.as_ptr() };
+    first
+}

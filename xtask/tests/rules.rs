@@ -1,0 +1,215 @@
+//! Fixture-based self-tests for the analyze rules: each rule family must
+//! fire on its bad fixture and stay silent on the good/waived one.
+
+use std::path::Path;
+
+use xtask::lexer::{self, Scan};
+use xtask::rules::{fault_registry, hygiene, nondet_iter, unsafe_safety, Finding};
+
+fn fixture(name: &str) -> Scan {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    lexer::scan(&std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("reading fixture {}: {e}", path.display());
+    }))
+}
+
+/// Fixtures are checked as-if they lived in a determinism-critical crate.
+const AS_IF: &str = "crates/core/src/fixture.rs";
+
+#[test]
+fn nondet_iteration_fires_on_bad_fixture() {
+    let scan = fixture("nondet_iter_bad.rs");
+    let mut findings: Vec<Finding> = Vec::new();
+    nondet_iter::check(AS_IF, &scan, &mut findings);
+    // use-import, aliased import, `let counts`, `Seen::new`, `.keys()`.
+    assert!(
+        findings.len() >= 4,
+        "expected ≥4 findings, got: {findings:?}"
+    );
+    assert!(findings
+        .iter()
+        .any(|f| f.msg.contains("HashMap") || f.msg.contains("HashSet")));
+}
+
+#[test]
+fn nondet_iteration_respects_waivers() {
+    let scan = fixture("nondet_iter_waived.rs");
+    let mut findings: Vec<Finding> = Vec::new();
+    nondet_iter::check(AS_IF, &scan, &mut findings);
+    assert!(findings.is_empty(), "waived fixture tripped: {findings:?}");
+}
+
+#[test]
+fn nondet_iteration_catches_iteration_of_waived_binding() {
+    let scan = fixture("nondet_iter_waived_binding_iterated.rs");
+    let mut findings: Vec<Finding> = Vec::new();
+    nondet_iter::check(AS_IF, &scan, &mut findings);
+    assert_eq!(
+        findings.len(),
+        1,
+        "exactly the iteration site should trip: {findings:?}"
+    );
+    assert!(findings[0].msg.contains("counts"));
+}
+
+#[test]
+fn nondet_iteration_scoped_to_det_critical_crates() {
+    let scan = fixture("nondet_iter_bad.rs");
+    let mut findings: Vec<Finding> = Vec::new();
+    nondet_iter::check("crates/bench/src/fixture.rs", &scan, &mut findings);
+    assert!(findings.is_empty(), "bench is out of scope: {findings:?}");
+}
+
+#[test]
+fn unsafe_safety_fires_on_bad_fixture() {
+    let scan = fixture("unsafe_bad.rs");
+    let mut findings: Vec<Finding> = Vec::new();
+    unsafe_safety::check(AS_IF, &scan, &mut findings);
+    // `unsafe impl`, `unsafe fn` without # Safety, two bare blocks.
+    assert_eq!(findings.len(), 4, "got: {findings:?}");
+}
+
+#[test]
+fn unsafe_safety_accepts_documented_forms() {
+    let scan = fixture("unsafe_good.rs");
+    let mut findings: Vec<Finding> = Vec::new();
+    unsafe_safety::check(AS_IF, &scan, &mut findings);
+    assert!(findings.is_empty(), "good fixture tripped: {findings:?}");
+}
+
+fn toy_registry() -> fault_registry::Registry {
+    let src = r#"
+pub enum FaultSite {
+    EngineHopCommit,
+    GrParser,
+}
+pub enum FaultKind {
+    Panic,
+    Io,
+}
+pub const SITE_NAMES: [(FaultSite, &str); 2] = [
+    (FaultSite::EngineHopCommit, "engine_hop_commit"),
+    (FaultSite::GrParser, "gr_parser"),
+];
+pub const KIND_NAMES: [(FaultKind, &str); 2] = [
+    (FaultKind::Panic, "panic"),
+    (FaultKind::Io, "io"),
+];
+"#;
+    fault_registry::load(&lexer::scan(src))
+}
+
+#[test]
+fn fault_registry_parses_tables_and_variants() {
+    let reg = toy_registry();
+    assert_eq!(reg.site_variants, vec!["EngineHopCommit", "GrParser"]);
+    assert_eq!(reg.kind_variants, vec!["Panic", "Io"]);
+    assert_eq!(reg.sites[0].1, "engine_hop_commit");
+    assert_eq!(reg.kinds[1].1, "io");
+    let mut findings: Vec<Finding> = Vec::new();
+    fault_registry::check_registry(&reg, "toy.rs", &mut findings);
+    assert!(
+        findings.is_empty(),
+        "consistent registry tripped: {findings:?}"
+    );
+}
+
+#[test]
+fn fault_registry_flags_missing_table_row() {
+    let mut reg = toy_registry();
+    reg.sites.pop();
+    let mut findings: Vec<Finding> = Vec::new();
+    fault_registry::check_registry(&reg, "toy.rs", &mut findings);
+    assert!(
+        findings.iter().any(|f| f.msg.contains("GrParser")),
+        "got: {findings:?}"
+    );
+}
+
+#[test]
+fn fault_registry_fires_on_bad_specs_and_respects_waiver() {
+    let reg = toy_registry();
+    let scan = fixture("fault_spec_bad.rs");
+    let mut findings: Vec<Finding> = Vec::new();
+    fault_registry::check_specs(&reg, AS_IF, &scan, &mut findings);
+    // Unknown site `no_such_site`, unknown kind `panik`; the waived
+    // literal stays silent.
+    assert_eq!(findings.len(), 2, "got: {findings:?}");
+    assert!(findings.iter().any(|f| f.msg.contains("no_such_site")));
+    assert!(findings.iter().any(|f| f.msg.contains("panik")));
+}
+
+#[test]
+fn fault_registry_flags_dead_sites() {
+    let reg = toy_registry();
+    // Only gr_parser referenced anywhere outside the registry.
+    let user = lexer::scan("fn f() { trigger(FaultSite::GrParser); }\n");
+    let scans = vec![("crates/core/src/user.rs".to_owned(), user)];
+    let mut findings: Vec<Finding> = Vec::new();
+    fault_registry::check_dead_sites(&reg, &scans, "toy.rs", &mut findings);
+    assert_eq!(findings.len(), 1, "got: {findings:?}");
+    assert!(findings[0].msg.contains("engine_hop_commit"));
+}
+
+#[test]
+fn plan_spec_shape_detection() {
+    // analyze: fault-spec-ok(shape-detection test data)
+    assert!(fault_registry::looks_like_plan_spec("a_site:panic:0"));
+    assert!(fault_registry::looks_like_plan_spec(
+        "engine_hop_commit:panic:1;gr_parser:io:2:3"
+    ));
+    assert!(!fault_registry::looks_like_plan_spec("a plain sentence"));
+    assert!(!fault_registry::looks_like_plan_spec("key:value"));
+    assert!(!fault_registry::looks_like_plan_spec("a:b:c"));
+}
+
+#[test]
+fn hygiene_fires_on_bad_fixture() {
+    let scan = fixture("hygiene_bad.rs");
+    let mut findings: Vec<Finding> = Vec::new();
+    hygiene::check(AS_IF, &scan, &[], &mut findings);
+    let relaxed = findings
+        .iter()
+        .filter(|f| f.msg.contains("Ordering::Relaxed"))
+        .count();
+    assert_eq!(relaxed, 2, "both Relaxed uses flagged: {findings:?}");
+    for needle in ["Instant::now", "SystemTime", "thread::spawn", "thread_rng"] {
+        assert!(
+            findings.iter().any(|f| f.msg.contains(needle)),
+            "missing `{needle}` finding in: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn hygiene_allowlist_and_scope() {
+    let scan = fixture("hygiene_bad.rs");
+    // Allowlisted file: Relaxed is fine; engine bans don't apply outside
+    // the engine scope.
+    let mut findings: Vec<Finding> = Vec::new();
+    hygiene::check(
+        "crates/bench/src/fixture.rs",
+        &scan,
+        &["crates/bench/src/fixture.rs".to_owned()],
+        &mut findings,
+    );
+    assert!(findings.is_empty(), "got: {findings:?}");
+}
+
+#[test]
+fn hygiene_flags_stale_allowlist_entries() {
+    let clean = lexer::scan("fn f() {}\n");
+    let scans = vec![("crates/core/src/clean.rs".to_owned(), clean)];
+    let mut findings: Vec<Finding> = Vec::new();
+    hygiene::check_allowlist(
+        &[
+            "crates/core/src/clean.rs".to_owned(),
+            "crates/core/src/gone.rs".to_owned(),
+        ],
+        &scans,
+        &mut findings,
+    );
+    assert_eq!(findings.len(), 2, "got: {findings:?}");
+}
