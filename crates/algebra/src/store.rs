@@ -308,6 +308,22 @@ impl EpochStore {
         }
     }
 
+    /// Vertex `v`'s state as a borrowed view, bypassing the
+    /// [`ArenaSpanRead`](mte_faults::FaultSite::ArenaSpanRead) fault
+    /// site. Snapshot serialization uses this: a checkpoint must record
+    /// the state that *is*, not the state an injected span-truncation
+    /// pretends to read — persistence has its own `snapshot_write` /
+    /// `snapshot_read` sites.
+    #[inline]
+    pub fn get_raw(&self, v: NodeId) -> DistanceSlice<'_> {
+        let s = self.spans[v as usize];
+        let (a, b) = (s.off as usize, s.off as usize + s.len as usize);
+        DistanceSlice {
+            entries: &self.entries[a..b],
+            ranks: if self.ranked { &self.ranks[a..b] } else { &[] },
+        }
+    }
+
     /// Live entries across all spans (`Σ_v |x_v|`).
     #[inline]
     pub fn live_entries(&self) -> usize {
@@ -463,6 +479,15 @@ impl EpochStore {
     pub fn export(&self) -> Vec<DistanceMap> {
         (0..self.spans.len())
             .map(|v| self.get(v as NodeId).to_map())
+            .collect()
+    }
+
+    /// [`EpochStore::export`] through [`EpochStore::get_raw`]: the
+    /// checkpoint-capture path, which must record the true pool
+    /// contents without consuming `arena_span_read` fault arrivals.
+    pub fn export_raw(&self) -> Vec<DistanceMap> {
+        (0..self.spans.len())
+            .map(|v| self.get_raw(v as NodeId).to_map())
             .collect()
     }
 

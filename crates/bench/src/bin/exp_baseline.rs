@@ -1,12 +1,17 @@
 //! Experiment driver. See DESIGN.md §4 and EXPERIMENTS.md.
 //!
 //! Runs the Section 1.1 sampler comparison (E16), the engine suite
-//! (dense vs frontier vs hybrid scheduling on the standard catalog), and
-//! the thread-scaling sweep (the same dense workload across
-//! `MTE_THREADS`-style pool sizes {1, 2, 4, max}), and writes the
+//! (dense vs frontier vs hybrid scheduling on the standard catalog),
+//! the checkpoint-overhead suite (snapshot write/load cost as a
+//! fraction of run wall time), and the thread-scaling sweep (the same
+//! dense workload across `MTE_THREADS`-style pool sizes
+//! {1, 2, 4, max}), and writes the
 //! machine-readable `BENCH_engine.json` / `BENCH_parallel.json` pair
 //! that tracks the engine's performance trajectory across PRs.
 
+use mte_bench::checkpoint_suite::{
+    checkpoint_suite, checkpoint_suite_table, with_checkpoint_section,
+};
 use mte_bench::engine_suite::{engine_suite, engine_suite_json, engine_suite_table};
 use mte_bench::parallel_suite::{parallel_suite, parallel_suite_json, parallel_suite_table};
 
@@ -16,9 +21,17 @@ fn main() {
     let cases = engine_suite();
     engine_suite_table(&cases).print();
 
+    let checkpoint_cases = checkpoint_suite();
+    checkpoint_suite_table(&checkpoint_cases).print();
+
     let path = "BENCH_engine.json";
-    match std::fs::write(path, engine_suite_json(&cases)) {
-        Ok(()) => println!("wrote {path} ({} cases)", cases.len()),
+    let json = with_checkpoint_section(&engine_suite_json(&cases), &checkpoint_cases);
+    match std::fs::write(path, json) {
+        Ok(()) => println!(
+            "wrote {path} ({} engine + {} checkpoint cases)",
+            cases.len(),
+            checkpoint_cases.len()
+        ),
         Err(e) => eprintln!("failed to write {path}: {e}"),
     }
 

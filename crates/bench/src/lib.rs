@@ -21,6 +21,7 @@
 //! | `exp_buyatbulk`   | Theorem 10.2 (buy-at-bulk quality) |
 //! | `exp_baseline`    | Sec. 1.1 (oracle pipeline vs Ω(n²) metric baseline) |
 
+pub mod checkpoint_suite;
 pub mod engine_suite;
 pub mod parallel_suite;
 pub mod suite;

@@ -238,7 +238,7 @@ pub fn default_recompute_span<A: ArenaMbfAlgorithm + ?Sized>(
 
 /// Storage counters of a [`StoreStats`] snapshot folded into the
 /// work-accounting shape.
-fn storage_work(stats: StoreStats) -> WorkStats {
+pub(crate) fn storage_work(stats: StoreStats) -> WorkStats {
     WorkStats {
         bytes_copied: stats.bytes_copied,
         alloc_count: stats.alloc_count,
@@ -336,6 +336,16 @@ impl ArenaEngine {
     pub fn mark_all_dirty(&mut self, g: &Graph) {
         self.sched.mark_all_dirty(g);
         self.taint.reset(g.n());
+    }
+
+    /// Sizes the schedule and taint table for `g` with an **empty**
+    /// frontier (cf. [`crate::engine::MbfEngine::prime`]): a following
+    /// [`ArenaEngine::mark_dirty`] then seeds exactly its vertices
+    /// instead of falling back to the all-dirty restart. Used by the
+    /// checkpoint-resume path.
+    pub fn prime(&mut self, g: &Graph) {
+        self.sched.ensure_sized(g);
+        self.taint.ensure_sized(g.n());
     }
 
     /// See [`crate::engine::MbfEngine::mark_dirty`]. The seeded

@@ -672,6 +672,16 @@ where
         self.mode == ReprMode::Matrix
     }
 
+    /// The active store's frontier list (ascending, no duplicates) —
+    /// whichever representation currently holds the states. The
+    /// checkpoint driver records this as the resume seed.
+    pub fn frontier(&self) -> &[NodeId] {
+        match self.mode {
+            ReprMode::Sparse => self.sparse_engine.frontier(),
+            ReprMode::Matrix => self.dense_engine.frontier(),
+        }
+    }
+
     /// Exports the current states as sparse maps (bit-identical in
     /// either mode).
     pub fn export_states(&self) -> Vec<A::M> {

@@ -667,6 +667,15 @@ impl<A: MbfAlgorithm> MbfEngine<A> {
         self.sched.mark_all_dirty(g);
     }
 
+    /// Sizes the schedule for `g` with an **empty** frontier, making no
+    /// vertex dirty. The checkpoint-resume path uses this so a
+    /// following [`MbfEngine::mark_dirty`] seeds exactly the recorded
+    /// residual frontier instead of falling back to the conservative
+    /// all-dirty restart an unsized schedule would take.
+    pub fn prime(&mut self, g: &Graph) {
+        self.sched.ensure_sized(g);
+    }
+
     /// Adds the given vertices to the frontier (idempotently), keeping
     /// it sorted. This is the **carry-over** entry point: a caller that
     /// rewrote only a few states since the engine's last hop seeds

@@ -42,6 +42,14 @@ pub enum RunError {
         requested_bytes: u64,
         budget_bytes: u64,
     },
+    /// A snapshot failed to encode, write, or decode — the persistence
+    /// layer's typed `SnapshotError` mapped into the run vocabulary
+    /// (checkpoint sinks and resume sources raise this).
+    SnapshotCorrupt { detail: String },
+    /// The recovery ladder ran dry: every rung the policy allowed
+    /// (checkpoint retries, then recompute-from-scratch if enabled)
+    /// failed. `last` is the final rung's error.
+    RetriesExhausted { attempts: u32, last: Box<RunError> },
 }
 
 impl std::fmt::Display for RunError {
@@ -61,6 +69,15 @@ impl std::fmt::Display for RunError {
                 f,
                 "dense run needs {requested_bytes} bytes, budget is {budget_bytes} bytes"
             ),
+            RunError::SnapshotCorrupt { detail } => {
+                write!(f, "snapshot corrupt: {detail}")
+            }
+            RunError::RetriesExhausted { attempts, last } => {
+                write!(
+                    f,
+                    "recovery ladder exhausted after {attempts} attempts: {last}"
+                )
+            }
         }
     }
 }
@@ -78,6 +95,19 @@ pub enum Degradation {
         requested_bytes: u64,
         budget_bytes: Option<u64>,
     },
+    /// One checkpoint-retry rung of the recovery ladder failed; the
+    /// supervisor moved on to the next rung. Recorded per failed
+    /// attempt so the report shows the full ladder taken.
+    CheckpointRetryFailed { attempt: u32, cause: String },
+    /// The run failed but a retry from the last good checkpoint
+    /// succeeded on attempt `attempt` — the output is as good as an
+    /// uninterrupted run's (bit-identical states by the resume
+    /// contract), only the path there degraded.
+    RecoveredFromCheckpoint { attempt: u32, cause: String },
+    /// Checkpoint retries were exhausted (or no checkpoint existed) and
+    /// the supervisor fell back to recomputing from scratch, which
+    /// succeeded.
+    RecomputedFromScratch { cause: String },
 }
 
 impl std::fmt::Display for Degradation {
@@ -96,6 +126,15 @@ impl std::fmt::Display for Degradation {
                     "dense flip declined: allocation of {requested_bytes} bytes failed"
                 ),
             },
+            Degradation::CheckpointRetryFailed { attempt, cause } => {
+                write!(f, "checkpoint retry {attempt} failed: {cause}")
+            }
+            Degradation::RecoveredFromCheckpoint { attempt, cause } => {
+                write!(f, "recovered from checkpoint on retry {attempt} ({cause})")
+            }
+            Degradation::RecomputedFromScratch { cause } => {
+                write!(f, "recomputed from scratch ({cause})")
+            }
         }
     }
 }
@@ -165,6 +204,153 @@ where
     }
 }
 
+// ---------------------------------------------------------------------
+// The deterministic recovery supervisor.
+// ---------------------------------------------------------------------
+
+/// Bounds of the recovery ladder a [`Supervisor`] walks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Retries from the last good checkpoint before falling back (0 =
+    /// skip straight to the scratch rung).
+    pub max_retries: u32,
+    /// Base of the deterministic backoff: retry `a` spins
+    /// `backoff_base · 2^{a−1}` iterations of [`std::hint::spin_loop`]
+    /// before re-entering. Attempt-count-based, never wall-clock-based —
+    /// the hygiene rule bans clocks in engine crates, and a
+    /// deterministic run must not observe time.
+    pub backoff_base: u32,
+    /// Whether the final rung — recompute from scratch, ignoring all
+    /// checkpoints — is allowed.
+    pub allow_scratch: bool,
+}
+
+impl Default for RecoveryPolicy {
+    /// Two checkpoint retries, then scratch.
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 2,
+            backoff_base: 64,
+            allow_scratch: true,
+        }
+    }
+}
+
+/// Which rung of the recovery ladder an entry closure is asked to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryAttempt {
+    /// The first, ordinary execution.
+    Primary,
+    /// Retry `attempt` (1-based) from the last good checkpoint. The
+    /// entry closure decides what "last good checkpoint" means — resume
+    /// from an in-memory [`crate::checkpoint::Checkpoint`], reload a
+    /// snapshot file, or re-enter with a fresh sink.
+    RetryFromCheckpoint { attempt: u32 },
+    /// The final rung: recompute from scratch, using no checkpoint.
+    Scratch,
+}
+
+/// The deterministic recovery supervisor: walks a failed guarded run
+/// down the recovery ladder — primary → bounded checkpoint retries
+/// (with attempt-count backoff) → recompute-from-scratch — and records
+/// every rung taken as [`Degradation`]s in the successful rung's
+/// [`RunReport`]. Deterministic end to end: the ladder is a pure
+/// function of the entry closure's results, no clocks, no randomness.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Supervisor {
+    policy: RecoveryPolicy,
+}
+
+impl Supervisor {
+    /// A supervisor with the given ladder bounds.
+    pub fn new(policy: RecoveryPolicy) -> Self {
+        Supervisor { policy }
+    }
+
+    /// The ladder bounds.
+    pub fn policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+
+    /// Spins for `backoff_base · 2^{attempt−1}` iterations — the
+    /// deterministic stand-in for a retry backoff (see
+    /// [`RecoveryPolicy::backoff_base`]).
+    fn backoff(&self, attempt: u32) {
+        let spins = (self.policy.backoff_base as u64) << (attempt.saturating_sub(1)).min(16);
+        for _ in 0..spins {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Runs `entry` down the recovery ladder until a rung succeeds.
+    ///
+    /// `entry` is invoked with the [`RecoveryAttempt`] describing the
+    /// rung; it should wrap one of the guarded `try_*` twins (or a
+    /// checkpointed/resume driver). On success the ladder's history is
+    /// merged into the returned [`RunReport::degradations`]. If every
+    /// allowed rung fails, the result is
+    /// [`RunError::RetriesExhausted`] wrapping the last rung's error.
+    ///
+    /// A retry that fails with [`RunError::SnapshotCorrupt`] proves the
+    /// checkpoint itself is unusable: the remaining checkpoint retries
+    /// are skipped and the ladder drops straight to the scratch rung.
+    pub fn run<T>(
+        &self,
+        mut entry: impl FnMut(RecoveryAttempt) -> Result<(T, RunReport), RunError>,
+    ) -> Result<(T, RunReport), RunError> {
+        let mut ladder: Vec<Degradation> = Vec::new();
+        let mut last = match entry(RecoveryAttempt::Primary) {
+            Ok(ok) => return Ok(ok),
+            Err(e) => e,
+        };
+        let mut attempts = 1u32;
+        let mut checkpoint_unusable = matches!(last, RunError::SnapshotCorrupt { .. });
+        for attempt in 1..=self.policy.max_retries {
+            if checkpoint_unusable {
+                break;
+            }
+            self.backoff(attempt);
+            let cause = last.to_string();
+            match entry(RecoveryAttempt::RetryFromCheckpoint { attempt }) {
+                Ok((value, mut report)) => {
+                    ladder.push(Degradation::RecoveredFromCheckpoint { attempt, cause });
+                    ladder.append(&mut report.degradations);
+                    report.degradations = ladder;
+                    return Ok((value, report));
+                }
+                Err(e) => {
+                    ladder.push(Degradation::CheckpointRetryFailed {
+                        attempt,
+                        cause: e.to_string(),
+                    });
+                    checkpoint_unusable = matches!(e, RunError::SnapshotCorrupt { .. });
+                    last = e;
+                    attempts += 1;
+                }
+            }
+        }
+        if self.policy.allow_scratch {
+            let cause = last.to_string();
+            match entry(RecoveryAttempt::Scratch) {
+                Ok((value, mut report)) => {
+                    ladder.push(Degradation::RecomputedFromScratch { cause });
+                    ladder.append(&mut report.degradations);
+                    report.degradations = ladder;
+                    return Ok((value, report));
+                }
+                Err(e) => {
+                    last = e;
+                    attempts += 1;
+                }
+            }
+        }
+        Err(RunError::RetriesExhausted {
+            attempts,
+            last: Box::new(last),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,5 +383,171 @@ mod tests {
             check_states::<MinPlus, MinPlus>(&states),
             Err(RunError::CorruptState { vertex: 1 })
         );
+    }
+
+    fn boom() -> RunError {
+        RunError::Panicked {
+            message: "boom".to_string(),
+        }
+    }
+
+    #[test]
+    fn supervisor_passes_clean_runs_through() {
+        let sup = Supervisor::new(RecoveryPolicy::default());
+        let (value, report) = sup
+            .run(|attempt| {
+                assert_eq!(attempt, RecoveryAttempt::Primary);
+                Ok((
+                    7,
+                    RunReport {
+                        converged: true,
+                        hops: 3,
+                        degradations: Vec::new(),
+                    },
+                ))
+            })
+            .unwrap();
+        assert_eq!(value, 7);
+        assert!(report.degradations.is_empty());
+    }
+
+    #[test]
+    fn supervisor_recovers_from_checkpoint_and_records_the_ladder() {
+        let sup = Supervisor::new(RecoveryPolicy::default());
+        let mut calls = Vec::new();
+        let (value, report) = sup
+            .run(|attempt| {
+                calls.push(attempt);
+                match attempt {
+                    RecoveryAttempt::Primary => Err(boom()),
+                    RecoveryAttempt::RetryFromCheckpoint { attempt: 1 } => Err(boom()),
+                    _ => Ok((
+                        42,
+                        RunReport {
+                            converged: true,
+                            hops: 5,
+                            degradations: Vec::new(),
+                        },
+                    )),
+                }
+            })
+            .unwrap();
+        assert_eq!(value, 42);
+        assert_eq!(
+            calls,
+            vec![
+                RecoveryAttempt::Primary,
+                RecoveryAttempt::RetryFromCheckpoint { attempt: 1 },
+                RecoveryAttempt::RetryFromCheckpoint { attempt: 2 },
+            ]
+        );
+        assert_eq!(report.degradations.len(), 2);
+        assert!(matches!(
+            report.degradations[0],
+            Degradation::CheckpointRetryFailed { attempt: 1, .. }
+        ));
+        assert!(matches!(
+            report.degradations[1],
+            Degradation::RecoveredFromCheckpoint { attempt: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn supervisor_falls_back_to_scratch() {
+        let sup = Supervisor::new(RecoveryPolicy {
+            max_retries: 1,
+            backoff_base: 1,
+            allow_scratch: true,
+        });
+        let (_, report) = sup
+            .run(|attempt| match attempt {
+                RecoveryAttempt::Scratch => Ok((
+                    (),
+                    RunReport {
+                        converged: true,
+                        hops: 1,
+                        degradations: Vec::new(),
+                    },
+                )),
+                _ => Err(boom()),
+            })
+            .unwrap();
+        assert!(matches!(
+            report.degradations.last(),
+            Some(Degradation::RecomputedFromScratch { .. })
+        ));
+    }
+
+    #[test]
+    fn supervisor_reports_exhaustion_with_the_last_error() {
+        let sup = Supervisor::new(RecoveryPolicy {
+            max_retries: 2,
+            backoff_base: 1,
+            allow_scratch: false,
+        });
+        let err = sup.run(|_| -> Result<((), RunReport), _> { Err(boom()) });
+        match err.unwrap_err() {
+            RunError::RetriesExhausted { attempts, last } => {
+                assert_eq!(attempts, 3); // primary + 2 retries
+                assert_eq!(*last, boom());
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_snapshot_skips_straight_to_scratch() {
+        let sup = Supervisor::new(RecoveryPolicy::default());
+        let mut calls = Vec::new();
+        let (_, report) = sup
+            .run(|attempt| {
+                calls.push(attempt);
+                match attempt {
+                    RecoveryAttempt::Primary => Err(boom()),
+                    RecoveryAttempt::RetryFromCheckpoint { .. } => Err(RunError::SnapshotCorrupt {
+                        detail: "bad crc".to_string(),
+                    }),
+                    RecoveryAttempt::Scratch => Ok((
+                        (),
+                        RunReport {
+                            converged: true,
+                            hops: 1,
+                            degradations: Vec::new(),
+                        },
+                    )),
+                }
+            })
+            .unwrap();
+        // Retry 1 proves the checkpoint unusable; retry 2 never runs.
+        assert_eq!(
+            calls,
+            vec![
+                RecoveryAttempt::Primary,
+                RecoveryAttempt::RetryFromCheckpoint { attempt: 1 },
+                RecoveryAttempt::Scratch,
+            ]
+        );
+        assert_eq!(report.degradations.len(), 2);
+    }
+
+    #[test]
+    fn supervisor_ladder_is_deterministic() {
+        // Same failure script, same ladder — run twice and compare the
+        // recorded degradations exactly.
+        let script = |attempt: RecoveryAttempt| match attempt {
+            RecoveryAttempt::Primary => Err(boom()),
+            _ => Ok((
+                1u32,
+                RunReport {
+                    converged: true,
+                    hops: 2,
+                    degradations: Vec::new(),
+                },
+            )),
+        };
+        let sup = Supervisor::new(RecoveryPolicy::default());
+        let a = sup.run(script).unwrap();
+        let b = sup.run(script).unwrap();
+        assert_eq!(a.1, b.1);
     }
 }

@@ -161,6 +161,64 @@ impl FrtTree {
         }
     }
 
+    /// Reassembles a tree from its raw parts, validating every structural
+    /// invariant `from_le_lists` establishes by construction. The
+    /// snapshot decoder goes through here: bytes from disk must never be
+    /// able to materialize a tree whose traversals panic or loop, so a
+    /// violated invariant is a typed `Err(reason)`, not an assert.
+    pub fn from_parts(
+        nodes: Vec<FrtNode>,
+        leaf: Vec<usize>,
+        radii: Vec<f64>,
+        beta: f64,
+    ) -> Result<FrtTree, String> {
+        if !(1.0..2.0).contains(&beta) {
+            return Err(format!("β = {beta} outside [1, 2)"));
+        }
+        if nodes.is_empty() {
+            return Err("empty node list".to_string());
+        }
+        if radii.is_empty() {
+            return Err("empty radius list".to_string());
+        }
+        for (i, &r) in radii.iter().enumerate() {
+            if !r.is_finite() || r <= 0.0 {
+                return Err(format!("radius {i} is {r}"));
+            }
+            if i > 0 && r <= radii[i - 1] {
+                return Err(format!("radii not strictly increasing at {i}"));
+            }
+        }
+        let top = (radii.len() - 1) as u32;
+        if nodes[0].level != top || nodes[0].parent != 0 || nodes[0].parent_weight != 0.0 {
+            return Err("node 0 is not a root at the top level".to_string());
+        }
+        for (i, node) in nodes.iter().enumerate().skip(1) {
+            if node.parent >= nodes.len() {
+                return Err(format!("node {i} parent out of bounds"));
+            }
+            // Parent strictly one level up: traversals terminate because
+            // every parent step increases the level towards the root.
+            if node.level >= top || nodes[node.parent].level != node.level + 1 {
+                return Err(format!("node {i} breaks the level ladder"));
+            }
+            if !node.parent_weight.is_finite() || node.parent_weight <= 0.0 {
+                return Err(format!("node {i} parent weight {}", node.parent_weight));
+            }
+        }
+        for (v, &idx) in leaf.iter().enumerate() {
+            if idx >= nodes.len() || nodes[idx].level != 0 {
+                return Err(format!("vertex {v} leaf index invalid"));
+            }
+        }
+        Ok(FrtTree {
+            nodes,
+            leaf,
+            radii,
+            beta,
+        })
+    }
+
     /// The sampled `β`.
     #[inline]
     pub fn beta(&self) -> f64 {
@@ -199,6 +257,12 @@ impl FrtTree {
     #[inline]
     pub fn leaf(&self, v: NodeId) -> usize {
         self.leaf[v as usize]
+    }
+
+    /// Number of embedded graph vertices (= length of the leaf table).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.leaf.len()
     }
 
     /// Tree distance between two tree nodes (sum of edge weights along

@@ -29,10 +29,14 @@
 //!   lists (Section 7, Theorem 7.9 and Corollaries 7.10/7.11), FRT tree
 //!   construction (Lemma 7.2), baselines, and path reconstruction
 //!   (Section 7.5),
-//! * [`work`] — work/depth accounting used by the experiments.
+//! * [`work`] — work/depth accounting used by the experiments,
+//! * [`checkpoint`] — checkpointed, resumable fixpoint runs across all
+//!   backends (bit-identical resume), with the deterministic recovery
+//!   supervisor in [`error`].
 
 pub mod arena;
 pub mod catalog;
+pub mod checkpoint;
 pub mod dense;
 pub mod engine;
 pub mod error;
@@ -43,8 +47,9 @@ pub mod simgraph;
 pub mod work;
 
 pub use arena::{ArenaEngine, ArenaMbfAlgorithm};
+pub use checkpoint::{Checkpoint, CheckpointPolicy};
 pub use dense::{DenseEngine, DenseMbfAlgorithm, SwitchThresholds, SwitchingEngine};
 pub use engine::{EngineStrategy, MbfAlgorithm, MbfEngine, MbfRun};
-pub use error::{Degradation, RunError, RunReport};
+pub use error::{Degradation, RecoveryAttempt, RecoveryPolicy, RunError, RunReport, Supervisor};
 pub use simgraph::{LevelAssignment, SimulatedGraph};
 pub use work::WorkStats;

@@ -469,10 +469,37 @@ pub fn oracle_run_with_schedule<A>(
 where
     A: MbfAlgorithm<S = MinPlus>,
 {
-    let mut states = initial_states(alg, sim.augmented().n());
+    let states = initial_states(alg, sim.augmented().n());
+    match oracle_loop(alg, sim, h, strategy, carry_over, states, 0, |_, _| Ok(())) {
+        Ok(run) => run,
+        Err(e) => unreachable!("no-op round hook cannot fail: {e}"),
+    }
+}
+
+/// The oracle's fixpoint loop, shared by [`oracle_run_with_schedule`]
+/// and the checkpoint-resume drivers: iterates from `states` (already
+/// past `executed` simulated iterations) up to `h` total, calling
+/// `on_round(round, states)` after every round that changed something.
+/// Resuming from a recorded `(states, executed)` pair with fresh
+/// scratch is bit-identical to the uninterrupted run: an unprimed level
+/// rewrites wholesale on its first round, which the carry-over schedule
+/// already proves equivalent to the diffing restart.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn oracle_loop<A>(
+    alg: &A,
+    sim: &SimulatedGraph,
+    h: usize,
+    strategy: EngineStrategy,
+    carry_over: bool,
+    mut states: Vec<A::M>,
+    mut executed: usize,
+    mut on_round: impl FnMut(usize, &[A::M]) -> Result<(), crate::error::RunError>,
+) -> Result<OracleRun<A::M>, crate::error::RunError>
+where
+    A: MbfAlgorithm<S = MinPlus>,
+{
     let mut scratch = OracleScratch::new(strategy, carry_over);
     let mut work = WorkStats::new();
-    let mut executed = 0;
     let mut fixpoint = false;
     // `x`-slots the previous aggregation changed; `None` = unknown (no
     // previous round), forcing full diffs.
@@ -501,15 +528,16 @@ where
             break;
         }
         prev_changed = Some(changed);
+        on_round(executed, &states)?;
     }
-    OracleRun {
+    Ok(OracleRun {
         states,
         h_iterations: executed,
         fixpoint,
         converged: fixpoint,
         hops: work.iterations,
         work,
-    }
+    })
 }
 
 /// Runs `h` iterations of `alg` on `H` under the default hybrid engine.

@@ -11,8 +11,8 @@
 //!
 //! * **Named injection sites** ([`FaultSite`]) — fixed points in the
 //!   pipeline (engine hop commit, arena span read, dense row kernel,
-//!   oracle level loop, worker-pool chunk, `.gr` parser) that consult
-//!   the registry on every pass.
+//!   oracle level loop, worker-pool chunk, `.gr` parser, snapshot
+//!   encode/decode) that consult the registry on every pass.
 //! * **Fault plans** ([`FaultPlan`]) — a deterministic list of
 //!   injections, each "at the `nth` arrival at `site`, fire `kind`",
 //!   built in code or parsed from the `MTE_FAULT_PLAN` environment
@@ -71,6 +71,16 @@ pub enum FaultSite {
     WorkerChunk,
     /// `read_gr`, before any input is consumed.
     GrParser,
+    /// `mte_persist` snapshot encoding, after the sections are
+    /// serialized but before the bytes leave the encoder — an injected
+    /// `io` fault here corrupts the encoded image (torn write, bit
+    /// flip, or zeroed magic, chosen deterministically from the image
+    /// length).
+    SnapshotWrite,
+    /// `mte_persist` snapshot decoding, before any byte is parsed — an
+    /// injected `io` fault here surfaces as a typed
+    /// `SnapshotError::Io`, absorbed like the parser's.
+    SnapshotRead,
 }
 
 /// The **single source of truth** for site spec names: one `(site,
@@ -80,13 +90,15 @@ pub enum FaultSite {
 /// spelling. The `fault-site-registry` rule of `cargo xtask analyze`
 /// parses this table and cross-checks every `FaultSite::…` reference and
 /// every plan-spec string literal in the workspace against it.
-pub const SITE_NAMES: [(FaultSite, &str); 6] = [
+pub const SITE_NAMES: [(FaultSite, &str); 8] = [
     (FaultSite::EngineHopCommit, "engine_hop_commit"),
     (FaultSite::ArenaSpanRead, "arena_span_read"),
     (FaultSite::DenseRowKernel, "dense_row_kernel"),
     (FaultSite::OracleLevelLoop, "oracle_level_loop"),
     (FaultSite::WorkerChunk, "worker_chunk"),
     (FaultSite::GrParser, "gr_parser"),
+    (FaultSite::SnapshotWrite, "snapshot_write"),
+    (FaultSite::SnapshotRead, "snapshot_read"),
 ];
 
 /// The [`SITE_NAMES`] counterpart for [`FaultKind`] spec names.
@@ -113,13 +125,15 @@ const fn site_row(site: FaultSite, i: usize) -> usize {
 impl FaultSite {
     /// Every site, for exhaustive harness sweeps (derived from
     /// [`SITE_NAMES`]).
-    pub const ALL: [FaultSite; 6] = [
+    pub const ALL: [FaultSite; 8] = [
         SITE_NAMES[0].0,
         SITE_NAMES[1].0,
         SITE_NAMES[2].0,
         SITE_NAMES[3].0,
         SITE_NAMES[4].0,
         SITE_NAMES[5].0,
+        SITE_NAMES[6].0,
+        SITE_NAMES[7].0,
     ];
 
     /// The spec name used by [`FaultPlan::parse`], read from

@@ -1,0 +1,61 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the same
+//! checksum gzip and PNG use. Hand-rolled: the build environment is
+//! offline and the workspace vendors no checksum crate, and 30 lines of
+//! table-driven CRC beat a dependency anyway.
+
+/// Byte-indexed lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32 check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = crc32(b"snapshot payload");
+        let mut flipped = b"snapshot payload".to_vec();
+        for i in 0..flipped.len() * 8 {
+            flipped[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&flipped), base, "bit {i} undetected");
+            flipped[i / 8] ^= 1 << (i % 8);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Typed snapshot-load errors. Every way a snapshot can be bad — torn
+//! write, bit flip, truncation, version skew, hand-crafted garbage —
+//! maps to a variant here; no input to the decoder panics
+//! (`tests/snapshot_corpus.rs` fuzzes this contract).
+
+use std::fmt;
+
+/// Why a snapshot could not be written or loaded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The underlying file operation failed (open, read, write, fsync,
+    /// rename) — or an injected `snapshot_read` I/O fault.
+    Io(String),
+    /// The file does not start with the snapshot magic: not a snapshot,
+    /// or a torn/zeroed header.
+    BadMagic,
+    /// The format version is newer (or garbage) — refuse rather than
+    /// misread.
+    UnsupportedVersion {
+        /// The version field as found on disk.
+        found: u32,
+    },
+    /// The file ends mid-structure.
+    Truncated {
+        /// What the decoder was reading when the bytes ran out.
+        context: &'static str,
+    },
+    /// A checksum does not match its payload: bit rot or a torn write.
+    CrcMismatch {
+        /// Section tag whose payload failed (`0` = the whole-file
+        /// checksum in the header).
+        section: u32,
+    },
+    /// The bytes parse but violate a structural invariant (unsorted
+    /// entries, NaN distances, non-permutation ranks, a tree that is
+    /// not a tree, …).
+    Malformed(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O failed: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(f, "unsupported snapshot version {found}")
+            }
+            SnapshotError::Truncated { context } => {
+                write!(f, "snapshot truncated while reading {context}")
+            }
+            SnapshotError::CrcMismatch { section } => {
+                if *section == 0 {
+                    write!(f, "snapshot file checksum mismatch")
+                } else {
+                    write!(f, "snapshot section {section} checksum mismatch")
+                }
+            }
+            SnapshotError::Malformed(what) => write!(f, "malformed snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}

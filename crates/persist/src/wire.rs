@@ -1,0 +1,95 @@
+//! Little-endian wire primitives. Everything in a snapshot is built
+//! from four atoms — `u32`, `u64`, `f64` (IEEE bits), and
+//! length-prefixed repetition — written LE regardless of host order, so
+//! snapshots are portable and roundtrips are bit-exact.
+
+use crate::error::SnapshotError;
+
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Bounded cursor over a decoded payload. Every read is
+/// length-checked: running off the end is a typed
+/// [`SnapshotError::Truncated`], never a slice panic.
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    /// Remaining unread bytes — decoders reject trailing garbage with
+    /// this.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, len: usize, context: &'static str) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < len {
+            return Err(SnapshotError::Truncated { context });
+        }
+        let slice = &self.bytes[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    /// A raw byte run of known length.
+    pub fn bytes(&mut self, len: usize, context: &'static str) -> Result<&'a [u8], SnapshotError> {
+        self.take(len, context)
+    }
+
+    pub fn u8(&mut self, context: &'static str) -> Result<u8, SnapshotError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    pub fn u32(&mut self, context: &'static str) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, context)?.try_into().unwrap(),
+        ))
+    }
+
+    pub fn u64(&mut self, context: &'static str) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, context)?.try_into().unwrap(),
+        ))
+    }
+
+    pub fn f64(&mut self, context: &'static str) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    /// A length prefix about to drive a loop of `min_item_bytes`-sized
+    /// reads. Checked against the bytes actually left, so a corrupted
+    /// `u64::MAX` count fails fast as [`SnapshotError::Truncated`]
+    /// instead of attempting a giant allocation.
+    pub fn count(
+        &mut self,
+        min_item_bytes: usize,
+        context: &'static str,
+    ) -> Result<usize, SnapshotError> {
+        let n = self.u64(context)?;
+        let n = usize::try_from(n).map_err(|_| SnapshotError::Truncated { context })?;
+        if n.checked_mul(min_item_bytes)
+            .is_none_or(|need| need > self.remaining())
+        {
+            return Err(SnapshotError::Truncated { context });
+        }
+        Ok(n)
+    }
+}

@@ -17,7 +17,12 @@
 //!   the MBF oracle (§5), approximate metrics (§6) and FRT sampling (§7),
 //! * [`congest`] — Congest-model simulator and distributed LE-list
 //!   algorithms (§8),
-//! * [`apps`] — k-median (§9) and buy-at-bulk network design (§10).
+//! * [`apps`] — k-median (§9) and buy-at-bulk network design (§10),
+//! * [`persist`] — crash-safe snapshot store: checksummed binary
+//!   snapshots of engine/oracle state, LE lists and FRT trees, with
+//!   atomic writes and typed load errors; pairs with
+//!   [`core::checkpoint`] (resumable runs) and the recovery supervisor
+//!   in [`core::error`].
 //!
 //! ## Engine architecture
 //!
@@ -98,6 +103,7 @@ pub use mte_congest as congest;
 pub use mte_core as core;
 pub use mte_faults as faults;
 pub use mte_graph as graph;
+pub use mte_persist as persist;
 
 /// Convenient re-exports of the most frequently used items.
 pub mod prelude {

@@ -443,3 +443,226 @@ fn fault_plan_spec_round_trip() {
     // analyze: fault-spec-ok(negative parse test)
     assert!(FaultPlan::parse("engine_hop_commit:no_such_kind:0").is_err());
 }
+
+// ---------------------------------------------------------------------
+// Snapshot fault sites (PR 8): `snapshot_write` corrupts the encoded
+// image, `snapshot_read` injects a load failure. Same contract as the
+// engine sites — typed error or bit-identical — plus the recovery
+// ladder must absorb them within its budget.
+// ---------------------------------------------------------------------
+
+use metric_tree_embedding::core::checkpoint::{
+    try_resume_run_to_fixpoint_with, try_run_checkpointed_with, Checkpoint, CheckpointPolicy,
+};
+use metric_tree_embedding::core::{RecoveryPolicy, Supervisor};
+use metric_tree_embedding::persist::{SnapshotReader, SnapshotWriter};
+use std::cell::RefCell;
+
+/// A run that round-trips every checkpoint through the full persistence
+/// stack (encode → decode), then re-verifies the last good checkpoint by
+/// resuming from it. Exercises both snapshot sites once per capture.
+fn checkpointed_roundtrip_run(g: &Graph) -> Result<(Vec<DistanceMap>, RunReport), RunError> {
+    let alg = SourceDetection::k_ssp(g.n(), 4);
+    let cap = g.n() + 1;
+    let strategy = EngineStrategy::default();
+    let last_good: RefCell<Option<Checkpoint<DistanceMap>>> = RefCell::new(None);
+    let (run, report) = try_run_checkpointed_with(
+        &alg,
+        g,
+        cap,
+        strategy,
+        CheckpointPolicy::every_hops(1),
+        |ckpt| {
+            let image = SnapshotWriter::new().put_checkpoint(ckpt).encode();
+            let decoded = SnapshotReader::decode(&image)
+                .and_then(|r| r.checkpoint())
+                .map_err(|e| RunError::SnapshotCorrupt {
+                    detail: e.to_string(),
+                })?;
+            *last_good.borrow_mut() = Some(decoded);
+            Ok(())
+        },
+    )?;
+    if let Some(ckpt) = last_good.into_inner() {
+        let (resumed, _) = try_resume_run_to_fixpoint_with(&alg, g, cap, strategy, &ckpt)?;
+        assert_eq!(
+            resumed.states, run.states,
+            "resume from a decoded checkpoint diverged"
+        );
+        assert_eq!(resumed.iterations, run.iterations);
+    }
+    Ok((run.states, report))
+}
+
+/// The snapshot-site sweep: both sites × kinds × arrival index × thread
+/// count either error typed or leave the checkpointed run bit-identical
+/// to the clean baseline.
+#[test]
+fn snapshot_faults_error_typed_or_leave_output_bit_identical() {
+    let _guard = FaultGuard::acquire();
+    let g = fixture_graph();
+
+    let mut baselines = Vec::new();
+    for threads in [1usize, 4] {
+        let g = &g;
+        let clean = with_threads(threads, move || checkpointed_roundtrip_run(g))
+            .unwrap_or_else(|e| panic!("clean checkpointed run failed: {e}"));
+        baselines.push(clean.0);
+    }
+    assert_eq!(baselines[0], baselines[1], "clean thread divergence");
+
+    let wired = [
+        (FaultSite::SnapshotWrite, FaultKind::Panic),
+        (FaultSite::SnapshotWrite, FaultKind::Io),
+        (FaultSite::SnapshotRead, FaultKind::Panic),
+        (FaultSite::SnapshotRead, FaultKind::Io),
+    ];
+    for (site, kind) in wired {
+        for nth in [0u64, 3, 1_000_000] {
+            for (ti, threads) in [1usize, 4].into_iter().enumerate() {
+                faults::install(FaultPlan::single(site, kind, nth));
+                let g = &g;
+                let outcome = with_threads(threads, move || checkpointed_roundtrip_run(g));
+                faults::clear();
+                match outcome {
+                    Err(RunError::InjectedFault { .. })
+                    | Err(RunError::Panicked { .. })
+                    | Err(RunError::SnapshotCorrupt { .. }) => {}
+                    Err(other) => panic!(
+                        "{site}/{kind}/nth={nth}/t={threads}: unexpected error class {other:?}"
+                    ),
+                    Ok((states, _)) => assert_eq!(
+                        states, baselines[ti],
+                        "{site}/{kind}/nth={nth}/t={threads}: Ok run diverged"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// The supervisor's retry rung: a one-shot engine fault kills the
+/// primary attempt after checkpoints were captured; the retry resumes
+/// from the last good checkpoint and must reproduce the clean run bit
+/// for bit, within the policy's attempt budget, with the ladder
+/// recorded.
+#[test]
+fn supervisor_recovers_from_checkpoint_within_budget() {
+    let _guard = FaultGuard::acquire();
+    let g = fixture_graph();
+    let alg = SourceDetection::k_ssp(g.n(), 4);
+    let cap = g.n() + 1;
+    let strategy = EngineStrategy::default();
+    let clean = try_run_to_fixpoint_with(&alg, &g, cap, strategy).expect("clean run");
+
+    for threads in [1usize, 4] {
+        // One-shot fault on the 4th hop commit: the primary attempt has
+        // checkpoints from hops 1–3 in hand when it dies.
+        faults::install(FaultPlan::single(
+            FaultSite::EngineHopCommit,
+            FaultKind::Panic,
+            3,
+        ));
+        let last_good: Mutex<Option<Checkpoint<DistanceMap>>> = Mutex::new(None);
+        let (g, alg, last_good) = (&g, &alg, &last_good);
+        let outcome = with_threads(threads, move || {
+            Supervisor::new(RecoveryPolicy::default()).run(|attempt| {
+                use metric_tree_embedding::core::RecoveryAttempt;
+                match attempt {
+                    RecoveryAttempt::Primary => try_run_checkpointed_with(
+                        alg,
+                        g,
+                        cap,
+                        strategy,
+                        CheckpointPolicy::every_hops(1),
+                        |ckpt| {
+                            let image = SnapshotWriter::new().put_checkpoint(ckpt).encode();
+                            let decoded = SnapshotReader::decode(&image)
+                                .and_then(|r| r.checkpoint())
+                                .map_err(|e| RunError::SnapshotCorrupt {
+                                    detail: e.to_string(),
+                                })?;
+                            *last_good.lock().unwrap() = Some(decoded);
+                            Ok(())
+                        },
+                    )
+                    .map(|(run, report)| (run.states, report)),
+                    RecoveryAttempt::RetryFromCheckpoint { .. } => {
+                        let ckpt = last_good.lock().unwrap();
+                        let ckpt = ckpt.as_ref().expect("primary captured checkpoints");
+                        try_resume_run_to_fixpoint_with(alg, g, cap, strategy, ckpt)
+                            .map(|(run, report)| (run.states, report))
+                    }
+                    RecoveryAttempt::Scratch => try_run_to_fixpoint_with(alg, g, cap, strategy)
+                        .map(|(run, report)| (run.states, report)),
+                }
+            })
+        });
+        faults::clear();
+        let (states, report) = outcome.expect("supervisor must recover a one-shot fault");
+        assert_eq!(states, clean.0.states, "t={threads}: recovery diverged");
+        assert!(
+            report
+                .degradations
+                .iter()
+                .any(|d| matches!(d, Degradation::RecoveredFromCheckpoint { attempt, .. } if *attempt <= RecoveryPolicy::default().max_retries)),
+            "t={threads}: ladder not recorded: {report:?}"
+        );
+    }
+}
+
+/// The supervisor's scratch rung: a corrupt snapshot load poisons both
+/// the primary attempt and the checkpoint store, so the ladder skips
+/// the retry rung and recomputes from scratch — still bit-identical.
+#[test]
+fn supervisor_falls_back_to_scratch_on_snapshot_corruption() {
+    let _guard = FaultGuard::acquire();
+    let g = fixture_graph();
+    let alg = SourceDetection::k_ssp(g.n(), 4);
+    let cap = g.n() + 1;
+    let strategy = EngineStrategy::default();
+    let clean = try_run_to_fixpoint_with(&alg, &g, cap, strategy).expect("clean run");
+
+    // Every snapshot decode fails: checkpoints are unusable for the
+    // whole test.
+    faults::install(FaultPlan::parse("snapshot_read:io:0:1000000").expect("valid plan"));
+    let result = Supervisor::new(RecoveryPolicy::default()).run(|attempt| {
+        use metric_tree_embedding::core::RecoveryAttempt;
+        match attempt {
+            RecoveryAttempt::Primary => try_run_checkpointed_with(
+                &alg,
+                &g,
+                cap,
+                strategy,
+                CheckpointPolicy::every_hops(1),
+                |ckpt| {
+                    let image = SnapshotWriter::new().put_checkpoint(ckpt).encode();
+                    SnapshotReader::decode(&image)
+                        .and_then(|r| r.checkpoint())
+                        .map_err(|e| RunError::SnapshotCorrupt {
+                            detail: e.to_string(),
+                        })?;
+                    Ok(())
+                },
+            )
+            .map(|(run, report)| (run.states, report)),
+            RecoveryAttempt::RetryFromCheckpoint { .. } => {
+                panic!("retry rung must be skipped when the snapshot store is corrupt")
+            }
+            // Scratch runs without checkpoint sinks, so the armed
+            // snapshot_read plan is never consulted again.
+            RecoveryAttempt::Scratch => try_run_to_fixpoint_with(&alg, &g, cap, strategy)
+                .map(|(run, report)| (run.states, report)),
+        }
+    });
+    faults::clear();
+    let (states, report) = result.expect("scratch rung must succeed");
+    assert_eq!(states, clean.0.states);
+    assert!(
+        report
+            .degradations
+            .iter()
+            .any(|d| matches!(d, Degradation::RecomputedFromScratch { .. })),
+        "scratch rung not recorded: {report:?}"
+    );
+}

@@ -14,7 +14,11 @@
 //!    and no registered site is dead;
 //! 4. **hygiene** — no wall-clock, ad-hoc threading, or non-shim
 //!    randomness in engine/oracle/kernel code, and `Ordering::Relaxed`
-//!    only in allowlisted files.
+//!    only in allowlisted files;
+//! 5. **atomic-write** — no raw `fs::write`/`File::create`/`OpenOptions`
+//!    in engine crates: durable state goes through the crash-safe
+//!    snapshot writer in `crates/persist` (or is waived with
+//!    `// analyze: atomic-write-ok(reason)`).
 
 pub mod lexer;
 pub mod rules;

@@ -1,0 +1,66 @@
+//! Rule family 5: **atomic-write**.
+//!
+//! Durable state must flow through `mte_persist`'s crash-safe writer
+//! (temp sibling + fsync + atomic rename): a raw `std::fs::write` or
+//! `File::create` in engine/oracle/kernel code can tear on crash,
+//! leaving a half-written file the snapshot loader then has to treat as
+//! corruption. The engine crates therefore ban the raw file-creation
+//! entry points outright; `crates/persist` itself (the one place the
+//! atomic protocol lives) and `crates/bench` (artifact dumps, no
+//! recovery story) are outside the scope. A deliberate exception — a
+//! debug dump, say — carries an `// analyze: atomic-write-ok(reason)`
+//! waiver.
+
+use super::Finding;
+use crate::lexer::{has_word, waived, Scan};
+
+pub const RULE: &str = "atomic-write";
+
+/// Crates whose file writes must go through the snapshot store. Same
+/// scope as the hygiene bans; `crates/persist` is deliberately absent.
+const ENGINE_SCOPE: [&str; 4] = [
+    "crates/core/",
+    "crates/algebra/",
+    "crates/graph/",
+    "crates/congest/",
+];
+
+const BANNED: [(&str, &str); 3] = [
+    (
+        "fs::write",
+        "raw whole-file write can tear on crash; durable state goes through \
+         mte_persist::SnapshotWriter::write_to",
+    ),
+    (
+        "File::create",
+        "raw file creation truncates in place and can tear on crash; durable \
+         state goes through mte_persist::SnapshotWriter::write_to",
+    ),
+    (
+        "OpenOptions",
+        "raw file opening bypasses the atomic temp-file + rename protocol; \
+         durable state goes through mte_persist::SnapshotWriter::write_to",
+    ),
+];
+
+pub fn applies(path: &str) -> bool {
+    ENGINE_SCOPE.iter().any(|prefix| path.starts_with(prefix))
+}
+
+pub fn check(path: &str, scan: &Scan, out: &mut Vec<Finding>) {
+    if !applies(path) {
+        return;
+    }
+    for (idx, code) in scan.code.iter().enumerate() {
+        for (needle, why) in BANNED {
+            if has_word(code, needle) && !waived(scan, idx, "atomic-write") {
+                out.push(Finding::new(
+                    RULE,
+                    path,
+                    idx,
+                    format!("`{needle}` in engine/oracle/kernel code: {why}"),
+                ));
+            }
+        }
+    }
+}

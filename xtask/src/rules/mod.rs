@@ -1,5 +1,6 @@
-//! The four rule families of `cargo xtask analyze`.
+//! The five rule families of `cargo xtask analyze`.
 
+pub mod atomic_write;
 pub mod fault_registry;
 pub mod hygiene;
 pub mod nondet_iter;

@@ -1,0 +1,15 @@
+//! Known-bad fixture for the atomic-write rule: every raw file-creation
+//! entry point, plus one waived use that must stay silent.
+
+use std::fs::{self, File, OpenOptions};
+
+fn tear_prone_dump(bytes: &[u8]) -> std::io::Result<()> {
+    fs::write("state.bin", bytes)?; // finding: fs::write
+    let _f = File::create("state2.bin")?; // finding: File::create
+    let _g = OpenOptions::new().write(true).open("state3.bin")?; // finding: OpenOptions
+    // A string mention must not trip the lexer-masked scan:
+    let _doc = "call fs::write here";
+    // analyze: atomic-write-ok(debug dump, never read back)
+    fs::write("debug.txt", bytes)?;
+    Ok(())
+}

@@ -4,7 +4,7 @@
 use std::path::Path;
 
 use xtask::lexer::{self, Scan};
-use xtask::rules::{fault_registry, hygiene, nondet_iter, unsafe_safety, Finding};
+use xtask::rules::{atomic_write, fault_registry, hygiene, nondet_iter, unsafe_safety, Finding};
 
 fn fixture(name: &str) -> Scan {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -196,6 +196,42 @@ fn hygiene_allowlist_and_scope() {
         &mut findings,
     );
     assert!(findings.is_empty(), "got: {findings:?}");
+}
+
+#[test]
+fn atomic_write_fires_on_bad_fixture_and_respects_waiver() {
+    let scan = fixture("atomic_write_bad.rs");
+    let mut findings: Vec<Finding> = Vec::new();
+    atomic_write::check(AS_IF, &scan, &mut findings);
+    // The `use` line (File::create is absent there, but OpenOptions is
+    // imported), plus the three raw-write sites; the waived `fs::write`
+    // and the string mention stay silent.
+    for needle in ["fs::write", "File::create", "OpenOptions"] {
+        assert!(
+            findings.iter().any(|f| f.msg.contains(needle)),
+            "missing `{needle}` finding in: {findings:?}"
+        );
+    }
+    let waived_line = scan
+        .lines
+        .iter()
+        .position(|l| l.contains("debug.txt"))
+        .unwrap()
+        + 1;
+    assert!(
+        findings.iter().all(|f| f.line != waived_line),
+        "waived write tripped: {findings:?}"
+    );
+}
+
+#[test]
+fn atomic_write_scoped_outside_persist_and_bench() {
+    let scan = fixture("atomic_write_bad.rs");
+    for out_of_scope in ["crates/persist/src/lib.rs", "crates/bench/src/fixture.rs"] {
+        let mut findings: Vec<Finding> = Vec::new();
+        atomic_write::check(out_of_scope, &scan, &mut findings);
+        assert!(findings.is_empty(), "{out_of_scope} tripped: {findings:?}");
+    }
 }
 
 #[test]
