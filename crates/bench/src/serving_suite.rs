@@ -1,0 +1,298 @@
+//! The serving benchmark suite: point queries and batched dense-block
+//! sweeps against the frozen distance oracle, with machine-readable
+//! output.
+//!
+//! Run via `exp_serving`; emits `BENCH_serving.json` so successive PRs
+//! can track the serving layer's trajectory: queries per second, the
+//! p99 of per-query *work units* (the deterministic deadline currency —
+//! stable across machines, unlike wall time), the cache hit rate, and
+//! the shed/degraded counts from a deliberately hostile segment
+//! (zero-capacity admission, floor-budget deadlines). Every measured
+//! answer is cross-checked against [`FrtTree::leaf_distance`] before a
+//! number is recorded — a benchmark of a wrong answer is worthless.
+
+use crate::tables::{f, Table};
+use mte_core::frt::{le_lists_direct, FrtTree, Ranks};
+use mte_graph::generators::{gnm_graph, grid_graph};
+use mte_graph::Graph;
+use mte_serving::{CancelToken, Oracle, OracleArtifact, ServeConfig, ServeError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured (graph, mode) cell.
+#[derive(Clone, Debug)]
+pub struct ServingCase {
+    /// Graph family label.
+    pub graph: String,
+    /// Node count.
+    pub n: usize,
+    /// Undirected edge count.
+    pub m: usize,
+    /// `point` or `batch`.
+    pub mode: String,
+    /// Distance answers served.
+    pub answers: usize,
+    /// Wall time of the serving run, in milliseconds.
+    pub wall_ms: f64,
+    /// Answers per second.
+    pub qps: f64,
+    /// 99th percentile of per-query work units (per-source units for
+    /// batch sweeps).
+    pub p99_work: u64,
+    /// Cache hits / probes over the run (0 for batch mode: sweeps
+    /// bypass the point cache).
+    pub cache_hit_rate: f64,
+    /// Queries shed typed by the zero-capacity admission segment.
+    pub shed: u64,
+    /// Non-exact answers produced by the floor-budget segment, each
+    /// with its ladder falls recorded.
+    pub degraded: u64,
+}
+
+/// The serving catalog: the engine suite's sparse workload plus the
+/// grid (shallow tree, long lists — the opposite serving profile).
+pub fn serving_catalog() -> Vec<(String, Graph)> {
+    let mut rng = StdRng::seed_from_u64(0x5E4B);
+    vec![
+        (
+            "gnm n=2000 m=6000".into(),
+            gnm_graph(2000, 6000, 1.0..50.0, &mut rng),
+        ),
+        ("grid 40x40".into(), grid_graph(40, 40, 1.0..5.0, &mut rng)),
+    ]
+}
+
+fn freeze(g: &Graph, seed: u64) -> OracleArtifact {
+    let ranks = Arc::new(Ranks::sample(g.n(), &mut StdRng::seed_from_u64(seed)));
+    let (lists, _, _) = le_lists_direct(g, &ranks);
+    let tree = FrtTree::from_le_lists(&lists, &ranks, 1.3, g.min_weight());
+    OracleArtifact::from_parts(lists, Ranks::clone(&ranks), tree).expect("parts are valid")
+}
+
+fn p99(mut samples: Vec<u64>) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    samples[(samples.len() - 1).min(samples.len() * 99 / 100)]
+}
+
+/// The hostile segment shared by both modes: a zero-capacity oracle
+/// sheds everything typed, a floor-budget oracle degrades everything —
+/// both countable, neither allowed to panic or answer wrong.
+fn stress_counts(artifact: &OracleArtifact, pairs: &[(u32, u32)]) -> (u64, u64) {
+    let shed_all = Oracle::with_config(
+        artifact.clone(),
+        ServeConfig {
+            max_in_flight: 0,
+            ..ServeConfig::default()
+        },
+    );
+    let mut shed = 0u64;
+    for &(u, v) in pairs {
+        match shed_all.distance(u, v) {
+            Err(ServeError::Overloaded { .. }) => shed += 1,
+            other => panic!("zero capacity must shed typed, got {other:?}"),
+        }
+    }
+    let floor = Oracle::with_config(
+        artifact.clone(),
+        ServeConfig {
+            query_budget: 3,
+            ..ServeConfig::default()
+        },
+    );
+    let mut degraded = 0u64;
+    for &(u, v) in pairs {
+        match floor.distance(u, v) {
+            Ok(answer) => {
+                assert!(!answer.exact, "3 work units cannot buy an exact answer");
+                assert!(!answer.degradations.is_empty(), "ladder falls unrecorded");
+                degraded += 1;
+            }
+            Err(ServeError::DeadlineExceeded { .. }) => {}
+            other => panic!("floor budget must degrade or deadline, got {other:?}"),
+        }
+    }
+    (shed, degraded)
+}
+
+/// Measures both modes on every catalog graph.
+pub fn serving_suite() -> Vec<ServingCase> {
+    serving_suite_sized(20_000, 64)
+}
+
+/// Parameterized core (small sizes keep the self-test fast).
+pub fn serving_suite_sized(point_queries: usize, batch_sources: usize) -> Vec<ServingCase> {
+    let mut cases = Vec::new();
+    for (label, g) in serving_catalog() {
+        let artifact = freeze(&g, 0x5E4C);
+        let n = g.n() as u32;
+        let mut rng = StdRng::seed_from_u64(0x5E4D);
+        let pairs: Vec<(u32, u32)> = (0..point_queries)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .collect();
+        let stress_pairs = &pairs[..pairs.len().min(512)];
+        let (shed, degraded) = stress_counts(&artifact, stress_pairs);
+
+        // Point mode.
+        let oracle = Oracle::new(artifact.clone());
+        let mut work = Vec::with_capacity(pairs.len());
+        let start = Instant::now();
+        for &(u, v) in &pairs {
+            let answer = oracle.distance(u, v).expect("default budget serves");
+            work.push(answer.work);
+        }
+        let wall = start.elapsed().as_secs_f64() * 1e3;
+        // Spot-check against the reference before recording numbers.
+        for &(u, v) in &pairs[..pairs.len().min(256)] {
+            let served = oracle.distance(u, v).expect("recheck").value;
+            assert!(
+                served == artifact.tree().leaf_distance(u, v),
+                "point answer diverged from leaf_distance"
+            );
+        }
+        let stats = oracle.cache_stats();
+        let probes = stats.hits + stats.misses;
+        cases.push(ServingCase {
+            graph: label.clone(),
+            n: g.n(),
+            m: g.m(),
+            mode: "point".into(),
+            answers: pairs.len(),
+            wall_ms: wall,
+            qps: pairs.len() as f64 / (wall / 1e3),
+            p99_work: p99(work),
+            cache_hit_rate: if probes == 0 {
+                0.0
+            } else {
+                stats.hits as f64 / probes as f64
+            },
+            shed,
+            degraded,
+        });
+
+        // Batch mode: k sources × all n targets through the dense
+        // block kernel.
+        let sources: Vec<u32> = (0..batch_sources as u32).map(|i| (i * 37) % n).collect();
+        let oracle = Oracle::new(artifact.clone());
+        let start = Instant::now();
+        let batch = oracle
+            .batch_distances(&sources, &CancelToken::new())
+            .expect("batch budget serves");
+        let wall = start.elapsed().as_secs_f64() * 1e3;
+        for (i, &s) in sources.iter().enumerate().take(8) {
+            for v in (0..n).step_by(97) {
+                assert!(
+                    batch.distances[i][v as usize] == artifact.tree().leaf_distance(s, v),
+                    "batch answer diverged from leaf_distance"
+                );
+            }
+        }
+        let answers = sources.len() * g.n();
+        cases.push(ServingCase {
+            graph: label,
+            n: g.n(),
+            m: g.m(),
+            mode: "batch".into(),
+            answers,
+            wall_ms: wall,
+            qps: answers as f64 / (wall / 1e3),
+            p99_work: batch.work / sources.len().max(1) as u64,
+            cache_hit_rate: 0.0,
+            shed,
+            degraded,
+        });
+    }
+    cases
+}
+
+/// Renders the human-readable table.
+pub fn serving_suite_table(cases: &[ServingCase]) -> Table {
+    let mut table = Table::new(
+        "serving suite: frozen-oracle queries (point ladder vs dense batch)",
+        &[
+            "graph", "n", "m", "mode", "answers", "wall ms", "qps", "p99 work", "hit rate", "shed",
+            "degraded",
+        ],
+    );
+    for c in cases {
+        table.push(vec![
+            c.graph.clone(),
+            c.n.to_string(),
+            c.m.to_string(),
+            c.mode.clone(),
+            c.answers.to_string(),
+            f(c.wall_ms, 2),
+            f(c.qps, 0),
+            c.p99_work.to_string(),
+            f(c.cache_hit_rate, 3),
+            c.shed.to_string(),
+            c.degraded.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Serializes the suite to the `BENCH_serving.json` schema (hand-rolled;
+/// the workspace carries no serialization dependency).
+pub fn serving_suite_json(cases: &[ServingCase]) -> String {
+    use crate::engine_suite::json_escape;
+    let mut out = String::from("{\n  \"suite\": \"serving\",\n  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"graph\": \"{}\", \"n\": {}, \"m\": {}, \"mode\": \"{}\", ",
+                "\"answers\": {}, \"wall_ms\": {:.3}, \"qps\": {:.1}, ",
+                "\"p99_work\": {}, \"cache_hit_rate\": {:.4}, ",
+                "\"shed\": {}, \"degraded\": {}}}{}\n"
+            ),
+            json_escape(&c.graph),
+            c.n,
+            c.m,
+            json_escape(&c.mode),
+            c.answers,
+            c.wall_ms,
+            c.qps,
+            c.p99_work,
+            c.cache_hit_rate,
+            c.shed,
+            c.degraded,
+            if i + 1 == cases.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature suite run exercising measurement, stress counting,
+    /// table, and JSON paths end to end.
+    #[test]
+    fn mini_suite_measures_and_serializes() {
+        let cases = serving_suite_sized(200, 4);
+        assert_eq!(cases.len(), 2 * serving_catalog().len());
+        for c in &cases {
+            assert!(c.answers > 0);
+            assert!(c.qps > 0.0);
+            assert!(c.shed > 0, "{}: stress segment shed nothing", c.graph);
+            assert!(
+                c.degraded > 0,
+                "{}: stress segment degraded nothing",
+                c.graph
+            );
+        }
+        let point = cases.iter().find(|c| c.mode == "point").expect("point row");
+        assert!(point.p99_work > 0);
+        let json = serving_suite_json(&cases);
+        assert!(json.contains("\"suite\": \"serving\""));
+        assert!(json.contains("\"mode\": \"batch\""));
+        let table = serving_suite_table(&cases).render();
+        assert!(table.contains("qps"));
+    }
+}

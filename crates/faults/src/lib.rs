@@ -81,6 +81,18 @@ pub enum FaultSite {
     /// injected `io` fault here surfaces as a typed
     /// `SnapshotError::Io`, absorbed like the parser's.
     SnapshotRead,
+    /// `mte_serving` oracle-artifact load, before any section is
+    /// decoded — an injected `io` fault surfaces as a typed
+    /// `ServeError::Artifact`, absorbed like `snapshot_read`'s.
+    ServeArtifactRead,
+    /// `mte_serving` distance-cache read, on every cache probe — an
+    /// injected `poison_nan` fault corrupts the probed entry, which the
+    /// poisoned-entry scan must detect and absorb as a cache miss.
+    ServeCacheEntry,
+    /// `mte_serving` per-query budget checkpoint, charged once per
+    /// work-unit batch — an injected panic aborts the query mid-ladder
+    /// (absorbed into a typed `ServeError` by the guarded front-end).
+    ServeQueryBudget,
 }
 
 /// The **single source of truth** for site spec names: one `(site,
@@ -90,7 +102,7 @@ pub enum FaultSite {
 /// spelling. The `fault-site-registry` rule of `cargo xtask analyze`
 /// parses this table and cross-checks every `FaultSite::…` reference and
 /// every plan-spec string literal in the workspace against it.
-pub const SITE_NAMES: [(FaultSite, &str); 8] = [
+pub const SITE_NAMES: [(FaultSite, &str); 11] = [
     (FaultSite::EngineHopCommit, "engine_hop_commit"),
     (FaultSite::ArenaSpanRead, "arena_span_read"),
     (FaultSite::DenseRowKernel, "dense_row_kernel"),
@@ -99,6 +111,9 @@ pub const SITE_NAMES: [(FaultSite, &str); 8] = [
     (FaultSite::GrParser, "gr_parser"),
     (FaultSite::SnapshotWrite, "snapshot_write"),
     (FaultSite::SnapshotRead, "snapshot_read"),
+    (FaultSite::ServeArtifactRead, "serve_artifact_read"),
+    (FaultSite::ServeCacheEntry, "serve_cache_entry"),
+    (FaultSite::ServeQueryBudget, "serve_query_budget"),
 ];
 
 /// The [`SITE_NAMES`] counterpart for [`FaultKind`] spec names.
@@ -125,7 +140,7 @@ const fn site_row(site: FaultSite, i: usize) -> usize {
 impl FaultSite {
     /// Every site, for exhaustive harness sweeps (derived from
     /// [`SITE_NAMES`]).
-    pub const ALL: [FaultSite; 8] = [
+    pub const ALL: [FaultSite; 11] = [
         SITE_NAMES[0].0,
         SITE_NAMES[1].0,
         SITE_NAMES[2].0,
@@ -134,6 +149,9 @@ impl FaultSite {
         SITE_NAMES[5].0,
         SITE_NAMES[6].0,
         SITE_NAMES[7].0,
+        SITE_NAMES[8].0,
+        SITE_NAMES[9].0,
+        SITE_NAMES[10].0,
     ];
 
     /// The spec name used by [`FaultPlan::parse`], read from

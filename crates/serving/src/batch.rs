@@ -1,0 +1,152 @@
+//! Batched distance sweeps through the dense min-plus block kernel.
+//!
+//! A batch asks for the tree distance from `k` source vertices to
+//! *every* vertex. Instead of `k·n` pointer-chasing climbs, the sweep
+//! runs one dense pass over the tree:
+//!
+//! 1. **Up-pass** — for each source, walk its leaf-to-root chain and
+//!    record, per tree node, the *level* at which the chain passes
+//!    through it (a [`MinPlus`] cell; untouched nodes stay at ⊥ = ∞).
+//! 2. **Down-pass** — one forward sweep over the node-major
+//!    [`DenseBlock`] (parents precede children in the tree's node
+//!    layout), relaxing each parent row into its child's row with
+//!    weight `0`. After the sweep, the cell at (leaf of `v`, source
+//!    `i`) holds the level of the lowest common ancestor of `v` and
+//!    source `i` — computed with only `min` and `+0.0`, both exact in
+//!    IEEE arithmetic.
+//! 3. **Map** — the LCA level indexes the artifact's climb table,
+//!    which replays `node_distance`'s accumulation order; the result
+//!    is bit-identical to a point query's leaf-LCA climb.
+//!
+//! The sweep is metered (one work unit per chain step and per dense
+//! row) and cooperatively cancellable between row strides.
+
+use crate::artifact::OracleArtifact;
+use crate::error::ServeError;
+use crate::query::Meter;
+use mte_algebra::dense::{relax_row_into, DenseBlock};
+use mte_algebra::MinPlus;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// How many dense rows the down-pass relaxes between cancellation
+/// checks. Small enough to stop promptly, large enough that the atomic
+/// load never shows up in a profile.
+const CANCEL_STRIDE: usize = 64;
+
+/// A cooperative cancellation token: cloned into a batch sweep, which
+/// polls it between row strides and abandons with a typed
+/// [`ServeError::Cancelled`] when set.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, unset token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+/// One batched sweep: `out[i][v]` = exact tree distance from
+/// `sources[i]` to vertex `v`, bit-identical to
+/// [`mte_core::frt::FrtTree::leaf_distance`]. The caller validates the
+/// source ids.
+pub(crate) fn batch_tree_distances(
+    artifact: &OracleArtifact,
+    sources: &[u32],
+    token: &CancelToken,
+    meter: &mut Meter,
+) -> Result<Vec<Vec<f64>>, ServeError> {
+    let tree = artifact.tree();
+    let climb = artifact.climb();
+    let n = artifact.n();
+    let k = sources.len();
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let budget = meter.budget();
+    let budget_err = move || ServeError::DeadlineExceeded { budget };
+
+    let mut block = DenseBlock::<MinPlus>::new(tree.len(), k);
+    let cols = block.cols();
+    let nodes = tree.nodes();
+
+    // Up-pass: mark each source's leaf-to-root chain with the level at
+    // which the chain enters each node.
+    for (i, &s) in sources.iter().enumerate() {
+        let mut a = tree.leaf(s);
+        loop {
+            meter.charge(1).map_err(|_| budget_err())?;
+            let cell = &mut block.row_mut(a as u32)[i];
+            let level = MinPlus::new(nodes[a].level as f64);
+            if level.0 < cell.0 {
+                *cell = level;
+            }
+            if a == 0 {
+                break;
+            }
+            a = nodes[a].parent;
+        }
+    }
+
+    // Down-pass: parents precede children in the node layout (the root
+    // is index 0), so a single forward sweep propagates every chain
+    // mark down to all leaves below it. Relaxing with weight 0 keeps
+    // the arithmetic exact: `min` and `+0.0` never round.
+    let values = block.values_mut();
+    for idx in 1..tree.len() {
+        if idx % CANCEL_STRIDE == 0 && token.is_cancelled() {
+            return Err(ServeError::Cancelled { rows_done: idx });
+        }
+        meter.charge(1).map_err(|_| budget_err())?;
+        let parent = nodes[idx].parent;
+        let (upper, lower) = values.split_at_mut(idx * cols);
+        relax_row_into(
+            &mut lower[..cols],
+            &upper[parent * cols..(parent + 1) * cols],
+            MinPlus::new(0.0),
+        );
+    }
+
+    // Map: LCA level → climbed distance, through the climb table that
+    // replays node_distance's exact fold.
+    let mut out = vec![vec![0.0f64; n]; k];
+    for v in 0..n as u32 {
+        let leaf_row = block.row(tree.leaf(v) as u32);
+        for (i, row) in out.iter_mut().enumerate() {
+            let level = leaf_row[i].0.value();
+            row[v as usize] = if level.is_finite() && (level as usize) < climb.len() {
+                climb[level as usize]
+            } else {
+                f64::INFINITY
+            };
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_is_shared_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+    }
+}

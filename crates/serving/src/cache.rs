@@ -1,0 +1,192 @@
+//! Sharded LRU distance cache with poisoned-entry detection.
+//!
+//! Only rung-2 (exact leaf-LCA) answers are inserted, so a healthy hit
+//! is always bit-identical to [`mte_core::frt::FrtTree::leaf_distance`].
+//! Every probe re-checks the stored value: a non-finite payload —
+//! whether from genuine memory corruption or an injected
+//! `serve_cache_entry` `poison_nan` fault — is evicted on the spot and
+//! reported as a `Probe::PoisonEvicted` miss, so a poisoned cache can
+//! degrade throughput but never an answer.
+
+use mte_faults::{check_for, check_handled, trigger_panic, FaultKind, FaultSite};
+use std::sync::Mutex;
+
+/// Outcome of a cache probe.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum Probe {
+    /// A healthy entry; the cached exact distance.
+    Hit(f64),
+    /// The entry was present but carried a non-finite value; it has
+    /// been evicted and the caller must recompute.
+    PoisonEvicted,
+    /// No entry.
+    Miss,
+}
+
+/// Aggregated cache counters (monotone over the oracle's lifetime).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Healthy probe hits.
+    pub hits: u64,
+    /// Probes that found nothing.
+    pub misses: u64,
+    /// Probes that found a poisoned entry and evicted it.
+    pub poison_evicted: u64,
+    /// Entries currently resident across all shards.
+    pub entries: usize,
+}
+
+/// One shard: a small LRU list, most-recently-used at the back.
+#[derive(Debug, Default)]
+struct Shard {
+    entries: Vec<(u64, f64)>,
+    hits: u64,
+    misses: u64,
+    poisoned: u64,
+}
+
+/// The sharded cache. Shard count and per-shard capacity are fixed at
+/// construction; locking is per shard, so concurrent queries on
+/// different shards never contend.
+#[derive(Debug)]
+pub(crate) struct ShardedCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard: usize,
+}
+
+/// Canonical unordered-pair key for vertices `u`, `v` of an
+/// `n`-vertex artifact.
+#[inline]
+pub(crate) fn pair_key(u: u32, v: u32, n: usize) -> u64 {
+    let (lo, hi) = if u <= v { (u, v) } else { (v, u) };
+    lo as u64 * n as u64 + hi as u64
+}
+
+impl ShardedCache {
+    pub(crate) fn new(shards: usize, per_shard: usize) -> ShardedCache {
+        let shards = shards.max(1);
+        ShardedCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard,
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        &self.shards[(key % self.shards.len() as u64) as usize]
+    }
+
+    /// Locks a shard, recovering from a poisoned mutex: the guarded
+    /// front-end already converted any panic into a typed error, and
+    /// shard state is self-validating (every probe re-checks its
+    /// entry), so the inner data is safe to reuse.
+    fn lock(mutex: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+        match mutex.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Probes for `key`.
+    ///
+    /// This is the `serve_cache_entry` fault site: every probe is an
+    /// arrival. An injected `poison_nan` corrupts the probed entry
+    /// *before* the health check runs — which is exactly what the
+    /// poisoned-entry scan exists to absorb.
+    pub(crate) fn probe(&self, key: u64) -> Probe {
+        if check_for(FaultSite::ServeCacheEntry, &[FaultKind::Panic]).is_some() {
+            trigger_panic(FaultSite::ServeCacheEntry);
+        }
+        let mut shard = ShardedCache::lock(self.shard(key));
+        let Some(idx) = shard.entries.iter().position(|&(k, _)| k == key) else {
+            shard.misses += 1;
+            return Probe::Miss;
+        };
+        let mut value = shard.entries[idx].1;
+        if check_handled(FaultSite::ServeCacheEntry, &[FaultKind::PoisonNan]).is_some() {
+            value = f64::NAN;
+        }
+        if !value.is_finite() {
+            shard.entries.remove(idx);
+            shard.poisoned += 1;
+            return Probe::PoisonEvicted;
+        }
+        // LRU touch: move to the back.
+        let entry = shard.entries.remove(idx);
+        shard.entries.push(entry);
+        shard.hits += 1;
+        Probe::Hit(value)
+    }
+
+    /// Inserts (or refreshes) `key → value`. Non-finite values are
+    /// refused outright — the cache only ever holds answers it could
+    /// legitimately serve.
+    pub(crate) fn insert(&self, key: u64, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let mut shard = ShardedCache::lock(self.shard(key));
+        if let Some(idx) = shard.entries.iter().position(|&(k, _)| k == key) {
+            shard.entries.remove(idx);
+        }
+        shard.entries.push((key, value));
+        if shard.entries.len() > self.per_shard {
+            shard.entries.remove(0);
+        }
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        let mut out = CacheStats::default();
+        for mutex in &self.shards {
+            let shard = ShardedCache::lock(mutex);
+            out.hits += shard.hits;
+            out.misses += shard.misses;
+            out.poison_evicted += shard.poisoned;
+            out.entries += shard.entries.len();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_the_oldest_untouched_key() {
+        let cache = ShardedCache::new(1, 2);
+        cache.insert(1, 10.0);
+        cache.insert(2, 20.0);
+        // Touch key 1 so key 2 becomes the LRU victim.
+        assert_eq!(cache.probe(1), Probe::Hit(10.0));
+        cache.insert(3, 30.0);
+        assert_eq!(cache.probe(2), Probe::Miss);
+        assert_eq!(cache.probe(1), Probe::Hit(10.0));
+        assert_eq!(cache.probe(3), Probe::Hit(30.0));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn non_finite_values_never_enter() {
+        let cache = ShardedCache::new(2, 4);
+        cache.insert(7, f64::NAN);
+        cache.insert(8, f64::INFINITY);
+        assert_eq!(cache.probe(7), Probe::Miss);
+        assert_eq!(cache.probe(8), Probe::Miss);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn pair_key_is_symmetric_and_injective_on_pairs() {
+        let n = 9;
+        assert_eq!(pair_key(3, 5, n), pair_key(5, 3, n));
+        let mut seen = std::collections::HashSet::new();
+        for u in 0..n as u32 {
+            for v in u..n as u32 {
+                assert!(seen.insert(pair_key(u, v, n)), "({u},{v}) collides");
+            }
+        }
+    }
+}

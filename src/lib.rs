@@ -22,7 +22,13 @@
 //!   snapshots of engine/oracle state, LE lists and FRT trees, with
 //!   atomic writes and typed load errors; pairs with
 //!   [`core::checkpoint`] (resumable runs) and the recovery supervisor
-//!   in [`core::error`].
+//!   in [`core::error`],
+//! * [`serving`] — resilient query-serving layer: a deadline-governed,
+//!   load-shedding distance oracle ([`serving::Oracle`]) over frozen,
+//!   zero-trust-validated artifacts ([`serving::OracleArtifact`]), with
+//!   a recorded degradation ladder (cache → tree LCA → LE-list
+//!   intersection → truncated upper bound), batched dense-block sweeps
+//!   with cooperative cancellation, and typed shedding under overload.
 //!
 //! ## Engine architecture
 //!
@@ -104,6 +110,7 @@ pub use mte_core as core;
 pub use mte_faults as faults;
 pub use mte_graph as graph;
 pub use mte_persist as persist;
+pub use mte_serving as serving;
 
 /// Convenient re-exports of the most frequently used items.
 pub mod prelude {
@@ -118,4 +125,5 @@ pub mod prelude {
         path_graph, random_geometric_graph, star_graph, tree_graph,
     };
     pub use mte_graph::{Graph, Hopset, HopsetConfig};
+    pub use mte_serving::{Oracle, OracleArtifact, ServeConfig, ServeError};
 }

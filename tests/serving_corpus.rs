@@ -1,0 +1,239 @@
+//! Corrupted-artifact corpus for the serving layer (PR 9 satellite):
+//! every damaged oracle artifact — truncations, bit flips, sections
+//! that pass every CRC but disagree with each other, arbitrary byte
+//! soup — maps to a typed [`ServeError`] on load, and nothing in the
+//! load path panics, whatever the input. Companion to
+//! `tests/snapshot_corpus.rs`, which makes the byte-level promise for
+//! the snapshot container this artifact rides in; this suite owns the
+//! *cross-section* (semantic) layer on top.
+
+use metric_tree_embedding::core::frt::{le_lists_direct, FrtNode, FrtTree, LeList, Ranks};
+use metric_tree_embedding::persist::{SnapshotError, SnapshotWriter};
+use metric_tree_embedding::prelude::*;
+use metric_tree_embedding::serving::{OracleArtifact, ServeError};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn sample_parts() -> (Vec<LeList>, Ranks, FrtTree) {
+    let mut rng = StdRng::seed_from_u64(0x5E21);
+    let g = gnm_graph(28, 70, 1.0..7.0, &mut rng);
+    let ranks = Arc::new(Ranks::sample(g.n(), &mut rng));
+    let (lists, _, _) = le_lists_direct(&g, &ranks);
+    let tree = FrtTree::from_le_lists(&lists, &ranks, 1.3, g.min_weight());
+    (lists, Ranks::clone(&ranks), tree)
+}
+
+fn sample_image() -> Vec<u8> {
+    let (lists, ranks, tree) = sample_parts();
+    OracleArtifact::from_parts(lists, ranks, tree)
+        .expect("sample parts are valid")
+        .encode()
+}
+
+/// Encodes raw (possibly skewed) parts *without* artifact validation,
+/// so the image reaches `OracleArtifact::decode` with every CRC
+/// correct and only the cross-section validators left to object.
+fn raw_image(lists: &[LeList], ranks: &Ranks, tree: &FrtTree) -> Vec<u8> {
+    SnapshotWriter::new()
+        .put_le_lists(lists)
+        .put_ranks(ranks)
+        .put_frt_tree(tree)
+        .encode()
+}
+
+#[test]
+fn the_sample_artifact_is_sound() {
+    OracleArtifact::decode(&sample_image()).expect("uncorrupted artifact must load");
+}
+
+// ---------------------------------------------------------------------
+// Byte-level damage: the snapshot container catches it, and the serving
+// layer forwards the typed error instead of panicking.
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_truncation_point_is_a_typed_error() {
+    let image = sample_image();
+    for len in 0..image.len() {
+        match OracleArtifact::decode(&image[..len]) {
+            Err(ServeError::Artifact(_)) => {}
+            Err(other) => panic!("truncation to {len}: wrong error class {other:?}"),
+            Ok(_) => panic!("truncation to {len} bytes loaded cleanly"),
+        }
+    }
+}
+
+#[test]
+fn every_sampled_bit_flip_is_a_typed_error() {
+    let image = sample_image();
+    // Every 8th bit touches every byte while keeping the corpus fast;
+    // the container CRCs catch body flips, the header fields their own.
+    for bit in (0..image.len() * 8).step_by(8) {
+        let mut mangled = image.clone();
+        mangled[bit / 8] ^= 1 << (bit % 8);
+        match OracleArtifact::decode(&mangled) {
+            Err(ServeError::Artifact(_)) => {}
+            Err(other) => panic!("bit flip at {bit}: wrong error class {other:?}"),
+            Ok(_) => panic!("bit flip at {bit} loaded cleanly"),
+        }
+    }
+}
+
+#[test]
+fn missing_sections_are_typed_not_panics() {
+    let (lists, ranks, tree) = sample_parts();
+    // Each single-section image is CRC-sound but incomplete.
+    let images = [
+        SnapshotWriter::new().put_le_lists(&lists).encode(),
+        SnapshotWriter::new().put_ranks(&ranks).encode(),
+        SnapshotWriter::new().put_frt_tree(&tree).encode(),
+        SnapshotWriter::new().encode(),
+    ];
+    for (i, image) in images.iter().enumerate() {
+        assert!(
+            matches!(
+                OracleArtifact::decode(image),
+                Err(ServeError::Artifact(SnapshotError::Malformed(_)))
+            ),
+            "incomplete image {i} did not fail typed"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// CRC-correct but structurally invalid: sections that decode fine in
+// isolation yet cannot serve queries. Only the artifact's cross-section
+// validation stands between these and a panic mid-query.
+// ---------------------------------------------------------------------
+
+#[test]
+fn length_skew_between_sections_is_malformed() {
+    let (mut lists, ranks, tree) = sample_parts();
+    lists.pop();
+    assert!(matches!(
+        OracleArtifact::decode(&raw_image(&lists, &ranks, &tree)),
+        Err(ServeError::Malformed { .. })
+    ));
+}
+
+#[test]
+fn ranks_from_a_different_run_are_malformed() {
+    let (lists, _, tree) = sample_parts();
+    // A different permutation of the same size: sizes agree everywhere,
+    // but the lists' strictly-decreasing-rank invariant breaks.
+    let n = lists.len();
+    let foreign = Ranks::sample(n, &mut StdRng::seed_from_u64(0xD15A));
+    assert!(matches!(
+        OracleArtifact::decode(&raw_image(&lists, &foreign, &tree)),
+        Err(ServeError::Malformed { .. })
+    ));
+}
+
+#[test]
+fn a_list_that_drops_its_tail_is_malformed() {
+    let (mut lists, ranks, tree) = sample_parts();
+    // Remove the global minimum-rank tail from one list: the degraded
+    // rung's O(1) floor would silently disappear.
+    let victim = lists
+        .iter()
+        .position(|l| l.len() > 1)
+        .expect("some list has more than one entry");
+    let mut entries = lists[victim].entries().to_vec();
+    entries.pop();
+    lists[victim] = LeList::from_entries_sorted(entries);
+    assert!(matches!(
+        OracleArtifact::decode(&raw_image(&lists, &ranks, &tree)),
+        Err(ServeError::Malformed { .. })
+    ));
+}
+
+#[test]
+fn a_list_that_loses_its_owner_is_malformed() {
+    let (mut lists, ranks, tree) = sample_parts();
+    let victim = lists
+        .iter()
+        .position(|l| l.len() > 1)
+        .expect("some list has more than one entry");
+    let entries = lists[victim].entries()[1..].to_vec();
+    lists[victim] = LeList::from_entries_sorted(entries);
+    assert!(matches!(
+        OracleArtifact::decode(&raw_image(&lists, &ranks, &tree)),
+        Err(ServeError::Malformed { .. })
+    ));
+}
+
+#[test]
+fn tree_weights_off_the_radius_ladder_are_malformed() {
+    let (lists, ranks, tree) = sample_parts();
+    // Perturb one non-root parent weight: still finite and positive, so
+    // the tree-shape validator accepts it — only the artifact's
+    // radius-ladder check can notice, and it must, because the batch
+    // sweep's climb table assumes the ladder.
+    let mut nodes: Vec<FrtNode> = tree.nodes().to_vec();
+    let victim = (1..nodes.len())
+        .find(|&i| nodes[i].parent_weight > 0.0)
+        .expect("a non-root node exists");
+    nodes[victim].parent_weight *= 1.5;
+    let skewed = FrtTree::from_parts(
+        nodes,
+        (0..ranks.n()).map(|v| tree.leaf(v as u32)).collect(),
+        tree.radii().to_vec(),
+        tree.beta(),
+    )
+    .expect("shape-valid tree");
+    assert!(matches!(
+        OracleArtifact::decode(&raw_image(&lists, &ranks, &skewed)),
+        Err(ServeError::Malformed { .. })
+    ));
+}
+
+#[test]
+fn a_tree_for_a_different_vertex_count_is_malformed() {
+    let (lists, ranks, _) = sample_parts();
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let g = gnm_graph(12, 30, 1.0..4.0, &mut rng);
+    let small_ranks = Arc::new(Ranks::sample(g.n(), &mut rng));
+    let (small_lists, _, _) = le_lists_direct(&g, &small_ranks);
+    let small_tree = FrtTree::from_le_lists(&small_lists, &small_ranks, 1.3, g.min_weight());
+    assert!(matches!(
+        OracleArtifact::decode(&raw_image(&lists, &ranks, &small_tree)),
+        Err(ServeError::Malformed { .. })
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Property fuzz: arbitrary bytes, and arbitrary overwrites of a sound
+// image, never panic the loader.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn loader_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(0u8..255, 0..512),
+    ) {
+        let _ = OracleArtifact::decode(&bytes);
+    }
+
+    /// A sound artifact with a random slice overwritten still loads to
+    /// a typed result — and if it loads cleanly, the overwrite must
+    /// have been a no-op.
+    #[test]
+    fn overwritten_artifacts_never_panic(
+        offset in 0usize..8192,
+        val in 0u8..255,
+        len in 1usize..64,
+    ) {
+        let image = sample_image();
+        let offset = offset % image.len();
+        let end = (offset + len).min(image.len());
+        let mut mangled = image.clone();
+        mangled[offset..end].fill(val);
+        if OracleArtifact::decode(&mangled).is_ok() {
+            prop_assert_eq!(mangled, image);
+        }
+    }
+}

@@ -18,7 +18,11 @@
 //! 5. **atomic-write** — no raw `fs::write`/`File::create`/`OpenOptions`
 //!    in engine crates: durable state goes through the crash-safe
 //!    snapshot writer in `crates/persist` (or is waived with
-//!    `// analyze: atomic-write-ok(reason)`).
+//!    `// analyze: atomic-write-ok(reason)`);
+//! 6. **serving-no-panic** — no `unwrap()`/`expect()` in
+//!    `crates/serving/src`: the serving layer's contract is typed
+//!    `ServeError`s, never panics (waiver:
+//!    `// analyze: serve-ok(reason)`).
 
 pub mod lexer;
 pub mod rules;

@@ -120,6 +120,7 @@ fn analyze() -> i32 {
         rules::unsafe_safety::check(rel, scan, &mut findings);
         rules::hygiene::check(rel, scan, &relaxed_allowlist, &mut findings);
         rules::atomic_write::check(rel, scan, &mut findings);
+        rules::serving::check(rel, scan, &mut findings);
     }
 
     // Fault registry: parse the shared name tables, then validate specs

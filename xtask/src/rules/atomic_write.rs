@@ -18,11 +18,12 @@ pub const RULE: &str = "atomic-write";
 
 /// Crates whose file writes must go through the snapshot store. Same
 /// scope as the hygiene bans; `crates/persist` is deliberately absent.
-const ENGINE_SCOPE: [&str; 4] = [
+const ENGINE_SCOPE: [&str; 5] = [
     "crates/core/",
     "crates/algebra/",
     "crates/graph/",
     "crates/congest/",
+    "crates/serving/",
 ];
 
 const BANNED: [(&str, &str); 3] = [

@@ -21,11 +21,12 @@ pub const RULE: &str = "hygiene";
 /// Crates holding engine/oracle/kernel code (scope of the wall-clock /
 /// threading / randomness bans). `crates/bench` and the criterion shim
 /// are deliberately outside: timing is their job.
-const ENGINE_SCOPE: [&str; 4] = [
+const ENGINE_SCOPE: [&str; 5] = [
     "crates/core/",
     "crates/algebra/",
     "crates/graph/",
     "crates/congest/",
+    "crates/serving/",
 ];
 
 const BANNED: [(&str, &str); 6] = [

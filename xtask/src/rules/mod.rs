@@ -1,9 +1,10 @@
-//! The five rule families of `cargo xtask analyze`.
+//! The six rule families of `cargo xtask analyze`.
 
 pub mod atomic_write;
 pub mod fault_registry;
 pub mod hygiene;
 pub mod nondet_iter;
+pub mod serving;
 pub mod unsafe_safety;
 
 /// One lint violation.

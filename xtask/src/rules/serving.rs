@@ -1,0 +1,52 @@
+//! Rule family 6: **serving-no-panic**.
+//!
+//! The serving layer's contract is *typed errors, never panics*: a
+//! query against a corrupt artifact, a poisoned cache entry, or an
+//! exhausted budget must surface as a `ServeError` the caller can
+//! match on. `unwrap()` / `expect()` are the two easiest ways to break
+//! that contract silently, so they are banned outright in
+//! `crates/serving/src`. Word-boundary matching keeps the combinators
+//! (`unwrap_or_else`, `unwrap_or_default`, `expect_err`, …) legal —
+//! those *are* the sanctioned replacements. A deliberate exception
+//! (e.g. an invariant provably established by `OracleArtifact`
+//! validation) carries an `// analyze: serve-ok(reason)` waiver.
+
+use super::Finding;
+use crate::lexer::{has_word, waived, Scan};
+
+pub const RULE: &str = "serving-no-panic";
+
+/// The no-panic scope: serving *library* code. Integration tests and
+/// benches assert on serving results and may unwrap freely.
+const SCOPE: &str = "crates/serving/src";
+
+const BANNED: [(&str, &str); 2] = [
+    (
+        "unwrap",
+        "the serving layer returns typed ServeErrors, it never panics: \
+         match, `?`, or an `unwrap_or_*` combinator instead",
+    ),
+    (
+        "expect",
+        "the serving layer returns typed ServeErrors, it never panics: \
+         match, `?`, or an `unwrap_or_*` combinator instead",
+    ),
+];
+
+pub fn check(path: &str, scan: &Scan, out: &mut Vec<Finding>) {
+    if !path.starts_with(SCOPE) {
+        return;
+    }
+    for (idx, code) in scan.code.iter().enumerate() {
+        for (needle, why) in BANNED {
+            if has_word(code, needle) && !waived(scan, idx, "serve") {
+                out.push(Finding::new(
+                    RULE,
+                    path,
+                    idx,
+                    format!("`{needle}` in serving-layer code: {why}"),
+                ));
+            }
+        }
+    }
+}

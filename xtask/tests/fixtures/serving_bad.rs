@@ -1,0 +1,17 @@
+//! Bad fixture for the serving-no-panic rule: bare `unwrap()` /
+//! `expect()` in serving-layer code, one waived occurrence, and the
+//! legal `unwrap_or_*` combinators that must stay silent.
+
+fn ladder(values: &[Option<f64>]) -> f64 {
+    // Must fire: bare unwrap.
+    let first = values.first().unwrap();
+    // Must fire: bare expect.
+    let head = first.expect("validated upstream");
+    // Must stay silent: sanctioned combinators (word boundaries).
+    let fallback = values.get(1).copied().flatten().unwrap_or_default();
+    let other = values.get(2).copied().flatten().unwrap_or_else(|| 0.0);
+    // Must stay silent: waived occurrence.
+    // analyze: serve-ok(fixture demonstrates the waiver form)
+    let waived = values.last().unwrap();
+    head + fallback + other + waived.unwrap_or(0.0)
+}

@@ -4,7 +4,9 @@
 use std::path::Path;
 
 use xtask::lexer::{self, Scan};
-use xtask::rules::{atomic_write, fault_registry, hygiene, nondet_iter, unsafe_safety, Finding};
+use xtask::rules::{
+    atomic_write, fault_registry, hygiene, nondet_iter, serving, unsafe_safety, Finding,
+};
 
 fn fixture(name: &str) -> Scan {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -230,6 +232,35 @@ fn atomic_write_scoped_outside_persist_and_bench() {
     for out_of_scope in ["crates/persist/src/lib.rs", "crates/bench/src/fixture.rs"] {
         let mut findings: Vec<Finding> = Vec::new();
         atomic_write::check(out_of_scope, &scan, &mut findings);
+        assert!(findings.is_empty(), "{out_of_scope} tripped: {findings:?}");
+    }
+}
+
+#[test]
+fn serving_no_panic_fires_on_bad_fixture_and_respects_waiver() {
+    let scan = fixture("serving_bad.rs");
+    let mut findings: Vec<Finding> = Vec::new();
+    serving::check("crates/serving/src/fixture.rs", &scan, &mut findings);
+    // Exactly the bare `unwrap()` and `expect()`; the combinators
+    // (`unwrap_or_default`, `unwrap_or_else`, `unwrap_or`) and the
+    // waived occurrence stay silent.
+    assert_eq!(findings.len(), 2, "got: {findings:?}");
+    assert!(findings.iter().any(|f| f.msg.contains("`unwrap`")));
+    assert!(findings.iter().any(|f| f.msg.contains("`expect`")));
+}
+
+#[test]
+fn serving_no_panic_scoped_to_serving_library_code() {
+    let scan = fixture("serving_bad.rs");
+    // Out of scope: engine crates (other rules own those), serving's
+    // own integration tests, and benches.
+    for out_of_scope in [
+        "crates/core/src/fixture.rs",
+        "tests/serving_corpus.rs",
+        "crates/bench/src/serving_suite.rs",
+    ] {
+        let mut findings: Vec<Finding> = Vec::new();
+        serving::check(out_of_scope, &scan, &mut findings);
         assert!(findings.is_empty(), "{out_of_scope} tripped: {findings:?}");
     }
 }
