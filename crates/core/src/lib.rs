@@ -29,6 +29,11 @@
 //!   lists (Section 7, Theorem 7.9 and Corollaries 7.10/7.11), FRT tree
 //!   construction (Lemma 7.2), baselines, and path reconstruction
 //!   (Section 7.5),
+//! * [`shard`] — the **fault-tolerant sharded engine**: contiguous
+//!   degree-balanced vertex-range shards running each hop locally and
+//!   recombining through typed, digest-checked exchange messages, with
+//!   a supervisor that re-executes failed hops deterministically and
+//!   quarantines repeatedly-failing shards,
 //! * [`work`] — work/depth accounting used by the experiments,
 //! * [`checkpoint`] — checkpointed, resumable fixpoint runs across all
 //!   backends (bit-identical resume), with the deterministic recovery
@@ -43,6 +48,7 @@ pub mod error;
 pub mod frt;
 pub mod metric;
 pub mod oracle;
+pub mod shard;
 pub mod simgraph;
 pub mod work;
 
@@ -51,5 +57,9 @@ pub use checkpoint::{Checkpoint, CheckpointPolicy};
 pub use dense::{DenseEngine, DenseMbfAlgorithm, SwitchThresholds, SwitchingEngine};
 pub use engine::{EngineStrategy, MbfAlgorithm, MbfEngine, MbfRun};
 pub use error::{Degradation, RecoveryAttempt, RecoveryPolicy, RunError, RunReport, Supervisor};
+pub use shard::{
+    try_run_sharded_to_fixpoint_with, ExchangeEntry, ExchangeMsg, ShardPolicy, ShardSpec,
+    ShardSupervisor, ShardedEngine, ShardedRun,
+};
 pub use simgraph::{LevelAssignment, SimulatedGraph};
 pub use work::WorkStats;

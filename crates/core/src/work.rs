@@ -69,6 +69,18 @@ pub struct WorkStats {
     /// allocation exceeded the memory budget (graceful degradation:
     /// the run completed sparse with bit-identical output).
     pub dense_declined: u64,
+    /// Cross-shard exchange messages sent by the sharded engine
+    /// (`core::shard`): one per ordered shard pair per hop, including
+    /// the empty keep-alives the drop-detection barrier requires. 0
+    /// for unsharded runs and single-shard specs. This is the Congest
+    /// model's message count (`congest::CongestCost::from_exchange`),
+    /// and the trackable exchange-volume metric on hosts where
+    /// wall-clock speedups are meaningless.
+    pub shard_msgs: u64,
+    /// Model-level bytes of those messages: a fixed per-message header
+    /// plus 16 bytes per cross-shard frontier entry carried (cf.
+    /// `OWNED_ENTRY_BYTES`) — the exchange payload volume.
+    pub shard_msg_bytes: u64,
 }
 
 impl WorkStats {
@@ -92,6 +104,8 @@ impl AddAssign for WorkStats {
         self.dense_flips += rhs.dense_flips;
         self.dense_hops += rhs.dense_hops;
         self.dense_declined += rhs.dense_declined;
+        self.shard_msgs += rhs.shard_msgs;
+        self.shard_msg_bytes += rhs.shard_msg_bytes;
     }
 }
 
@@ -112,6 +126,8 @@ mod tests {
             dense_flips: 2,
             dense_hops: 1,
             dense_declined: 1,
+            shard_msgs: 6,
+            shard_msg_bytes: 200,
         };
         a += WorkStats {
             iterations: 2,
@@ -124,6 +140,8 @@ mod tests {
             dense_flips: 3,
             dense_hops: 4,
             dense_declined: 2,
+            shard_msgs: 2,
+            shard_msg_bytes: 50,
         };
         assert_eq!(
             a,
@@ -139,6 +157,8 @@ mod tests {
                 dense_flips: 5,
                 dense_hops: 5,
                 dense_declined: 3,
+                shard_msgs: 8,
+                shard_msg_bytes: 250,
             }
         );
     }

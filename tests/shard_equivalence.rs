@@ -1,0 +1,164 @@
+//! Differential equivalence suite for the sharded engine (PR 10
+//! tentpole).
+//!
+//! Sharding is an execution strategy, not a semantics change: for
+//! every workload, shard count in {1, 2, 4, 8}, and thread count in
+//! {1, 4}, the sharded run must be **bit-identical** to the unsharded
+//! reference engine — states, iteration count, and fixpoint flag —
+//! and the per-hop exchange digests must be a pure function of the
+//! input: stable across shard-local thread counts and across reruns.
+//! Exchange accounting rides along: a single shard exchanges nothing,
+//! and any `k > 1` cut of a connected graph must cross it.
+
+use metric_tree_embedding::core::catalog::SourceDetection;
+use metric_tree_embedding::core::engine::{run_to_fixpoint, EngineStrategy, MbfAlgorithm};
+use metric_tree_embedding::core::frt::le_list::le_lists_direct_with;
+use metric_tree_embedding::core::frt::{LeList, LeListAlgorithm, Ranks};
+use metric_tree_embedding::core::shard::try_run_sharded_to_fixpoint_with;
+use metric_tree_embedding::graph::algorithms::sssp;
+use metric_tree_embedding::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const THREADS: [usize; 2] = [1, 4];
+
+/// Runs `f` on a dedicated pool of the given total parallelism.
+fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool build cannot fail")
+        .install(f)
+}
+
+/// The shared sweep body: unsharded reference once, then every shard
+/// count × thread count must reproduce it bit for bit, with digests
+/// agreeing across threads and across a rerun.
+fn assert_sharded_matches<A: MbfAlgorithm>(label: &str, alg: &A, g: &Graph) {
+    let cap = g.n() + 1;
+    let reference = run_to_fixpoint(alg, g, cap);
+
+    for k in SHARD_COUNTS {
+        let mut digests_per_thread = Vec::new();
+        for threads in THREADS {
+            let (run, report) =
+                with_threads(threads, || try_run_sharded_to_fixpoint_with(alg, g, cap, k))
+                    .unwrap_or_else(|e| panic!("{label}/k={k}/t={threads}: clean run failed: {e}"));
+            assert_eq!(
+                run.states, reference.states,
+                "{label}/k={k}/t={threads}: states diverged from unsharded engine"
+            );
+            assert_eq!(
+                run.iterations, reference.iterations,
+                "{label}/k={k}/t={threads}"
+            );
+            assert_eq!(
+                run.fixpoint, reference.fixpoint,
+                "{label}/k={k}/t={threads}"
+            );
+            assert!(
+                report.degradations.is_empty(),
+                "{label}/k={k}/t={threads}: clean run degraded: {report:?}"
+            );
+            // One digest per committed hop, including the confirming one.
+            assert_eq!(run.hop_digests.len(), run.iterations);
+            if k == 1 {
+                assert_eq!(run.work.shard_msgs, 0, "{label}: single shard exchanged");
+                assert_eq!(run.work.shard_msg_bytes, 0);
+            } else {
+                assert!(
+                    run.work.shard_msgs > 0,
+                    "{label}/k={k}: a connected graph's cut carried no messages"
+                );
+                assert!(run.work.shard_msg_bytes > 0);
+            }
+            digests_per_thread.push(run.hop_digests);
+        }
+        assert_eq!(
+            digests_per_thread[0], digests_per_thread[1],
+            "{label}/k={k}: exchange digests vary with thread count"
+        );
+        // Rerun at one thread: digests are reproducible, not merely
+        // consistent within one process-global pool configuration.
+        let (rerun, _) = with_threads(1, || try_run_sharded_to_fixpoint_with(alg, g, cap, k))
+            .unwrap_or_else(|e| panic!("{label}/k={k}: rerun failed: {e}"));
+        assert_eq!(
+            rerun.hop_digests, digests_per_thread[0],
+            "{label}/k={k}: rerun digests diverged"
+        );
+    }
+}
+
+/// SSSP on a random sparse graph — the single-source workload, large
+/// enough that per-shard recomputes split into multiple worker chunks.
+#[test]
+fn sssp_sharded_matches_unsharded_across_shard_counts_and_threads() {
+    let mut rng = StdRng::seed_from_u64(0xEA01);
+    let g = gnm_graph(150, 430, 1.0..9.0, &mut rng);
+    let alg = SourceDetection::sssp(g.n(), 0);
+    assert_sharded_matches("sssp/gnm", &alg, &g);
+
+    // Semantic anchor, not just differential: the sharded SSSP states
+    // must agree with Dijkstra on the same graph.
+    let (run, _) = try_run_sharded_to_fixpoint_with(&alg, &g, g.n() + 1, 4).expect("sharded sssp");
+    let truth = sssp(&g, 0);
+    for v in 0..g.n() {
+        assert_eq!(
+            run.states[v].get(0),
+            truth.dist(v as NodeId),
+            "sharded SSSP disagrees with Dijkstra at v={v}"
+        );
+    }
+}
+
+/// k-SSP on a grid — structured topology where contiguous vertex
+/// ranges cut through every row, maximizing cross-shard halo traffic.
+#[test]
+fn k_ssp_on_grid_sharded_matches_unsharded() {
+    let mut rng = StdRng::seed_from_u64(0xEA02);
+    let g = grid_graph(10, 12, 1.0..5.0, &mut rng);
+    let alg = SourceDetection::k_ssp(g.n(), 4);
+    assert_sharded_matches("k_ssp/grid", &alg, &g);
+}
+
+/// APSP on a small random graph — dense states, every vertex a source.
+#[test]
+fn apsp_sharded_matches_unsharded() {
+    let mut rng = StdRng::seed_from_u64(0xEA03);
+    let g = gnm_graph(48, 110, 1.0..9.0, &mut rng);
+    let alg = SourceDetection::apsp(g.n());
+    assert_sharded_matches("apsp/gnm", &alg, &g);
+}
+
+/// The FRT backbone: LE lists computed by the sharded engine must
+/// reproduce the direct-iteration baseline (`le_lists_direct_with`,
+/// itself differential-tested against the owned engine) exactly —
+/// same filtered states, same list conversion, same iteration count.
+/// This is the workload whose filter is rank-dependent, so it would
+/// expose any shard-boundary effect on filter inputs.
+#[test]
+fn le_lists_sharded_reproduce_the_direct_baseline() {
+    let mut rng = StdRng::seed_from_u64(0xEA04);
+    let g = gnm_graph(90, 240, 1.0..9.0, &mut rng);
+    let ranks = Arc::new(Ranks::sample(g.n(), &mut rng));
+    let alg = LeListAlgorithm::new(Arc::clone(&ranks));
+    assert_sharded_matches("le_lists/gnm", &alg, &g);
+
+    let (baseline, base_iters, _) = le_lists_direct_with(&g, &ranks, EngineStrategy::default());
+    for k in SHARD_COUNTS {
+        let (run, _) =
+            try_run_sharded_to_fixpoint_with(&alg, &g, g.n() + 1, k).expect("sharded LE lists");
+        let lists: Vec<LeList> = run
+            .states
+            .iter()
+            .map(|x| LeList::from_distance_map(x, &ranks))
+            .collect();
+        assert_eq!(lists, baseline, "k={k}: LE lists diverged from baseline");
+        assert_eq!(
+            run.iterations, base_iters,
+            "k={k}: iteration count diverged"
+        );
+    }
+}

@@ -1,0 +1,360 @@
+//! Fault-injection sweep for the sharded engine (PR 10 tentpole).
+//!
+//! Contract, extending `fault_harness.rs` to the shard sites: every
+//! injected shard fault — a panic or state poisoning inside a shard's
+//! hop execution, or a dropped / duplicated / reordered / bit-flipped
+//! exchange message — either
+//!
+//! * surfaces as a typed [`RunError`] (fail-fast driver), or
+//! * is absorbed by the [`ShardSupervisor`]: the failed hop is
+//!   re-executed from its hop-entry state (recorded as
+//!   [`Degradation::ShardReExecuted`]), repeat offenders are
+//!   quarantined with a sibling takeover
+//!   ([`Degradation::ShardQuarantined`]), and the final output is
+//!   **bit-identical** to the clean run's.
+//!
+//! No third outcome — silent corruption, torn mirrors, a wedged pool —
+//! is acceptable, for every site × kind × arrival index × shard count
+//! × thread count below.
+
+use metric_tree_embedding::core::catalog::SourceDetection;
+use metric_tree_embedding::core::shard::{
+    try_run_sharded_to_fixpoint_with, ShardPolicy, ShardSupervisor,
+};
+use metric_tree_embedding::core::{Degradation, RunError};
+use metric_tree_embedding::faults::{self, FaultKind, FaultPlan, FaultSite};
+use metric_tree_embedding::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+/// Serializes every test that touches the global fault registry.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds the registry lock, silences the default panic hook (injected
+/// panics are expected noise here), and guarantees `faults::clear()` +
+/// hook restoration on drop — even when an assertion fails mid-sweep.
+struct FaultGuard {
+    _lock: std::sync::MutexGuard<'static, ()>,
+}
+
+impl FaultGuard {
+    fn acquire() -> FaultGuard {
+        let lock = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        faults::clear();
+        std::panic::set_hook(Box::new(|_| {}));
+        FaultGuard { _lock: lock }
+    }
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        faults::clear();
+        if !std::thread::panicking() {
+            let _ = std::panic::take_hook();
+        }
+    }
+}
+
+/// Runs `f` on a dedicated pool of the given total parallelism.
+fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool build cannot fail")
+        .install(f)
+}
+
+fn fixture_graph() -> Graph {
+    let mut rng = StdRng::seed_from_u64(0xFA10);
+    gnm_graph(96, 260, 1.0..9.0, &mut rng)
+}
+
+/// The (site, kind) pairs wired into the sharded hop loop. Exchange
+/// tampering only exists where an exchange exists, so those pairs are
+/// swept at `k > 1` only (asserted below).
+fn wired_faults() -> Vec<(FaultSite, FaultKind)> {
+    vec![
+        (FaultSite::ShardHopExec, FaultKind::Panic),
+        (FaultSite::ShardHopExec, FaultKind::PoisonNan),
+        (FaultSite::ShardExchangeSend, FaultKind::DropMsg),
+        (FaultSite::ShardExchangeSend, FaultKind::DupMsg),
+        (FaultSite::ShardExchangeSend, FaultKind::ReorderMsg),
+        (FaultSite::ShardExchangeSend, FaultKind::CorruptMsg),
+        (FaultSite::ShardExchangeRecv, FaultKind::DropMsg),
+        (FaultSite::ShardExchangeRecv, FaultKind::DupMsg),
+        (FaultSite::ShardExchangeRecv, FaultKind::ReorderMsg),
+        (FaultSite::ShardExchangeRecv, FaultKind::CorruptMsg),
+    ]
+}
+
+type CleanRun = (Vec<DistanceMap>, usize, bool);
+
+fn clean_baseline(g: &Graph, k: usize, threads: usize) -> CleanRun {
+    let alg = SourceDetection::k_ssp(g.n(), 4);
+    with_threads(threads, || {
+        let (run, report) = try_run_sharded_to_fixpoint_with(&alg, g, g.n() + 1, k)
+            .unwrap_or_else(|e| panic!("clean k={k}/t={threads} run failed: {e}"));
+        assert!(report.degradations.is_empty());
+        (run.states, run.iterations, run.fixpoint)
+    })
+}
+
+/// The fail-fast sweep: site × kind × arrival × shard count × thread
+/// count either errors with the expected typed class or finishes bit
+/// for bit identical to the clean run (the armed-but-never-reached
+/// arrivals exercise the latter).
+#[test]
+fn fail_fast_faults_error_typed_or_leave_output_bit_identical() {
+    let _guard = FaultGuard::acquire();
+    let g = fixture_graph();
+    let alg = SourceDetection::k_ssp(g.n(), 4);
+
+    for k in [2usize, 4] {
+        let mut baselines = Vec::new();
+        for threads in [1usize, 4] {
+            baselines.push(clean_baseline(&g, k, threads));
+        }
+        assert_eq!(baselines[0], baselines[1], "k={k}: clean thread divergence");
+
+        for (site, kind) in wired_faults() {
+            for nth in [0u64, 3, 1_000_000] {
+                for (ti, threads) in [1usize, 4].into_iter().enumerate() {
+                    faults::install(FaultPlan::single(site, kind, nth));
+                    let (g, alg) = (&g, &alg);
+                    let outcome = with_threads(threads, move || {
+                        try_run_sharded_to_fixpoint_with(alg, g, g.n() + 1, k)
+                    });
+                    faults::clear();
+                    match outcome {
+                        Err(RunError::InjectedFault { .. })
+                        | Err(RunError::Panicked { .. })
+                        | Err(RunError::CorruptState { .. })
+                        | Err(RunError::ShardExchangeCorrupt { .. }) => {}
+                        Err(other) => panic!(
+                            "{site}/{kind}/nth={nth}/k={k}/t={threads}: \
+                             unexpected error class {other:?}"
+                        ),
+                        Ok((run, _)) => assert_eq!(
+                            (run.states, run.iterations, run.fixpoint),
+                            baselines[ti],
+                            "{site}/{kind}/nth={nth}/k={k}/t={threads}: \
+                             Ok run diverged from clean baseline"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The supervised sweep: every survivable arrival (one-shot plans are
+/// exhausted by the first re-execution) ends `Ok` and bit-identical,
+/// with the re-execution recorded iff the fault actually fired.
+#[test]
+fn supervisor_absorbs_every_one_shot_fault_bit_identically() {
+    let _guard = FaultGuard::acquire();
+    let g = fixture_graph();
+    let alg = SourceDetection::k_ssp(g.n(), 4);
+    let supervisor = ShardSupervisor::new(ShardPolicy::default());
+
+    for k in [2usize, 4] {
+        let mut baselines = Vec::new();
+        for threads in [1usize, 4] {
+            baselines.push(clean_baseline(&g, k, threads));
+        }
+
+        for (site, kind) in wired_faults() {
+            for nth in [0u64, 3, 1_000_000] {
+                for (ti, threads) in [1usize, 4].into_iter().enumerate() {
+                    faults::install(FaultPlan::single(site, kind, nth));
+                    let (g, alg, supervisor) = (&g, &alg, &supervisor);
+                    let outcome = with_threads(threads, move || {
+                        supervisor.run_to_fixpoint_with(alg, g, g.n() + 1, k)
+                    });
+                    faults::clear();
+                    let (run, report) = outcome.unwrap_or_else(|e| {
+                        panic!(
+                            "{site}/{kind}/nth={nth}/k={k}/t={threads}: \
+                             supervisor failed a survivable one-shot fault: {e}"
+                        )
+                    });
+                    assert_eq!(
+                        (run.states, run.iterations, run.fixpoint),
+                        baselines[ti],
+                        "{site}/{kind}/nth={nth}/k={k}/t={threads}: supervised run diverged"
+                    );
+                    let reexecuted = report
+                        .degradations
+                        .iter()
+                        .any(|d| matches!(d, Degradation::ShardReExecuted { .. }));
+                    if nth == 1_000_000 {
+                        // Armed but never reached: nothing to absorb.
+                        assert!(
+                            report.degradations.is_empty(),
+                            "{site}/{kind}/k={k}/t={threads}: phantom degradation: {report:?}"
+                        );
+                    } else if kind != FaultKind::ReorderMsg {
+                        // Reordering a message with fewer than two
+                        // entries is a semantic no-op (the tampered
+                        // message is byte-identical), so only the other
+                        // kinds guarantee a detectable failure on every
+                        // arrival: panics/poison via the hop audit,
+                        // drop/dup via the channel barrier, corruption
+                        // via the sealed digest.
+                        assert!(
+                            reexecuted,
+                            "{site}/{kind}/nth={nth}/k={k}/t={threads}: \
+                             fault fired but no re-execution recorded: {report:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Re-execution is deterministic: the same plan against the same input
+/// twice yields identical states, reports, and exchange digests.
+#[test]
+fn re_execution_is_deterministic() {
+    let _guard = FaultGuard::acquire();
+    let g = fixture_graph();
+    let alg = SourceDetection::k_ssp(g.n(), 4);
+    let supervisor = ShardSupervisor::new(ShardPolicy::default());
+
+    let mut outcomes = Vec::new();
+    for _ in 0..2 {
+        faults::install(FaultPlan::single(
+            FaultSite::ShardExchangeSend,
+            FaultKind::CorruptMsg,
+            2,
+        ));
+        let out = supervisor
+            .run_to_fixpoint_with(&alg, &g, g.n() + 1, 4)
+            .expect("supervised run");
+        faults::clear();
+        outcomes.push(out);
+    }
+    let (a, ra) = &outcomes[0];
+    let (b, rb) = &outcomes[1];
+    assert_eq!(a.states, b.states);
+    assert_eq!(a.hop_digests, b.hop_digests);
+    assert_eq!(
+        format!("{:?}", ra.degradations),
+        format!("{:?}", rb.degradations),
+        "recovery path must replay identically"
+    );
+}
+
+/// Quarantine takeover: a zero-retry policy turns the first failure
+/// into a quarantine of the attributed culprit; the sibling takes the
+/// dead shard's ranges over and the run still ends bit-identical.
+#[test]
+fn quarantine_takes_over_and_stays_bit_identical() {
+    let _guard = FaultGuard::acquire();
+    let g = fixture_graph();
+    let alg = SourceDetection::k_ssp(g.n(), 4);
+    let clean = clean_baseline(&g, 4, 1);
+    let supervisor = ShardSupervisor::new(ShardPolicy {
+        max_hop_retries: 0,
+        allow_quarantine: true,
+    });
+
+    // A hop-execution panic is attributed to the panicking shard; a
+    // corrupt exchange to the sending channel's shard. Both must name
+    // a culprit, so a zero-retry budget quarantines immediately.
+    for (site, kind) in [
+        (FaultSite::ShardHopExec, FaultKind::Panic),
+        (FaultSite::ShardExchangeSend, FaultKind::CorruptMsg),
+    ] {
+        faults::install(FaultPlan::single(site, kind, 0));
+        let out = supervisor.run_to_fixpoint_with(&alg, &g, g.n() + 1, 4);
+        faults::clear();
+        let (run, report) = out.unwrap_or_else(|e| panic!("{site}/{kind}: takeover failed: {e}"));
+        assert_eq!(
+            (run.states, run.iterations, run.fixpoint),
+            clean,
+            "{site}/{kind}: post-quarantine run diverged"
+        );
+        let quarantined = report.degradations.iter().find_map(|d| match d {
+            Degradation::ShardQuarantined {
+                shard,
+                taken_over_by,
+                ..
+            } => Some((*shard, *taken_over_by)),
+            _ => None,
+        });
+        let (shard, sibling) =
+            quarantined.unwrap_or_else(|| panic!("{site}/{kind}: no quarantine in {report:?}"));
+        assert_ne!(shard, sibling, "a shard cannot take itself over");
+    }
+}
+
+/// With quarantine disallowed and the budget exhausted by a persistent
+/// fault, the supervisor fails typed — `RetriesExhausted`, never a
+/// panic or a silently wrong answer.
+#[test]
+fn persistent_fault_exhausts_retries_with_a_typed_error() {
+    let _guard = FaultGuard::acquire();
+    let g = fixture_graph();
+    let alg = SourceDetection::k_ssp(g.n(), 4);
+    let supervisor = ShardSupervisor::new(ShardPolicy {
+        max_hop_retries: 1,
+        allow_quarantine: false,
+    });
+    // Fires on every arrival: re-execution cannot outrun it.
+    faults::install(
+        FaultPlan::parse("shard_exchange_send:corrupt_msg:0:1000000").expect("valid plan"),
+    );
+    let out = supervisor.run_to_fixpoint_with(&alg, &g, g.n() + 1, 4);
+    faults::clear();
+    match out {
+        Err(RunError::RetriesExhausted { attempts, last }) => {
+            assert_eq!(attempts, 2, "one retry = two attempts");
+            assert!(
+                matches!(*last, RunError::ShardExchangeCorrupt { .. }),
+                "wrong terminal cause: {last:?}"
+            );
+        }
+        other => panic!("expected RetriesExhausted, got {:?}", other.map(|_| ())),
+    }
+}
+
+/// The CI pre-armed entry point: when `MTE_FAULT_PLAN` is set in the
+/// environment, run the supervised engine under it at shard counts
+/// {2, 4} and require the absorb-or-typed-error contract to hold.
+/// Without the variable this is a no-op (the sweeps above cover the
+/// in-process plans).
+#[test]
+fn pre_armed_env_plan_is_absorbed_or_typed() {
+    let Some(plan) = FaultPlan::from_env() else {
+        return;
+    };
+    let _guard = FaultGuard::acquire();
+    let g = fixture_graph();
+    let alg = SourceDetection::k_ssp(g.n(), 4);
+    let supervisor = ShardSupervisor::new(ShardPolicy::default());
+
+    for k in [2usize, 4] {
+        let clean = clean_baseline(&g, k, 1);
+        faults::install(plan.clone());
+        let out = supervisor.run_to_fixpoint_with(&alg, &g, g.n() + 1, k);
+        faults::clear();
+        match out {
+            Ok((run, _)) => assert_eq!(
+                (run.states, run.iterations, run.fixpoint),
+                clean,
+                "k={k}: pre-armed supervised run diverged"
+            ),
+            Err(
+                RunError::InjectedFault { .. }
+                | RunError::Panicked { .. }
+                | RunError::CorruptState { .. }
+                | RunError::ShardExchangeCorrupt { .. }
+                | RunError::RetriesExhausted { .. },
+            ) => {}
+            Err(other) => panic!("k={k}: unexpected error class {other:?}"),
+        }
+    }
+}

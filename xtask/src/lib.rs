@@ -22,7 +22,11 @@
 //! 6. **serving-no-panic** — no `unwrap()`/`expect()` in
 //!    `crates/serving/src`: the serving layer's contract is typed
 //!    `ServeError`s, never panics (waiver:
-//!    `// analyze: serve-ok(reason)`).
+//!    `// analyze: serve-ok(reason)`);
+//! 7. **shard-isolation** — shard mirrors are touched only through the
+//!    commit/quarantine seam in `crates/core/src/shard.rs`; cross-shard
+//!    state moves as validated exchange messages (waiver:
+//!    `// analyze: shard-ok(reason)`).
 
 pub mod lexer;
 pub mod rules;

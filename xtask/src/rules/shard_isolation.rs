@@ -1,0 +1,69 @@
+//! Rule family 7: **shard-isolation**.
+//!
+//! The sharded engine's correctness proof leans on one structural
+//! invariant: a shard's `mirror` is written only through the
+//! commit/quarantine seam in `crates/core/src/shard.rs`, never poked
+//! at from outside. Cross-shard state moves exclusively as validated
+//! `ExchangeMsg`s — that is what makes a failed hop re-executable
+//! from its hop-entry state and a quarantined shard's mirror safe to
+//! copy from.
+//!
+//! Two checks enforce the seam lexically:
+//!
+//! * any `.mirror` access in `crates/` **outside** `shard.rs` is a
+//!   finding — other crates consume `ShardedRun::states`, not live
+//!   mirrors;
+//! * **inside** `shard.rs`, a line that indexes the shard table *and*
+//!   dereferences a mirror (`shards[…].mirror`-shaped code) is a
+//!   finding — cross-shard reads must go through the exchange or one
+//!   of the audited seams.
+//!
+//! Each sanctioned seam line (commit, quarantine takeover, final
+//! gather) carries an `// analyze: shard-ok(reason)` waiver.
+
+use super::Finding;
+use crate::lexer::{waived, Scan};
+
+pub const RULE: &str = "shard-isolation";
+
+/// The lexical seam: the one file allowed to touch shard mirrors.
+const SEAM: &str = "crates/core/src/shard.rs";
+
+/// The enforcement scope. Tests, benches, and xtask fixtures assert on
+/// run *results* and never see a live mirror, so `crates/` library and
+/// example code is the meaningful perimeter.
+const SCOPE: &str = "crates/";
+
+pub fn check(path: &str, scan: &Scan, out: &mut Vec<Finding>) {
+    if !path.starts_with(SCOPE) {
+        return;
+    }
+    let in_seam = path == SEAM;
+    for (idx, code) in scan.code.iter().enumerate() {
+        if !code.contains(".mirror") || waived(scan, idx, "shard") {
+            continue;
+        }
+        if !in_seam {
+            out.push(Finding::new(
+                RULE,
+                path,
+                idx,
+                "`.mirror` access outside the shard seam: shard state \
+                 crosses boundaries only as validated ExchangeMsgs; \
+                 consume ShardedRun::states instead"
+                    .to_owned(),
+            ));
+        } else if code.contains("shards[") {
+            out.push(Finding::new(
+                RULE,
+                path,
+                idx,
+                "cross-shard mirror access inside the seam: reads of \
+                 another shard's mirror must go through the exchange \
+                 or an audited seam line (waiver: \
+                 `// analyze: shard-ok(reason)`)"
+                    .to_owned(),
+            ));
+        }
+    }
+}

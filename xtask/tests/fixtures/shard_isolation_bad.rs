@@ -1,0 +1,21 @@
+//! Bad fixture for the shard-isolation rule: raw mirror pokes both
+//! inside and outside the seam file, one waived seam line, and a
+//! comment-only mention that must stay silent.
+
+struct Shard {
+    mirror: Vec<f64>,
+}
+
+fn poke(shards: &mut [Shard], own: &mut Shard, v: usize) -> f64 {
+    // Must fire outside the seam (any `.mirror`); inside the seam this
+    // local access is legal.
+    own.mirror[v] = 0.0;
+    // Must fire everywhere: indexing the shard table and dereferencing
+    // a mirror on one line is a cross-shard read.
+    let stolen = shards[1].mirror[v];
+    // Must stay silent: waived seam line.
+    // analyze: shard-ok(fixture demonstrates the waiver form)
+    let sanctioned = shards[0].mirror[v];
+    // A mirror mentioned in comments only must stay silent.
+    stolen + sanctioned
+}

@@ -5,7 +5,8 @@ use std::path::Path;
 
 use xtask::lexer::{self, Scan};
 use xtask::rules::{
-    atomic_write, fault_registry, hygiene, nondet_iter, serving, unsafe_safety, Finding,
+    atomic_write, fault_registry, hygiene, nondet_iter, serving, shard_isolation, unsafe_safety,
+    Finding,
 };
 
 fn fixture(name: &str) -> Scan {
@@ -262,6 +263,83 @@ fn serving_no_panic_scoped_to_serving_library_code() {
         let mut findings: Vec<Finding> = Vec::new();
         serving::check(out_of_scope, &scan, &mut findings);
         assert!(findings.is_empty(), "{out_of_scope} tripped: {findings:?}");
+    }
+}
+
+#[test]
+fn shard_isolation_fires_on_mirror_access_outside_the_seam() {
+    let scan = fixture("shard_isolation_bad.rs");
+    let mut findings: Vec<Finding> = Vec::new();
+    shard_isolation::check(AS_IF, &scan, &mut findings);
+    // Outside the seam every `.mirror` access fires: the local poke and
+    // the cross-shard read; the waived line and the comment-only
+    // mention stay silent.
+    assert_eq!(findings.len(), 2, "got: {findings:?}");
+    assert!(findings
+        .iter()
+        .all(|f| f.msg.contains("outside the shard seam")));
+}
+
+#[test]
+fn shard_isolation_inside_the_seam_flags_only_cross_shard_lines() {
+    let scan = fixture("shard_isolation_bad.rs");
+    let mut findings: Vec<Finding> = Vec::new();
+    shard_isolation::check("crates/core/src/shard.rs", &scan, &mut findings);
+    // Inside the seam a shard may touch its own mirror; only the
+    // unwaived `shards[…].mirror` line is a cross-shard read.
+    assert_eq!(findings.len(), 1, "got: {findings:?}");
+    assert!(findings[0].msg.contains("cross-shard"));
+    let cross_line = scan
+        .lines
+        .iter()
+        .position(|l| l.contains("stolen"))
+        .unwrap()
+        + 1;
+    assert_eq!(findings[0].line, cross_line);
+}
+
+#[test]
+fn shard_isolation_scoped_to_crates() {
+    let scan = fixture("shard_isolation_bad.rs");
+    // Tests and xtask code assert on run results, never live mirrors.
+    for out_of_scope in ["tests/shard_equivalence.rs", "xtask/src/rules/fixture.rs"] {
+        let mut findings: Vec<Finding> = Vec::new();
+        shard_isolation::check(out_of_scope, &scan, &mut findings);
+        assert!(findings.is_empty(), "{out_of_scope} tripped: {findings:?}");
+    }
+}
+
+/// Regression pins for the analyze *scope tables* (the gap this PR
+/// closes): `crates/congest` is determinism-critical — its Kahn
+/// topological order and skeleton construction feed the simulated
+/// graph — so both the nondet-iteration and hygiene families must
+/// cover its files. A scope regression would silently un-lint them.
+#[test]
+fn congest_files_are_in_nondet_iteration_scope() {
+    let scan = fixture("nondet_iter_bad.rs");
+    for path in [
+        "crates/congest/src/khan.rs",
+        "crates/congest/src/skeleton.rs",
+    ] {
+        let mut findings: Vec<Finding> = Vec::new();
+        nondet_iter::check(path, &scan, &mut findings);
+        assert!(
+            !findings.is_empty(),
+            "{path} fell out of the nondet-iteration scope"
+        );
+    }
+}
+
+#[test]
+fn congest_files_are_in_hygiene_scope() {
+    let scan = fixture("hygiene_bad.rs");
+    for path in [
+        "crates/congest/src/khan.rs",
+        "crates/congest/src/skeleton.rs",
+    ] {
+        let mut findings: Vec<Finding> = Vec::new();
+        hygiene::check(path, &scan, &[], &mut findings);
+        assert!(!findings.is_empty(), "{path} fell out of the hygiene scope");
     }
 }
 
